@@ -1,0 +1,182 @@
+//! Criterion micro/meso benchmarks of every stage in the m3 pipeline and of
+//! the substrates, mirroring the paper's performance claims:
+//!
+//! * flowSim throughput (the "800k flows in ~1s, 687x over ns-3" claim),
+//! * packet-level simulator event throughput (the ns-3 stand-in),
+//! * feature-map extraction,
+//! * transformer+MLP inference latency (CPU, §4),
+//! * end-to-end per-path m3 prediction,
+//! * aggregation of k path distributions,
+//! * one Parsimon link-level simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use m3_core::prelude::*;
+use m3_flowsim::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use m3_workload::prelude::*;
+use std::hint::black_box;
+
+fn path_scenario(n_fg: usize, n_bg: usize, seed: u64) -> PathScenario {
+    PathScenario::generate(&PathScenarioSpec {
+        n_foreground: n_fg,
+        n_background: n_bg,
+        seed,
+        ..PathScenarioSpec::default()
+    })
+}
+
+fn bench_flowsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowsim");
+    g.sample_size(10);
+    for &n in &[10_000usize, 50_000, 200_000] {
+        let ps = path_scenario(n / 4, n - n / 4, 1);
+        let (topo, flows) = ps.to_fluid(1000);
+        g.bench_with_input(BenchmarkId::new("simulate", n), &n, |b, _| {
+            b.iter(|| black_box(simulate_fluid(&topo, &flows)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10);
+    let ps = path_scenario(200, 600, 2);
+    g.bench_function("path_scenario_800_flows", |b| {
+        b.iter(|| black_box(ps.ground_truth(SimConfig::default())))
+    });
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 5_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 3,
+        },
+    );
+    g.bench_function("fat_tree_5k_flows", |b| {
+        b.iter(|| {
+            black_box(run_simulation(
+                &ft.topo,
+                SimConfig::default(),
+                w.flows.clone(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let mut g = c.benchmark_group("features");
+    let samples: Vec<(u64, f64)> = (0..100_000)
+        .map(|i| (50 + (i * 7919) % 1_000_000, 1.0 + (i % 997) as f64 / 100.0))
+        .collect();
+    g.bench_function("feature_map_100k_samples", |b| {
+        b.iter(|| black_box(FeatureMap::feature(&samples)))
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference");
+    let net = M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7);
+    let sample = SampleInput {
+        fg: vec![0.5; FEAT_DIM],
+        bg: vec![vec![0.3; FEAT_DIM]; 6],
+        spec: vec![0.4; SPEC_DIM],
+        use_context: true,
+    };
+    g.bench_function("m3net_predict_6hops", |b| {
+        b.iter(|| black_box(net.predict(&sample)))
+    });
+    g.finish();
+}
+
+fn bench_per_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_path");
+    g.sample_size(10);
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 20_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 5,
+        },
+    );
+    let cfg = SimConfig::default();
+    let index = PathIndex::build(&ft.topo, &w.flows);
+    let g_idx = index.sample_paths(1, 1)[0];
+    let data = PathScenarioData::from_group(&ft.topo, &w.flows, &index, g_idx, &cfg);
+    let est = M3Estimator::new(M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7));
+    g.bench_function("m3_predict_one_path", |b| {
+        b.iter(|| black_box(est.predict_path(&data, &cfg)))
+    });
+    g.bench_function("decompose_20k_flows", |b| {
+        b.iter(|| black_box(PathIndex::build(&ft.topo, &w.flows).num_paths()))
+    });
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation");
+    let dists: Vec<PathDistribution> = (0..500)
+        .map(|i| {
+            let samples: Vec<(u64, f64)> = (0..50)
+                .map(|j| (100 + j * 999, 1.0 + ((i + j) % 37) as f64 / 5.0))
+                .collect();
+            PathDistribution::from_samples(&samples)
+        })
+        .collect();
+    g.bench_function("aggregate_500_paths", |b| {
+        b.iter(|| black_box(NetworkEstimate::aggregate(&dists).p99()))
+    });
+    g.finish();
+}
+
+fn bench_parsimon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parsimon");
+    g.sample_size(10);
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 5_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 6,
+        },
+    );
+    let cfg = SimConfig::default();
+    g.bench_function("parsimon_5k_flows", |b| {
+        b.iter(|| black_box(m3_parsimon::parsimon_estimate(&ft.topo, &w.flows, &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flowsim,
+    bench_netsim,
+    bench_features,
+    bench_inference,
+    bench_per_path,
+    bench_aggregation,
+    bench_parsimon
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Fig. 10: the §5.2 sensitivity analysis — m3 vs Parsimon over a random
+//! DCTCP test sweep on the 32-rack fat tree.
+//!
+//! (a) p99 slowdown error distribution; (b) median error per max-load
+//! bucket; (c) runtime distribution; (d) runtime vs workload.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+
+fn main() {
+    let estimator = M3Estimator::new(load_or_train_model());
+    let records = dctcp_sweep(&estimator, n_scenarios(), n_flows(), n_paths(), 42);
+
+    // (a) error distribution.
+    let m3_errs: Vec<f64> = records.iter().map(|r| r.m3_err()).collect();
+    let pars_errs: Vec<f64> = records.iter().map(|r| r.parsimon_err()).collect();
+    let sm = ErrorSummaryRow::from("m3", &m3_errs);
+    let sp = ErrorSummaryRow::from("Parsimon", &pars_errs);
+    print_table(
+        "Fig 10(a): p99 slowdown estimation error",
+        &["Method", "mean|err|", "median|err|", "p90|err|", "max|err|"],
+        &[sm.row(), sp.row()],
+    );
+
+    // (b) median error per load bucket.
+    let mut rows = Vec::new();
+    for (lo, hi) in [(0.2, 0.4), (0.4, 0.5), (0.5, 0.6), (0.6, 0.85)] {
+        let in_bucket: Vec<&m3_bench::SweepRecord> = records
+            .iter()
+            .filter(|r| r.max_load >= lo && r.max_load < hi)
+            .collect();
+        if in_bucket.is_empty() {
+            continue;
+        }
+        let med = |f: &dyn Fn(&m3_bench::SweepRecord) -> f64| -> f64 {
+            let mut v: Vec<f64> = in_bucket.iter().map(|r| f(r).abs()).collect();
+            m3_netsim::stats::percentile_unsorted(&mut v, 50.0)
+        };
+        rows.push(vec![
+            format!("{:.0}-{:.0}%", lo * 100.0, hi * 100.0),
+            format!("{}", in_bucket.len()),
+            format!("{:.1}%", med(&|r| r.m3_err()) * 100.0),
+            format!("{:.1}%", med(&|r| r.parsimon_err()) * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 10(b): median |p99 error| by max link load",
+        &["Load", "n", "m3", "Parsimon"],
+        &rows,
+    );
+
+    // (c) runtime distribution.
+    let stats = |v: &mut Vec<f64>| -> (f64, f64, f64) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (
+            m3_netsim::stats::percentile(v, 50.0),
+            m3_netsim::stats::percentile(v, 90.0),
+            v.iter().sum::<f64>() / v.len() as f64,
+        )
+    };
+    let mut gt_t: Vec<f64> = records.iter().map(|r| r.gt_secs).collect();
+    let mut m3_t: Vec<f64> = records.iter().map(|r| r.m3_secs).collect();
+    let mut pa_t: Vec<f64> = records.iter().map(|r| r.parsimon_secs).collect();
+    let (g50, g90, gm) = stats(&mut gt_t);
+    let (m50, m90, mm) = stats(&mut m3_t);
+    let (p50, p90, pm) = stats(&mut pa_t);
+    print_table(
+        "Fig 10(c): runtime (seconds)",
+        &["Method", "median", "p90", "mean"],
+        &[
+            vec!["packet sim (ns-3)".into(), format!("{g50:.2}"), format!("{g90:.2}"), format!("{gm:.2}")],
+            vec!["Parsimon".into(), format!("{p50:.2}"), format!("{p90:.2}"), format!("{pm:.2}")],
+            vec!["m3".into(), format!("{m50:.2}"), format!("{m90:.2}"), format!("{mm:.2}")],
+        ],
+    );
+    println!(
+        "\nmean speedup: m3 vs packet sim {:.1}x, m3 vs Parsimon {:.1}x",
+        gm / mm,
+        pm / mm
+    );
+
+    // (d) runtime vs workload (flow size distribution).
+    let mut rows = Vec::new();
+    for w in ["WebServer", "CacheFollower", "Hadoop"] {
+        let rs: Vec<&m3_bench::SweepRecord> = records.iter().filter(|r| r.workload == w).collect();
+        if rs.is_empty() {
+            continue;
+        }
+        let mean = |f: &dyn Fn(&m3_bench::SweepRecord) -> f64| {
+            rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+        };
+        rows.push(vec![
+            w.into(),
+            format!("{}", rs.len()),
+            format!("{:.2}s", mean(&|r| r.m3_secs)),
+            format!("{:.2}s", mean(&|r| r.parsimon_secs)),
+            format!("{:.2}s", mean(&|r| r.gt_secs)),
+        ]);
+    }
+    print_table(
+        "Fig 10(d): mean runtime by workload",
+        &["Workload", "n", "m3", "Parsimon", "packet sim"],
+        &rows,
+    );
+    write_result("fig10_sensitivity", &records);
+}
+
+struct ErrorSummaryRow {
+    name: &'static str,
+    s: m3_netsim::stats::ErrorSummary,
+    p90: f64,
+}
+
+impl ErrorSummaryRow {
+    fn from(name: &'static str, errs: &[f64]) -> Self {
+        let mut mags: Vec<f64> = errs.iter().map(|e| e.abs()).collect();
+        let p90 = m3_netsim::stats::percentile_unsorted(&mut mags, 90.0);
+        ErrorSummaryRow {
+            name,
+            s: m3_netsim::stats::ErrorSummary::from_signed(errs),
+            p90,
+        }
+    }
+    fn row(&self) -> Vec<String> {
+        vec![
+            self.name.into(),
+            format!("{:.1}%", self.s.mean_abs * 100.0),
+            format!("{:.1}%", self.s.median_abs * 100.0),
+            format!("{:.1}%", self.p90 * 100.0),
+            format!("{:.1}%", self.s.max_abs * 100.0),
+        ]
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 11: sensitivity of the p99-slowdown error distribution to workload
+//! parameters — traffic matrix, flow size distribution, oversubscription,
+//! and burstiness — for m3 and Parsimon. Boxplot quartiles per group.
+//!
+//! Reuses the cached §5.2 sweep (run `fig10_sensitivity` first, or this
+//! binary will compute the sweep itself).
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::stats::ErrorSummary;
+
+fn boxplot_rows(
+    records: &[SweepRecord],
+    group_name: &str,
+    groups: &[(&str, Box<dyn Fn(&SweepRecord) -> bool>)],
+) -> Vec<Vec<String>> {
+    let methods: [(&str, fn(&SweepRecord) -> f64); 2] = [
+        ("m3", |r: &SweepRecord| r.m3_err()),
+        ("Parsimon", |r: &SweepRecord| r.parsimon_err()),
+    ];
+    let mut rows = Vec::new();
+    for (label, pred) in groups {
+        for (method, err) in methods {
+            let errs: Vec<f64> = records.iter().filter(|r| pred(r)).map(err).collect();
+            if errs.is_empty() {
+                continue;
+            }
+            let s = ErrorSummary::from_signed(&errs);
+            rows.push(vec![
+                format!("{group_name}={label}"),
+                method.into(),
+                format!("{}", s.n),
+                format!("{:+.1}%", s.p25 * 100.0),
+                format!("{:+.1}%", s.p50 * 100.0),
+                format!("{:+.1}%", s.p75 * 100.0),
+                format!("{:.1}%", s.max_abs * 100.0),
+            ]);
+        }
+    }
+    rows
+}
+
+fn main() {
+    let estimator = M3Estimator::new(load_or_train_model());
+    let records = dctcp_sweep(&estimator, n_scenarios(), n_flows(), n_paths(), 42);
+
+    let mut all_rows = Vec::new();
+    let mats: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> = ["A", "B", "C"]
+        .iter()
+        .map(|&m| {
+            let m = m.to_string();
+            (
+                ["A", "B", "C"][["A", "B", "C"].iter().position(|&x| x == m).unwrap()],
+                Box::new(move |r: &SweepRecord| r.matrix == m) as Box<dyn Fn(&SweepRecord) -> bool>,
+            )
+        })
+        .collect();
+    all_rows.extend(boxplot_rows(&records, "matrix", &mats));
+    let works: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> =
+        ["CacheFollower", "WebServer", "Hadoop"]
+            .iter()
+            .map(|&w| {
+                let ws = w.to_string();
+                (
+                    w,
+                    Box::new(move |r: &SweepRecord| r.workload == ws)
+                        as Box<dyn Fn(&SweepRecord) -> bool>,
+                )
+            })
+            .collect();
+    all_rows.extend(boxplot_rows(&records, "workload", &works));
+    let oversubs: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> = [(1usize, "1:1"), (2, "2:1"), (4, "4:1")]
+        .iter()
+        .map(|&(o, label)| {
+            (
+                label,
+                Box::new(move |r: &SweepRecord| r.oversub == o) as Box<dyn Fn(&SweepRecord) -> bool>,
+            )
+        })
+        .collect();
+    all_rows.extend(boxplot_rows(&records, "oversub", &oversubs));
+    let sigmas: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> = [(1.0f64, "1.0"), (2.0, "2.0")]
+        .iter()
+        .map(|&(s, label)| {
+            (
+                label,
+                Box::new(move |r: &SweepRecord| (r.sigma - s).abs() < 1e-9)
+                    as Box<dyn Fn(&SweepRecord) -> bool>,
+            )
+        })
+        .collect();
+    all_rows.extend(boxplot_rows(&records, "sigma", &sigmas));
+
+    print_table(
+        "Fig 11: p99 error quartiles by workload dimension",
+        &["Group", "Method", "n", "p25", "median", "p75", "max|err|"],
+        &all_rows,
+    );
+    write_result("fig11_breakdown", &records);
+}

@@ -1,0 +1,82 @@
+//! Fig. 13: counterfactual search over HPCC's initial congestion window
+//! (§5.4). Small topology, WebServer sizes, matrix C, 50% max load, PFC
+//! enabled, 400 kB buffers, eta = 0.9.
+//!
+//! Shape to reproduce: m3 tracks ground truth's p99-vs-window trend per
+//! flow class — in particular that larger initial windows *hurt* small
+//! flows — while being orders of magnitude faster.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    window_kb: u64,
+    truth_bucket_p99: Vec<f64>,
+    m3_bucket_p99: Vec<f64>,
+    truth_secs: f64,
+    m3_secs: f64,
+}
+
+fn main() {
+    let estimator = M3Estimator::new(load_or_train_model());
+    let n = n_flows() / 2;
+    let k = n_paths();
+    let windows = [5u64, 10, 15, 20, 30];
+    let mut points = Vec::new();
+    for &w_kb in &windows {
+        let config = SimConfig {
+            cc: CcProtocol::Hpcc,
+            init_window: w_kb * KB,
+            buffer_size: 400 * KB,
+            pfc_enabled: true,
+            params: CcParams {
+                hpcc_eta: 0.90,
+                ..CcParams::default()
+            },
+            ..SimConfig::default()
+        };
+        let sc = build_full_scenario(2, "C", "WebServer", 1.0, 0.5, config, n, 77);
+        eprintln!("[fig13] window {w_kb}KB...");
+        let (gt_out, t_gt) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
+        let gt = ground_truth_estimate(&gt_out.records);
+        let (m3_est, t_m3) =
+            timed(|| estimator.estimate(&sc.ft.topo, &sc.flows, &sc.config, k, 4));
+        points.push(SweepPoint {
+            window_kb: w_kb,
+            truth_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| gt.bucket_p99(b)).collect(),
+            m3_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| m3_est.bucket_p99(b)).collect(),
+            truth_secs: t_gt.as_secs_f64(),
+            m3_secs: t_m3.as_secs_f64(),
+        });
+    }
+    let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
+    for b in 0..NUM_OUTPUT_BUCKETS {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}KB", p.window_kb),
+                    format!("{:.2}", p.truth_bucket_p99[b]),
+                    format!("{:.2}", p.m3_bucket_p99[b]),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 13, bucket {}: p99 vs HPCC init window", names[b]),
+            &["Window", "packet sim", "m3"],
+            &rows,
+        );
+    }
+    let gt_total: f64 = points.iter().map(|p| p.truth_secs).sum();
+    let m3_total: f64 = points.iter().map(|p| p.m3_secs).sum();
+    println!(
+        "\nsweep time: packet sim {:.1}s vs m3 {:.1}s ({:.0}x speedup)",
+        gt_total,
+        m3_total,
+        gt_total / m3_total
+    );
+    write_result("fig13_window_sweep", &points);
+}

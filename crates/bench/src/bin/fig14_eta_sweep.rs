@@ -1,0 +1,77 @@
+//! Fig. 14: counterfactual search over HPCC's eta (target utilization),
+//! with the initial window fixed at 20 kB (§5.4). Same scenario as Fig. 13.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    eta: f64,
+    truth_bucket_p99: Vec<f64>,
+    m3_bucket_p99: Vec<f64>,
+    truth_secs: f64,
+    m3_secs: f64,
+}
+
+fn main() {
+    let estimator = M3Estimator::new(load_or_train_model());
+    let n = n_flows() / 2;
+    let k = n_paths();
+    let etas = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95];
+    let mut points = Vec::new();
+    for &eta in &etas {
+        let config = SimConfig {
+            cc: CcProtocol::Hpcc,
+            init_window: 20 * KB,
+            buffer_size: 400 * KB,
+            pfc_enabled: true,
+            params: CcParams {
+                hpcc_eta: eta,
+                ..CcParams::default()
+            },
+            ..SimConfig::default()
+        };
+        let sc = build_full_scenario(2, "C", "WebServer", 1.0, 0.5, config, n, 77);
+        eprintln!("[fig14] eta {eta}...");
+        let (gt_out, t_gt) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
+        let gt = ground_truth_estimate(&gt_out.records);
+        let (m3_est, t_m3) =
+            timed(|| estimator.estimate(&sc.ft.topo, &sc.flows, &sc.config, k, 4));
+        points.push(SweepPoint {
+            eta,
+            truth_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| gt.bucket_p99(b)).collect(),
+            m3_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| m3_est.bucket_p99(b)).collect(),
+            truth_secs: t_gt.as_secs_f64(),
+            m3_secs: t_m3.as_secs_f64(),
+        });
+    }
+    let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
+    for b in 0..NUM_OUTPUT_BUCKETS {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.2}", p.eta),
+                    format!("{:.2}", p.truth_bucket_p99[b]),
+                    format!("{:.2}", p.m3_bucket_p99[b]),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 14, bucket {}: p99 vs HPCC eta", names[b]),
+            &["eta", "packet sim", "m3"],
+            &rows,
+        );
+    }
+    let gt_total: f64 = points.iter().map(|p| p.truth_secs).sum();
+    let m3_total: f64 = points.iter().map(|p| p.m3_secs).sum();
+    println!(
+        "\nsweep time: packet sim {:.1}s vs m3 {:.1}s ({:.0}x speedup)",
+        gt_total,
+        m3_total,
+        gt_total / m3_total
+    );
+    write_result("fig14_eta_sweep", &points);
+}

@@ -1,0 +1,116 @@
+//! Fig. 15: error breakdown for paths' foreground flows on the small fat
+//! tree. For each sampled path, the p99 slowdown of its foreground flows in
+//! the full simulation is compared against: ns-3-path (isolates the
+//! path-decomposition assumption), m3 (adds the flowSim+ML approximation),
+//! and Parsimon (link-independence assumption).
+//!
+//! Shape to reproduce: ns-3-path error < m3 error (decomposition accounts
+//! for less than half of m3's error) and Parsimon is strictly worse across
+//! flow size buckets and path lengths.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_parsimon::parsimon_estimate;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct PathBreakdown {
+    hops: usize,
+    n_fg: usize,
+    truth_p99: f64,
+    ns3path_err: f64,
+    m3_err: f64,
+    parsimon_err: f64,
+}
+
+fn p99(mut v: Vec<f64>) -> f64 {
+    m3_netsim::stats::percentile_unsorted(&mut v, 99.0)
+}
+
+fn main() {
+    let estimator = M3Estimator::new(load_or_train_model());
+    let n = n_flows();
+    let k = env_usize("M3_ACC_PATHS", 30);
+    let cfg = SimConfig::default();
+    let sc = build_full_scenario(2, "B", "WebServer", 1.0, 0.5, cfg, n, 91);
+    eprintln!("[fig15] ground truth...");
+    let gt_out = run_simulation(&sc.ft.topo, sc.config, sc.flows.clone());
+    let truth: HashMap<u32, f64> = gt_out.records.iter().map(|r| (r.id, r.slowdown())).collect();
+    eprintln!("[fig15] Parsimon...");
+    let pars = parsimon_estimate(&sc.ft.topo, &sc.flows, &cfg);
+    let pars_sldn: HashMap<u32, f64> = pars.iter().map(|r| (r.id, r.slowdown())).collect();
+
+    let index = PathIndex::build(&sc.ft.topo, &sc.flows);
+    let sampled: Vec<usize> = index
+        .sample_paths(k * 4, 23)
+        .into_iter()
+        .filter(|&g| index.foreground_of(g).len() >= 2)
+        .take(k)
+        .collect();
+    let mut rows_out = Vec::new();
+    for &g in &sampled {
+        let data = PathScenarioData::from_group(&sc.ft.topo, &sc.flows, &index, g, &cfg);
+        let fg_ids: Vec<u32> = index
+            .foreground_of(g)
+            .iter()
+            .map(|&fi| sc.flows[fi as usize].id)
+            .collect();
+        let truth_p99 = p99(fg_ids.iter().filter_map(|id| truth.get(id).copied()).collect());
+        // ns-3-path.
+        let np = p99(data.run_ns3_path(cfg).iter().map(|s| s.1).collect());
+        // m3 (per-path prediction; p99 of the flow-count-weighted output).
+        let m3_dist = estimator.predict_path(&data, &cfg);
+        let m3_p99 = NetworkEstimate::aggregate(&[m3_dist]).p99();
+        // Parsimon restricted to this path's fg flows.
+        let pp = p99(
+            fg_ids
+                .iter()
+                .filter_map(|id| pars_sldn.get(id).copied())
+                .collect(),
+        );
+        rows_out.push(PathBreakdown {
+            hops: data.num_hops(),
+            n_fg: data.fg.len(),
+            truth_p99,
+            ns3path_err: relative_error(np, truth_p99),
+            m3_err: relative_error(m3_p99, truth_p99),
+            parsimon_err: relative_error(pp, truth_p99),
+        });
+    }
+    // Group by path length.
+    let mut table = Vec::new();
+    for hops in [2usize, 4, 6] {
+        let sel: Vec<&PathBreakdown> = rows_out.iter().filter(|r| r.hops == hops).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let mean = |f: &dyn Fn(&PathBreakdown) -> f64| {
+            sel.iter().map(|r| f(r).abs()).sum::<f64>() / sel.len() as f64
+        };
+        table.push(vec![
+            format!("{hops} links"),
+            format!("{}", sel.len()),
+            format!("{:.1}%", mean(&|r| r.ns3path_err) * 100.0),
+            format!("{:.1}%", mean(&|r| r.m3_err) * 100.0),
+            format!("{:.1}%", mean(&|r| r.parsimon_err) * 100.0),
+        ]);
+    }
+    let all_mean = |f: &dyn Fn(&PathBreakdown) -> f64| {
+        rows_out.iter().map(|r| f(r).abs()).sum::<f64>() / rows_out.len().max(1) as f64
+    };
+    table.push(vec![
+        "all".into(),
+        format!("{}", rows_out.len()),
+        format!("{:.1}%", all_mean(&|r| r.ns3path_err) * 100.0),
+        format!("{:.1}%", all_mean(&|r| r.m3_err) * 100.0),
+        format!("{:.1}%", all_mean(&|r| r.parsimon_err) * 100.0),
+    ]);
+    print_table(
+        "Fig 15: mean |p99 error| of paths' foreground flows",
+        &["Path length", "paths", "ns-3-path", "m3", "Parsimon"],
+        &table,
+    );
+    write_result("fig15_error_breakdown", &rows_out);
+}

@@ -1,0 +1,117 @@
+//! Fig. 16: component ablation on held-out synthetic parking-lot scenarios
+//! (Table 2 space, fresh seeds): flowSim alone vs "m3 w/o context" (trained
+//! with the background context zeroed) vs full m3.
+//!
+//! Shape to reproduce: flowSim underestimates p99 slowdowns (errors toward
+//! -80% on long paths / small flows); the ML correction removes most of the
+//! error; context features improve accuracy further and cut variance.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::stats::ErrorSummary;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationPoint {
+    hops: usize,
+    flowsim_err: f64,
+    noctx_err: f64,
+    m3_err: f64,
+}
+
+fn main() {
+    let net = load_or_train_model();
+    let noctx_path = model_path().with_file_name("m3-model-noctx.ckpt");
+    let noctx = match m3_nn::checkpoint::load_file(&noctx_path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!(
+                "[fig16] no-context checkpoint missing ({e}); run the `train` binary first"
+            );
+            std::process::exit(1);
+        }
+    };
+    let n_eval = env_usize("M3_ABLATION_SCENARIOS", 45);
+    let mut points = Vec::new();
+    for i in 0..n_eval {
+        let hops = [2usize, 4, 6][i % 3];
+        // Fresh seeds (offset far from the training stream).
+        let point = training_point_with_hops(hops, 900_000 + i as u64);
+        let ex = make_example(&point, 120, 360, true);
+        let truth = PathDistribution::from_samples(&ex.truth_fg);
+        let truth_p99 = NetworkEstimate::aggregate(&[truth]).p99();
+        let flowsim = PathDistribution::from_samples(&ex.flowsim_fg);
+        let flowsim_p99 = NetworkEstimate::aggregate(&[flowsim]).p99();
+        let counts = {
+            let mut c = [0usize; NUM_OUTPUT_BUCKETS];
+            for &(s, _) in &ex.truth_fg {
+                c[output_bucket(s)] += 1;
+            }
+            c
+        };
+        let m3_p99 = {
+            let out = m3_core::features::decode_log(&net.predict(&ex.input));
+            let d = PathDistribution::from_model_output(&out, counts);
+            NetworkEstimate::aggregate(&[d]).p99()
+        };
+        let noctx_p99 = {
+            let mut input = ex.input.clone();
+            input.use_context = false;
+            let out = m3_core::features::decode_log(&noctx.predict(&input));
+            let d = PathDistribution::from_model_output(&out, counts);
+            NetworkEstimate::aggregate(&[d]).p99()
+        };
+        points.push(AblationPoint {
+            hops,
+            flowsim_err: m3_netsim::stats::relative_error(flowsim_p99, truth_p99),
+            noctx_err: m3_netsim::stats::relative_error(noctx_p99, truth_p99),
+            m3_err: m3_netsim::stats::relative_error(m3_p99, truth_p99),
+        });
+        eprintln!(
+            "[fig16] {i:3} hops={hops} flowSim {:+.1}% noctx {:+.1}% m3 {:+.1}%",
+            points.last().unwrap().flowsim_err * 100.0,
+            points.last().unwrap().noctx_err * 100.0,
+            points.last().unwrap().m3_err * 100.0
+        );
+    }
+    let mut rows = Vec::new();
+    let groups: Vec<(String, Vec<&AblationPoint>)> = {
+        let mut g: Vec<(String, Vec<&AblationPoint>)> = [2usize, 4, 6]
+            .iter()
+            .map(|&h| {
+                (
+                    format!("{h} hops"),
+                    points.iter().filter(|p| p.hops == h).collect(),
+                )
+            })
+            .collect();
+        g.push(("all".into(), points.iter().collect()));
+        g
+    };
+    for (label, sel) in groups {
+        for (method, get) in [
+            ("flowSim", (|p: &AblationPoint| p.flowsim_err) as fn(&AblationPoint) -> f64),
+            ("m3 w/o context", |p| p.noctx_err),
+            ("m3", |p| p.m3_err),
+        ] {
+            let errs: Vec<f64> = sel.iter().map(|p| get(p)).collect();
+            if errs.is_empty() {
+                continue;
+            }
+            let s = ErrorSummary::from_signed(&errs);
+            rows.push(vec![
+                label.clone(),
+                method.into(),
+                format!("{:.1}%", s.mean_abs * 100.0),
+                format!("{:+.1}%", s.p50 * 100.0),
+                format!("{:.1}%", s.max_abs * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 16: path-level p99 error (held-out Table 2 scenarios)",
+        &["Paths", "Method", "mean|err|", "median", "max|err|"],
+        &rows,
+    );
+    write_result("fig16_ablation", &points);
+}

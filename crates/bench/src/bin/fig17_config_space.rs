@@ -1,0 +1,102 @@
+//! Fig. 17 (Appendix B): m3's p99 estimation error across the Table 4
+//! network-configuration space — buffer size, initial window, CC protocol,
+//! and PFC — on held-out synthetic path scenarios.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_netsim::stats::ErrorSummary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ConfigPoint {
+    cc: String,
+    pfc: bool,
+    buffer_kb: u64,
+    window_kb: u64,
+    err: f64,
+}
+
+fn main() {
+    let net = load_or_train_model();
+    let n_eval = env_usize("M3_CONFIG_SCENARIOS", 60);
+    let mut rng = SmallRng::seed_from_u64(31337);
+    let mut points = Vec::new();
+    for i in 0..n_eval {
+        let hops = [2usize, 4, 6][i % 3];
+        let mut point = training_point_with_hops(hops, 700_000 + i as u64);
+        // Resample the config from the full Table 4 space.
+        point.config = m3_workload::spaces::sample_config(&mut rng);
+        let ex = make_example(&point, 120, 360, true);
+        let truth_p99 =
+            NetworkEstimate::aggregate(&[PathDistribution::from_samples(&ex.truth_fg)]).p99();
+        let counts = {
+            let mut c = [0usize; NUM_OUTPUT_BUCKETS];
+            for &(s, _) in &ex.truth_fg {
+                c[output_bucket(s)] += 1;
+            }
+            c
+        };
+        let out = m3_core::features::decode_log(&net.predict(&ex.input));
+        let m3_p99 =
+            NetworkEstimate::aggregate(&[PathDistribution::from_model_output(&out, counts)]).p99();
+        points.push(ConfigPoint {
+            cc: point.config.cc.name().to_string(),
+            pfc: point.config.pfc_enabled,
+            buffer_kb: point.config.buffer_size / KB,
+            window_kb: point.config.init_window / KB,
+            err: relative_error(m3_p99, truth_p99),
+        });
+    }
+    let summarize = |label: String, sel: Vec<f64>| -> Option<Vec<String>> {
+        if sel.is_empty() {
+            return None;
+        }
+        let s = ErrorSummary::from_signed(&sel);
+        Some(vec![
+            label,
+            format!("{}", s.n),
+            format!("{:.1}%", s.mean_abs * 100.0),
+            format!("{:+.1}%", s.p50 * 100.0),
+            format!("{:.1}%", s.max_abs * 100.0),
+        ])
+    };
+    let mut rows = Vec::new();
+    // (a) buffer size halves, (b) init window halves, (c) CC, (d) PFC.
+    for (label, lo, hi) in [("buffer 200-350KB", 200, 350), ("buffer 350-500KB", 350, 500)] {
+        let sel = points
+            .iter()
+            .filter(|p| p.buffer_kb >= lo && p.buffer_kb < hi)
+            .map(|p| p.err)
+            .collect();
+        rows.extend(summarize(label.into(), sel));
+    }
+    for (label, lo, hi) in [("window 5-17KB", 5, 17), ("window 17-30KB", 17, 31)] {
+        let sel = points
+            .iter()
+            .filter(|p| p.window_kb >= lo && p.window_kb < hi)
+            .map(|p| p.err)
+            .collect();
+        rows.extend(summarize(label.into(), sel));
+    }
+    for cc in CcProtocol::ALL {
+        let sel = points
+            .iter()
+            .filter(|p| p.cc == cc.name())
+            .map(|p| p.err)
+            .collect();
+        rows.extend(summarize(format!("cc {}", cc.name()), sel));
+    }
+    for (label, flag) in [("pfc off", false), ("pfc on", true)] {
+        let sel = points.iter().filter(|p| p.pfc == flag).map(|p| p.err).collect();
+        rows.extend(summarize(label.into(), sel));
+    }
+    print_table(
+        "Fig 17: m3 p99 error across the Table 4 configuration space",
+        &["Slice", "n", "mean|err|", "median", "max|err|"],
+        &rows,
+    );
+    write_result("fig17_config_space", &points);
+}

@@ -1,0 +1,98 @@
+//! Fig. 18: the evaluation workload data — traffic-matrix structure (A, B,
+//! C) and flow size distribution CDFs (CacheFollower, WebServer, Hadoop).
+//! These are the repo's synthetic stand-ins for Meta's production data (see
+//! DESIGN.md substitutions); this binary prints the shapes so they can be
+//! compared against the published figures.
+
+use m3_bench::*;
+use m3_workload::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    matrix_skew: Vec<(String, f64, f64)>,
+    size_cdfs: Vec<(String, Vec<(u64, f64)>)>,
+    mean_sizes: Vec<(String, f64)>,
+}
+
+fn main() {
+    let n_racks = 32;
+    let mut matrix_skew = Vec::new();
+    let mut rows = Vec::new();
+    for name in ["A", "B", "C"] {
+        let m = TrafficMatrix::by_name(name, n_racks).unwrap();
+        let top1 = m.top_percent_share(1.0);
+        let top5 = m.top_percent_share(5.0);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", top1 * 100.0),
+            format!("{:.1}%", top5 * 100.0),
+        ]);
+        matrix_skew.push((name.to_string(), top1, top5));
+    }
+    print_table(
+        "Fig 18(a): traffic matrix skew (share of demand in top rack pairs)",
+        &["Matrix", "top 1% pairs", "top 5% pairs"],
+        &rows,
+    );
+
+    let mut size_cdfs = Vec::new();
+    let mut mean_sizes = Vec::new();
+    let probe = [100u64, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000];
+    let mut rows = Vec::new();
+    for name in ["WebServer", "CacheFollower", "Hadoop"] {
+        let d = SizeDistribution::by_name(name).unwrap();
+        let cdf: Vec<(u64, f64)> = probe
+            .iter()
+            .map(|&x| {
+                // Empirical CDF via the quantile table: invert numerically.
+                let mut lo = 0.0f64;
+                let mut hi = 1.0f64;
+                for _ in 0..40 {
+                    let mid = (lo + hi) / 2.0;
+                    if let SizeDistribution::Empirical(t) = &d {
+                        if t.inverse(mid) <= x {
+                            lo = mid;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                }
+                (x, lo)
+            })
+            .collect();
+        rows.push(
+            std::iter::once(name.to_string())
+                .chain(cdf.iter().map(|(_, p)| format!("{:.2}", p)))
+                .collect(),
+        );
+        mean_sizes.push((name.to_string(), d.mean()));
+        size_cdfs.push((name.to_string(), cdf));
+    }
+    let headers: Vec<String> = std::iter::once("Workload".to_string())
+        .chain(probe.iter().map(|x| {
+            if *x >= 1_000_000 {
+                format!("{}M", x / 1_000_000)
+            } else if *x >= 1_000 {
+                format!("{}K", x / 1_000)
+            } else {
+                format!("{x}")
+            }
+        }))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Fig 18(b): P(size <= x)", &headers_ref, &rows);
+    let rows: Vec<Vec<String>> = mean_sizes
+        .iter()
+        .map(|(n, m)| vec![n.clone(), format!("{:.0} B", m)])
+        .collect();
+    print_table("Mean flow sizes", &["Workload", "mean"], &rows);
+    write_result(
+        "fig18_workload",
+        &Out {
+            matrix_skew,
+            size_cdfs,
+            mean_sizes,
+        },
+    );
+}

@@ -1,0 +1,123 @@
+//! Fig. 2(c) and 2(e): accuracy of per-path packet simulation (ns-3-path)
+//! relative to the full-network simulation, per sampled path, and its
+//! robustness to path length and foreground flow count.
+//!
+//! For each sampled path we compare the p99 slowdown of its foreground
+//! flows in the *full* simulation against the same statistic from the
+//! isolated path-level simulation.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct PathError {
+    mix: String,
+    hops: usize,
+    n_fg: usize,
+    full_p99: f64,
+    path_p99: f64,
+    rel_err: f64,
+}
+
+fn main() {
+    let n = n_flows();
+    let k = env_usize("M3_ACC_PATHS", 30);
+    let mixes = [
+        ("Mix 1", "A", "CacheFollower", 4usize, 0.4246),
+        ("Mix 2", "B", "WebServer", 1, 0.2846),
+        ("Mix 3", "C", "WebServer", 2, 0.7383),
+    ];
+    let cfg = SimConfig::default();
+    let mut all: Vec<PathError> = Vec::new();
+    for (i, (name, matrix, workload, oversub, load)) in mixes.iter().enumerate() {
+        eprintln!("[fig2acc] {name}: ground truth...");
+        let sc = build_full_scenario(*oversub, matrix, workload, 1.0, *load, cfg, n, 100 + i as u64);
+        let gt_out = run_simulation(&sc.ft.topo, sc.config, sc.flows.clone());
+        let sldn_by_id: HashMap<u32, f64> =
+            gt_out.records.iter().map(|r| (r.id, r.slowdown())).collect();
+        let index = PathIndex::build(&sc.ft.topo, &sc.flows);
+        // Only paths with enough fg flows yield a meaningful per-path p99.
+        let sampled: Vec<usize> = index
+            .sample_paths(k * 4, 13)
+            .into_iter()
+            .filter(|&g| index.foreground_of(g).len() >= 2)
+            .take(k)
+            .collect();
+        for &g in &sampled {
+            let data = PathScenarioData::from_group(&sc.ft.topo, &sc.flows, &index, g, &cfg);
+            let mut full: Vec<f64> = index
+                .foreground_of(g)
+                .iter()
+                .filter_map(|&fi| sldn_by_id.get(&sc.flows[fi as usize].id).copied())
+                .collect();
+            if full.len() < 3 {
+                continue;
+            }
+            let full_p99 = m3_netsim::stats::percentile_unsorted(&mut full, 99.0);
+            let path_samples = data.run_ns3_path(cfg);
+            let mut path_sldn: Vec<f64> = path_samples.iter().map(|s| s.1).collect();
+            let path_p99 = m3_netsim::stats::percentile_unsorted(&mut path_sldn, 99.0);
+            all.push(PathError {
+                mix: name.to_string(),
+                hops: data.num_hops(),
+                n_fg: data.fg.len(),
+                full_p99,
+                path_p99,
+                rel_err: relative_error(path_p99, full_p99),
+            });
+        }
+    }
+    // Fig 2(c): error CDF per mix; Fig 2(e): error grouped by hops / fg count.
+    let mut rows = Vec::new();
+    for (name, _, _, _, _) in &mixes {
+        let errs: Vec<f64> = all
+            .iter()
+            .filter(|e| &e.mix == name)
+            .map(|e| e.rel_err)
+            .collect();
+        if errs.is_empty() {
+            continue;
+        }
+        let s = ErrorSummary::from_signed(&errs);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", s.n),
+            format!("{:.1}%", s.mean_abs * 100.0),
+            format!("{:.1}%", s.median_abs * 100.0),
+            format!("{:.1}%", s.max_abs * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 2(c): ns-3-path vs full simulation, per-path p99 slowdown error",
+        &["Mix", "paths", "mean|err|", "median|err|", "max|err|"],
+        &rows,
+    );
+    let mut rows = Vec::new();
+    for hops in [2usize, 4, 6] {
+        let errs: Vec<f64> = all
+            .iter()
+            .filter(|e| e.hops == hops)
+            .map(|e| e.rel_err)
+            .collect();
+        if errs.is_empty() {
+            continue;
+        }
+        let s = ErrorSummary::from_signed(&errs);
+        rows.push(vec![
+            format!("{hops} links"),
+            format!("{}", s.n),
+            format!("{:+.1}%", s.p25 * 100.0),
+            format!("{:+.1}%", s.p50 * 100.0),
+            format!("{:+.1}%", s.p75 * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig 2(e): error by path length (violin quartiles)",
+        &["Path length", "paths", "p25", "median", "p75"],
+        &rows,
+    );
+    write_result("fig2_accuracy", &all);
+}

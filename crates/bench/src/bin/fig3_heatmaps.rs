@@ -1,0 +1,111 @@
+//! Fig. 3: flowSim slowdown heatmaps on a single link, varying one workload
+//! dimension per row — burstiness sigma, max load, and size distribution.
+//! Demonstrates that flowSim feature maps are sensitive to workload
+//! character (§2.2).
+//!
+//! Output: one 10-bucket x 10-percentile grid per panel (percentiles
+//! sampled every 10th from the full 100), plus JSON with the full maps.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_flowsim::prelude::*;
+use m3_workload::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Panel {
+    label: String,
+    /// 10 x 100 feature map.
+    map: Vec<f32>,
+}
+
+fn single_link_map(sizes: SizeDistribution, sigma: f64, load: f64, n: usize) -> Vec<f32> {
+    // Single 10G link; flows capped by 10G NICs on both sides.
+    let spec = PathScenarioSpec {
+        n_hops: 1,
+        n_foreground: n,
+        n_background: 0,
+        sizes,
+        sigma,
+        max_load: load,
+        seed: 33,
+        ..PathScenarioSpec::default()
+    };
+    let ps = PathScenario::generate(&spec);
+    let (ft, flows) = ps.to_fluid(1000);
+    let recs = simulate_fluid(&ft, &flows);
+    let samples: Vec<(u64, f64)> = recs.iter().map(|r| (r.size, r.slowdown())).collect();
+    FeatureMap::feature(&samples).data
+}
+
+fn print_grid(label: &str, map: &[f32]) {
+    println!("\n-- {label} (rows: size buckets small->large; cols: p10..p100) --");
+    for b in 0..SIZE_BUCKETS.len() {
+        let row: Vec<String> = (0..10)
+            .map(|c| {
+                let v = map[b * 100 + (c * 10 + 9)];
+                if v == 0.0 {
+                    "   -  ".into()
+                } else {
+                    format!("{v:6.2}")
+                }
+            })
+            .collect();
+        println!("b{b}: {}", row.join(" "));
+    }
+}
+
+fn main() {
+    let n = env_usize("M3_FIG3_FLOWS", 20_000);
+    let mut panels = Vec::new();
+    // Row 1: burstiness sweep (CacheFollower, 50% load).
+    for sigma in [1.0, 1.5, 2.0] {
+        let map = single_link_map(SizeDistribution::cache_follower(), sigma, 0.5, n);
+        print_grid(&format!("sigma = {sigma}"), &map);
+        panels.push(Panel {
+            label: format!("sigma={sigma}"),
+            map,
+        });
+    }
+    // Row 2: load sweep (CacheFollower, sigma 1.5).
+    for load in [0.2, 0.5, 0.8] {
+        let map = single_link_map(SizeDistribution::cache_follower(), 1.5, load, n);
+        print_grid(&format!("load = {load}"), &map);
+        panels.push(Panel {
+            label: format!("load={load}"),
+            map,
+        });
+    }
+    // Row 3: workload sweep (sigma 1.5, 50% load).
+    for name in ["Hadoop", "CacheFollower", "WebServer"] {
+        let map = single_link_map(SizeDistribution::by_name(name).unwrap(), 1.5, 0.5, n);
+        print_grid(name, &map);
+        panels.push(Panel {
+            label: name.to_string(),
+            map,
+        });
+    }
+    // Shape checks the paper calls out: higher burstiness and higher load
+    // raise tail slowdowns.
+    let tail = |p: &Panel| -> f64 {
+        // Mean over non-empty buckets of the p99 column.
+        let vals: Vec<f64> = (0..10)
+            .map(|b| p.map[b * 100 + 98] as f64)
+            .filter(|&v| v > 0.0)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    println!(
+        "\ntail(sigma=1) {:.2} < tail(sigma=2) {:.2}: {}",
+        tail(&panels[0]),
+        tail(&panels[2]),
+        tail(&panels[0]) < tail(&panels[2])
+    );
+    println!(
+        "tail(load=20%) {:.2} < tail(load=80%) {:.2}: {}",
+        tail(&panels[3]),
+        tail(&panels[5]),
+        tail(&panels[3]) < tail(&panels[5])
+    );
+    write_result("fig3_heatmaps", &panels);
+}

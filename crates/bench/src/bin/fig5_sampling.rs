@@ -1,0 +1,110 @@
+//! Fig. 5: (left) the number of populated paths across workloads; (right)
+//! how the relative p99-slowdown sampling error shrinks with the number of
+//! sampled paths. Pure sampling error: ground-truth per-flow slowdowns are
+//! used for the sampled paths, so the only approximation is which paths are
+//! included (§3.2).
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_workload::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    populated_paths: Vec<usize>,
+    /// (k, error percentiles p50/p90/p99 over scenarios x repeats)
+    error_vs_k: Vec<(usize, f64, f64, f64)>,
+}
+
+fn main() {
+    let n_scen = n_scenarios().min(16);
+    let flows = n_flows() / 2;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut populated = Vec::new();
+    let mut errors_by_k: Vec<(usize, Vec<f64>)> =
+        [10usize, 50, 100, 200, 500].iter().map(|&k| (k, Vec::new())).collect();
+
+    for i in 0..n_scen {
+        let p = sample_test_point(&mut rng, Some(CcProtocol::Dctcp));
+        let sc = build_full_scenario(
+            p.oversub,
+            &p.matrix_name,
+            &p.workload_name,
+            p.sigma,
+            p.max_load,
+            p.config,
+            flows,
+            p.seed,
+        );
+        eprintln!("[fig5] scenario {i}/{n_scen}: {}", sc.label);
+        let gt_out = run_simulation(&sc.ft.topo, sc.config, sc.flows.clone());
+        let full = ground_truth_estimate(&gt_out.records);
+        let full_p99 = full.p99();
+        let index = PathIndex::build(&sc.ft.topo, &sc.flows);
+        populated.push(index.num_paths());
+        // Per-flow ground-truth slowdowns by flow index.
+        let sldn: Vec<f64> = {
+            let mut v = vec![f64::NAN; sc.flows.len()];
+            for r in &gt_out.records {
+                v[r.id as usize] = r.slowdown();
+            }
+            v
+        };
+        for rep in 0..3u64 {
+            for (k, errs) in errors_by_k.iter_mut() {
+                let sampled = index.sample_paths(*k, 77 + rep * 1000 + i as u64);
+                let dists: Vec<PathDistribution> = sampled
+                    .iter()
+                    .map(|&g| {
+                        let samples: Vec<(u64, f64)> = index
+                            .foreground_of(g)
+                            .iter()
+                            .map(|&fi| (sc.flows[fi as usize].size, sldn[fi as usize]))
+                            .collect();
+                        PathDistribution::from_samples(&samples)
+                    })
+                    .collect();
+                let est = NetworkEstimate::aggregate(&dists);
+                errs.push(relative_error(est.p99(), full_p99).abs());
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    let mut error_vs_k = Vec::new();
+    for (k, mut errs) in errors_by_k {
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = m3_netsim::stats::percentile(&errs, 50.0);
+        let p90 = m3_netsim::stats::percentile(&errs, 90.0);
+        let p99 = m3_netsim::stats::percentile(&errs, 99.0);
+        rows.push(vec![
+            format!("{k}"),
+            format!("{:.1}%", p50 * 100.0),
+            format!("{:.1}%", p90 * 100.0),
+            format!("{:.1}%", p99 * 100.0),
+        ]);
+        error_vs_k.push((k, p50, p90, p99));
+    }
+    print_table(
+        "Fig 5(right): |p99 error| vs #sampled paths",
+        &["k", "median", "p90", "p99"],
+        &rows,
+    );
+    populated.sort_unstable();
+    println!(
+        "\nFig 5(left): populated paths across {} workloads: min {} / median {} / max {}",
+        n_scen,
+        populated.first().unwrap(),
+        populated[populated.len() / 2],
+        populated.last().unwrap()
+    );
+    write_result(
+        "fig5_sampling",
+        &Out {
+            populated_paths: populated,
+            error_vs_k,
+        },
+    );
+}

@@ -1,0 +1,107 @@
+//! Fig. 6: per-size-bucket slowdown distributions on a 4-hop parking-lot
+//! path: packet-level ground truth vs flowSim vs m3. The paper's shape:
+//! flowSim matches well for >= 10 kB flows but underestimates short-flow
+//! tails; m3's corrected percentiles track ground truth everywhere.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_workload::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BucketCdf {
+    bucket: String,
+    truth: Vec<f64>,
+    flowsim: Vec<f64>,
+    m3: Vec<f64>,
+}
+
+fn pct_vec(samples: &[(u64, f64)], bucket: usize) -> Vec<f64> {
+    let d = PathDistribution::from_samples(samples);
+    d.buckets[bucket].clone()
+}
+
+fn main() {
+    let net = load_or_train_model();
+    // A 4-hop Meta-workload scenario, as in the figure.
+    let spec = PathScenarioSpec {
+        n_hops: 4,
+        n_foreground: env_usize("M3_FIG6_FG", 2_000),
+        n_background: env_usize("M3_FIG6_BG", 6_000),
+        sizes: SizeDistribution::cache_follower(),
+        sigma: 1.5,
+        max_load: 0.6,
+        seed: 404,
+        ..PathScenarioSpec::default()
+    };
+    let ps = PathScenario::generate(&spec);
+    let config = SimConfig::default();
+
+    // Ground truth.
+    let gt = ps.ground_truth(config);
+    let fg_ids: std::collections::HashSet<u32> = ps.foreground_ids().into_iter().collect();
+    let truth_fg: Vec<(u64, f64)> = gt
+        .records
+        .iter()
+        .filter(|r| fg_ids.contains(&r.id))
+        .map(|r| (r.size, r.slowdown()))
+        .collect();
+
+    // flowSim + m3.
+    let (input, flowsim_fg) = scenario_features(&ps, &config, true);
+    let m3_out = m3_core::features::decode_log(&net.predict(&input));
+    let counts = {
+        let mut c = [0usize; NUM_OUTPUT_BUCKETS];
+        for &(s, _) in &truth_fg {
+            c[output_bucket(s)] += 1;
+        }
+        c
+    };
+    let m3_dist = PathDistribution::from_model_output(&m3_out, counts);
+
+    let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for b in 0..NUM_OUTPUT_BUCKETS {
+        let truth = pct_vec(&truth_fg, b);
+        let fsim = pct_vec(&flowsim_fg, b);
+        let m3v = m3_dist.buckets[b].clone();
+        if truth.is_empty() {
+            continue;
+        }
+        for p in [50usize, 90, 99] {
+            rows.push(vec![
+                names[b].to_string(),
+                format!("p{p}"),
+                format!("{:.2}", truth[p - 1]),
+                if fsim.is_empty() { "-".into() } else { format!("{:.2}", fsim[p - 1]) },
+                if m3v.is_empty() { "-".into() } else { format!("{:.2}", m3v[p - 1]) },
+            ]);
+        }
+        out.push(BucketCdf {
+            bucket: names[b].to_string(),
+            truth,
+            flowsim: fsim,
+            m3: m3v,
+        });
+    }
+    print_table(
+        "Fig 6: slowdown percentiles on a 4-hop path (truth vs flowSim vs m3)",
+        &["Bucket", "pct", "ns-3 (truth)", "flowSim", "m3"],
+        &rows,
+    );
+    // The headline claim: flowSim underestimates the small-flow tail; m3's
+    // correction is closer.
+    if let Some(b0) = out.first() {
+        let t = b0.truth[98];
+        let f = b0.flowsim.get(98).copied().unwrap_or(f64::NAN);
+        let m = b0.m3.get(98).copied().unwrap_or(f64::NAN);
+        println!(
+            "\nsmall-flow p99: truth {t:.2}, flowSim {f:.2} (err {:+.0}%), m3 {m:.2} (err {:+.0}%)",
+            (f - t) / t * 100.0,
+            (m - t) / t * 100.0
+        );
+    }
+    write_result("fig6_path_cdfs", &out);
+}

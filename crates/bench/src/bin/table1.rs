@@ -1,0 +1,94 @@
+//! Table 1: p99 FCT slowdown and wall-clock time of full packet simulation
+//! ("ns-3"), Parsimon, and per-path packet simulation ("ns-3-path") on the
+//! three production mixes.
+//!
+//! Paper shape to reproduce: ns-3-path tracks ns-3 within a couple percent
+//! while Parsimon deviates more (especially Mix 3, the high-load skewed
+//! mix); Parsimon is much faster than both packet-level methods.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_parsimon::{parsimon_estimate, slowdown_samples};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    mix: String,
+    ns3_p99: f64,
+    ns3_secs: f64,
+    parsimon_p99: f64,
+    parsimon_secs: f64,
+    ns3path_p99: f64,
+    ns3path_secs: f64,
+}
+
+fn main() {
+    let n = n_flows();
+    let k = n_paths();
+    // (matrix, workload, oversub, max load) per Table 1.
+    let mixes = [
+        ("Mix 1", "A", "CacheFollower", 4usize, 0.4246),
+        ("Mix 2", "B", "WebServer", 1, 0.2846),
+        ("Mix 3", "C", "WebServer", 2, 0.7383),
+    ];
+    let cfg = SimConfig::default(); // DCTCP, §5.2 configuration
+    let mut rows = Vec::new();
+    let mut out_rows = Vec::new();
+    for (i, (name, matrix, workload, oversub, load)) in mixes.iter().enumerate() {
+        eprintln!("[table1] {name} ({matrix}/{workload}/{oversub}:1 @ {load})");
+        let sc = build_full_scenario(*oversub, matrix, workload, 1.0, *load, cfg, n, 100 + i as u64);
+        let (gt_out, t_ns3) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
+        let gt = ground_truth_estimate(&gt_out.records);
+        let (pars, t_pars) = timed(|| parsimon_estimate(&sc.ft.topo, &sc.flows, &sc.config));
+        let pars_p99 = {
+            let d = PathDistribution::from_samples(&slowdown_samples(&pars));
+            NetworkEstimate::aggregate(&[d]).p99()
+        };
+        let (np, t_np) = timed(|| ns3_path_estimate(&sc.ft.topo, &sc.flows, &sc.config, k, 7));
+        let row = Row {
+            mix: name.to_string(),
+            ns3_p99: gt.p99(),
+            ns3_secs: t_ns3.as_secs_f64(),
+            parsimon_p99: pars_p99,
+            parsimon_secs: t_pars.as_secs_f64(),
+            ns3path_p99: np.p99(),
+            ns3path_secs: t_np.as_secs_f64(),
+        };
+        out_rows.push(vec![
+            row.mix.clone(),
+            format!("{:.3}", row.ns3_p99),
+            fmt_dur(t_ns3),
+            format!("{:.3}", row.parsimon_p99),
+            fmt_dur(t_pars),
+            format!("{:.3}", row.ns3path_p99),
+            fmt_dur(t_np),
+        ]);
+        rows.push(row);
+    }
+    print_table(
+        &format!("Table 1 ({} flows, {} sampled paths)", n, k),
+        &[
+            "Scenario",
+            "ns-3 p99",
+            "time",
+            "Parsimon p99",
+            "time",
+            "ns-3-path p99",
+            "time",
+        ],
+        &out_rows,
+    );
+    let avg_np_err: f64 = rows
+        .iter()
+        .map(|r| relative_error(r.ns3path_p99, r.ns3_p99).abs())
+        .sum::<f64>()
+        / rows.len() as f64;
+    let avg_pars_err: f64 = rows
+        .iter()
+        .map(|r| relative_error(r.parsimon_p99, r.ns3_p99).abs())
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!("\nns-3-path avg |p99 error|: {:.1}%   Parsimon avg |p99 error|: {:.1}%", avg_np_err * 100.0, avg_pars_err * 100.0);
+    write_result("table1", &rows);
+}

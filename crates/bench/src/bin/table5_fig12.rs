@@ -1,0 +1,142 @@
+//! Table 5 + Fig. 12: the §5.3 large-scale scalability experiment on the
+//! 384-rack / 6144-host fat tree — matrix B, WebServer, sigma = 2, 50% max
+//! load, 2-to-1 core oversubscription, DCTCP — with two initial congestion
+//! windows: 10 kB (below the ~15 kB BDP) and 18 kB (above it).
+//!
+//! Shape to reproduce: with the small window, Parsimon badly overestimates
+//! large-flow slowdown (it sums the transport-limited delay once per link)
+//! while m3 stays close to ground truth; and m3 is the fastest method.
+
+use m3_bench::*;
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_parsimon::{parsimon_estimate, slowdown_samples};
+use m3_workload::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WindowResult {
+    init_window_kb: u64,
+    ns3_p99: f64,
+    ns3_secs: f64,
+    parsimon_p99: f64,
+    parsimon_err: f64,
+    parsimon_secs: f64,
+    m3_p99: f64,
+    m3_err: f64,
+    m3_secs: f64,
+    /// Per-bucket p99: [truth, parsimon, m3] x 4 buckets (Fig. 12).
+    bucket_p99: Vec<(String, f64, f64, f64)>,
+}
+
+fn main() {
+    let estimator = M3Estimator::new(load_or_train_model());
+    let n = n_flows();
+    let k = n_paths();
+    let ft = FatTree::build(FatTreeSpec::large());
+    eprintln!(
+        "[table5] large fat tree: {} hosts, {} links",
+        ft.all_hosts().len(),
+        ft.topo.link_count()
+    );
+    let routing = Routing::new(&ft.topo);
+    let mut results = Vec::new();
+    for window_kb in [10u64, 18] {
+        let config = SimConfig {
+            init_window: window_kb * KB,
+            ..SimConfig::default()
+        };
+        let sc = Scenario {
+            n_flows: n,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 2.0,
+            max_load: 0.5,
+            seed: 55,
+        };
+        let w = generate(&ft, &routing, &sc);
+        eprintln!("[table5] window {window_kb}KB: ground truth...");
+        let (gt_out, t_gt) = timed(|| run_simulation(&ft.topo, config, w.flows.clone()));
+        let gt = ground_truth_estimate(&gt_out.records);
+        eprintln!("[table5] Parsimon...");
+        let (pars, t_pars) = timed(|| parsimon_estimate(&ft.topo, &w.flows, &config));
+        let pars_est = NetworkEstimate::aggregate(&[PathDistribution::from_samples(
+            &slowdown_samples(&pars),
+        )]);
+        eprintln!("[table5] m3...");
+        let (m3_est, t_m3) = timed(|| estimator.estimate(&ft.topo, &w.flows, &config, k, 9));
+
+        let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
+        let bucket_p99: Vec<(String, f64, f64, f64)> = (0..NUM_OUTPUT_BUCKETS)
+            .map(|b| {
+                (
+                    names[b].to_string(),
+                    gt.bucket_p99(b),
+                    pars_est.bucket_p99(b),
+                    m3_est.bucket_p99(b),
+                )
+            })
+            .collect();
+        results.push(WindowResult {
+            init_window_kb: window_kb,
+            ns3_p99: gt.p99(),
+            ns3_secs: t_gt.as_secs_f64(),
+            parsimon_p99: pars_est.p99(),
+            parsimon_err: relative_error(pars_est.p99(), gt.p99()),
+            parsimon_secs: t_pars.as_secs_f64(),
+            m3_p99: m3_est.p99(),
+            m3_err: relative_error(m3_est.p99(), gt.p99()),
+            m3_secs: t_m3.as_secs_f64(),
+            bucket_p99,
+        });
+    }
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            format!("{}KB", r.init_window_kb),
+            "packet sim".into(),
+            format!("{:.2}", r.ns3_p99),
+            "-".into(),
+            format!("{:.1}s", r.ns3_secs),
+            "1x".into(),
+        ]);
+        rows.push(vec![
+            String::new(),
+            "Parsimon".into(),
+            format!("{:.2}", r.parsimon_p99),
+            format!("{:+.1}%", r.parsimon_err * 100.0),
+            format!("{:.1}s", r.parsimon_secs),
+            format!("{:.0}x", r.ns3_secs / r.parsimon_secs),
+        ]);
+        rows.push(vec![
+            String::new(),
+            "m3".into(),
+            format!("{:.2}", r.m3_p99),
+            format!("{:+.1}%", r.m3_err * 100.0),
+            format!("{:.1}s", r.m3_secs),
+            format!("{:.0}x", r.ns3_secs / r.m3_secs),
+        ]);
+    }
+    print_table(
+        &format!("Table 5: large-scale (6144 hosts, {n} flows)"),
+        &["Init window", "Method", "p99 sldn", "err", "time", "speedup"],
+        &rows,
+    );
+    for r in &results {
+        let mut rows = Vec::new();
+        for (name, t, p, m) in &r.bucket_p99 {
+            rows.push(vec![
+                name.clone(),
+                format!("{:.2}", t),
+                format!("{:.2}", p),
+                format!("{:.2}", m),
+            ]);
+        }
+        print_table(
+            &format!("Fig 12: per-bucket p99 (window {}KB)", r.init_window_kb),
+            &["Bucket", "truth", "Parsimon", "m3"],
+            &rows,
+        );
+    }
+    write_result("table5_fig12", &results);
+}

@@ -1,0 +1,122 @@
+//! Train the m3 correction model on synthetic Table 2 parking-lot scenarios
+//! (§5.1) and save the checkpoint used by every other experiment binary.
+//!
+//! The paper trains on 120,000 scenarios of 20,000 foreground flows for 400
+//! epochs on four A100s. The reproduction default is a few hundred
+//! scenarios with 8-400 foreground flows for a few dozen epochs on CPU —
+//! scaled by `M3_TRAIN_SCENARIOS`, `M3_EPOCHS`, `M3_TRAIN_FG`.
+//!
+//! Foreground counts are sampled log-uniformly so the model sees both
+//! dense and sparse paths: full-network decomposition at reproduction scale
+//! yields paths with few foreground flows (the paper's matrix C has the
+//! same property, §5.2).
+
+use m3_bench::{env_usize, fmt_dur, timed, write_result};
+use m3_core::prelude::*;
+use m3_nn::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TrainRun {
+    n_scenarios: usize,
+    epochs: usize,
+    params: usize,
+    dataset_secs: f64,
+    train_secs: f64,
+    final_train_loss: f64,
+    final_val_loss: f64,
+    checkpoint: String,
+}
+
+fn main() {
+    let n_scenarios = env_usize("M3_TRAIN_SCENARIOS", 600);
+    let epochs = env_usize("M3_EPOCHS", 40);
+    let max_fg = env_usize("M3_TRAIN_FG", 400);
+    let seed = env_usize("M3_SEED", 1) as u64;
+
+    let cfg = TrainConfig {
+        n_scenarios,
+        epochs,
+        seed,
+        ..TrainConfig::default()
+    };
+
+    eprintln!("[train] generating {n_scenarios} scenarios (ground truth via packet sim)...");
+    let points = training_points(n_scenarios, seed);
+    let mut rng = SmallRng::seed_from_u64(stage_seed(seed, "fgcounts"));
+    let (dataset, gen_time) = timed(|| {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Log-uniform foreground count in [8, max_fg]; background
+                // 2-6x foreground.
+                let lo = (8f64).ln();
+                let hi = (max_fg as f64).ln();
+                let fg = (lo + rng.gen::<f64>() * (hi - lo)).exp() as usize;
+                let bg = fg * rng.gen_range(2..=6);
+                if i % 50 == 0 {
+                    eprintln!("[train]   scenario {i}/{n_scenarios}");
+                }
+                make_example(p, fg.max(4), bg, true)
+            })
+            .collect::<Vec<_>>()
+    });
+    eprintln!("[train] dataset ready in {} ({} examples)", fmt_dur(gen_time), dataset.len());
+
+    let ((net, report), train_time) = timed(|| train(&cfg, &dataset));
+    eprintln!(
+        "[train] trained {} params in {}: loss {:.4} -> {:.4} (val {:.4})",
+        net.num_params(),
+        fmt_dur(train_time),
+        report.train_loss.first().unwrap(),
+        report.train_loss.last().unwrap(),
+        report.val_loss.last().unwrap()
+    );
+
+    let path = m3_bench::model_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create assets dir");
+    }
+    m3_nn::checkpoint::save_file(&net, seed, &path).expect("save checkpoint");
+    eprintln!("[train] saved {}", path.display());
+
+    // Second model for the Fig. 16 ablation: identical dataset and
+    // hyper-parameters, but background context zeroed during training.
+    let noctx_dataset: Vec<TrainExample> = dataset
+        .iter()
+        .map(|ex| {
+            let mut ex = ex.clone();
+            ex.input.use_context = false;
+            ex
+        })
+        .collect();
+    let ((noctx_net, noctx_report), noctx_time) = timed(|| train(&cfg, &noctx_dataset));
+    eprintln!(
+        "[train] no-context ablation trained in {}: val {:.4}",
+        fmt_dur(noctx_time),
+        noctx_report.val_loss.last().unwrap()
+    );
+    let noctx_path = path.with_file_name("m3-model-noctx.ckpt");
+    m3_nn::checkpoint::save_file(&noctx_net, seed, &noctx_path).expect("save noctx checkpoint");
+    eprintln!("[train] saved {}", noctx_path.display());
+
+    write_result(
+        "train",
+        &TrainRun {
+            n_scenarios,
+            epochs,
+            params: net.num_params(),
+            dataset_secs: gen_time.as_secs_f64(),
+            train_secs: train_time.as_secs_f64(),
+            final_train_loss: *report.train_loss.last().unwrap(),
+            final_val_loss: *report.val_loss.last().unwrap(),
+            checkpoint: path.display().to_string(),
+        },
+    );
+    for (e, (t, v)) in report.train_loss.iter().zip(&report.val_loss).enumerate() {
+        println!("epoch {e:3}  train_l1 {t:.4}  val_l1 {v:.4}");
+    }
+}

@@ -1,0 +1,326 @@
+//! # m3-bench
+//!
+//! Shared utilities for the experiment binaries that regenerate every table
+//! and figure of the paper, plus the criterion micro-benchmarks.
+//!
+//! Scale knobs are environment variables so a laptop run finishes in
+//! minutes and a beefier machine can approach paper scale:
+//!
+//! | Variable        | Meaning                                   | Default |
+//! |-----------------|-------------------------------------------|---------|
+//! | `M3_FLOWS`      | flows per full-network scenario           | 100000  |
+//! | `M3_PATHS`      | sampled paths per estimate (paper: 500)   | 100     |
+//! | `M3_SCENARIOS`  | scenarios per sweep (paper: 192)          | 24      |
+//! | `M3_MODEL`      | checkpoint path                           | assets/m3-model.ckpt |
+//!
+//! Every binary prints the paper-style rows to stdout and appends a JSON
+//! record under `results/`.
+
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Read an integer scale knob.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Flows per full-network scenario.
+pub fn n_flows() -> usize {
+    env_usize("M3_FLOWS", 100_000)
+}
+
+/// Sampled paths per estimate.
+pub fn n_paths() -> usize {
+    env_usize("M3_PATHS", 100)
+}
+
+/// Scenarios per sweep.
+pub fn n_scenarios() -> usize {
+    env_usize("M3_SCENARIOS", 24)
+}
+
+/// Checkpoint path.
+pub fn model_path() -> PathBuf {
+    std::env::var("M3_MODEL")
+        .unwrap_or_else(|_| "assets/m3-model.ckpt".to_string())
+        .into()
+}
+
+/// Time a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed())
+}
+
+/// Load the trained model, or train a small fallback on the spot (slower
+/// first run; the `train` binary produces the real checkpoint).
+pub fn load_or_train_model() -> M3Net {
+    let path = model_path();
+    if path.exists() {
+        match m3_nn::checkpoint::load_file(&path) {
+            Ok(net) => {
+                eprintln!(
+                    "[m3-bench] loaded model {} ({} params)",
+                    path.display(),
+                    net.num_params()
+                );
+                return net;
+            }
+            Err(e) => eprintln!(
+                "[m3-bench] checkpoint {} unusable ({e}); retraining",
+                path.display()
+            ),
+        }
+    }
+    eprintln!(
+        "[m3-bench] no checkpoint at {}; training a quick fallback model",
+        path.display()
+    );
+    let cfg = TrainConfig {
+        n_scenarios: 48,
+        epochs: 12,
+        ..TrainConfig::default()
+    };
+    let dataset = build_dataset(&cfg);
+    let (net, _) = train(&cfg, &dataset);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = m3_nn::checkpoint::save_file(&net, cfg.seed, &path) {
+        eprintln!("[m3-bench] could not save fallback checkpoint: {e}");
+    }
+    net
+}
+
+/// Simple fixed-width table printer for paper-style rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Append a JSON experiment record under results/.
+pub fn write_result<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("[m3-bench] could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[m3-bench] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[m3-bench] serialize {name}: {e}"),
+    }
+}
+
+/// Human-readable duration.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 60 {
+        format!("{}m{:02}s", d.as_secs() / 60, d.as_secs() % 60)
+    } else if d.as_secs() >= 1 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+/// A materialized full-network scenario.
+pub struct FullScenario {
+    pub ft: FatTree,
+    pub flows: Vec<FlowSpec>,
+    pub config: SimConfig,
+    pub label: String,
+}
+
+/// Materialize a full-network scenario from Table 3-style parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn build_full_scenario(
+    oversub: usize,
+    matrix: &str,
+    workload: &str,
+    sigma: f64,
+    max_load: f64,
+    config: SimConfig,
+    n: usize,
+    seed: u64,
+) -> FullScenario {
+    use m3_workload::prelude::*;
+    let ft = FatTree::build(FatTreeSpec::small(oversub));
+    let routing = Routing::new(&ft.topo);
+    let sc = Scenario {
+        n_flows: n,
+        matrix_name: matrix.to_string(),
+        sizes: SizeDistribution::by_name(workload).expect("workload name"),
+        sigma,
+        max_load,
+        seed,
+    };
+    let w = generate(&ft, &routing, &sc);
+    FullScenario {
+        ft,
+        flows: w.flows,
+        config,
+        label: format!("{matrix}/{workload}/{oversub}:1/s{sigma}/l{max_load:.2}"),
+    }
+}
+
+/// p99 relative error vs ground truth, the paper's headline metric (Eq. 4).
+pub fn p99_error(estimate: &NetworkEstimate, truth: &NetworkEstimate) -> f64 {
+    relative_error(estimate.p99(), truth.p99())
+}
+
+/// One scenario's results in the m3-vs-Parsimon sweep (Figs. 10-11).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SweepRecord {
+    pub label: String,
+    pub matrix: String,
+    pub workload: String,
+    pub oversub: usize,
+    pub sigma: f64,
+    pub max_load: f64,
+    pub gt_p99: f64,
+    pub gt_secs: f64,
+    pub m3_p99: f64,
+    pub m3_secs: f64,
+    pub parsimon_p99: f64,
+    pub parsimon_secs: f64,
+}
+
+impl SweepRecord {
+    pub fn m3_err(&self) -> f64 {
+        relative_error(self.m3_p99, self.gt_p99)
+    }
+    pub fn parsimon_err(&self) -> f64 {
+        relative_error(self.parsimon_p99, self.gt_p99)
+    }
+}
+
+/// Run (or reuse from cache) the §5.2 DCTCP sensitivity sweep: N random
+/// Table 3 scenarios, each estimated by ground truth, m3, and Parsimon.
+/// Results are cached under results/sweep_cache.json keyed by scale.
+pub fn dctcp_sweep(estimator: &M3Estimator, n_scen: usize, flows: usize, paths: usize, seed: u64) -> Vec<SweepRecord> {
+    use m3_parsimon::parsimon_estimate;
+    use m3_workload::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct Cache {
+        n_scen: usize,
+        flows: usize,
+        paths: usize,
+        seed: u64,
+        records: Vec<SweepRecord>,
+    }
+    let cache_path = Path::new("results/sweep_cache.json");
+    if let Ok(bytes) = std::fs::read(cache_path) {
+        if let Ok(c) = serde_json::from_slice::<Cache>(&bytes) {
+            if (c.n_scen, c.flows, c.paths, c.seed) == (n_scen, flows, paths, seed) {
+                eprintln!("[m3-bench] reusing cached sweep ({} scenarios)", c.records.len());
+                return c.records;
+            }
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut records = Vec::with_capacity(n_scen);
+    for i in 0..n_scen {
+        let p = sample_test_point(&mut rng, Some(CcProtocol::Dctcp));
+        let sc = build_full_scenario(
+            p.oversub,
+            &p.matrix_name,
+            &p.workload_name,
+            p.sigma,
+            p.max_load,
+            p.config,
+            flows,
+            p.seed,
+        );
+        let (gt_out, gt_time) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
+        let gt = ground_truth_estimate(&gt_out.records);
+        let (m3_est, m3_time) = timed(|| {
+            estimator.estimate(&sc.ft.topo, &sc.flows, &sc.config, paths, seed ^ i as u64)
+        });
+        let (pars, pars_time) = timed(|| parsimon_estimate(&sc.ft.topo, &sc.flows, &sc.config));
+        let pars_est = {
+            let samples = m3_parsimon::slowdown_samples(&pars);
+            let dist = PathDistribution::from_samples(&samples);
+            let mut est = NetworkEstimate::aggregate(&[dist]);
+            // Parsimon sees every flow; counts are exact.
+            let mut counts = [0usize; NUM_OUTPUT_BUCKETS];
+            for (size, _) in &samples {
+                counts[output_bucket(*size)] += 1;
+            }
+            est.bucket_counts = counts;
+            est
+        };
+        let rec = SweepRecord {
+            label: sc.label.clone(),
+            matrix: p.matrix_name.clone(),
+            workload: p.workload_name.clone(),
+            oversub: p.oversub,
+            sigma: p.sigma,
+            max_load: p.max_load,
+            gt_p99: gt.p99(),
+            gt_secs: gt_time.as_secs_f64(),
+            m3_p99: m3_est.p99(),
+            m3_secs: m3_time.as_secs_f64(),
+            parsimon_p99: pars_est.p99(),
+            parsimon_secs: pars_time.as_secs_f64(),
+        };
+        eprintln!(
+            "[sweep {i:3}/{n_scen}] {} gt={:.2} m3={:.2} ({:+.1}%) pars={:.2} ({:+.1}%)",
+            rec.label,
+            rec.gt_p99,
+            rec.m3_p99,
+            rec.m3_err() * 100.0,
+            rec.parsimon_p99,
+            rec.parsimon_err() * 100.0
+        );
+        records.push(rec);
+    }
+    let _ = std::fs::create_dir_all("results");
+    let cache = Cache {
+        n_scen,
+        flows,
+        paths,
+        seed,
+        records: records.clone(),
+    };
+    if let Ok(s) = serde_json::to_string(&cache) {
+        let _ = std::fs::write(cache_path, s);
+    }
+    records
+}

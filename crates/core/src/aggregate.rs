@@ -1,0 +1,224 @@
+//! Network-wide aggregation (§3.5, Fig. 8).
+//!
+//! Each of the k sampled paths yields a per-size-bucket slowdown
+//! distribution (100 percentiles). Because paths were sampled proportional
+//! to foreground flow count, per-bucket pooling is *uniform* across paths;
+//! the per-bucket distributions are then combined into one network-wide
+//! distribution with weights proportional to bucket flow counts.
+
+use crate::features::{output_bucket, OUTPUT_BUCKETS};
+use m3_netsim::stats::{percentile, NUM_PERCENTILES};
+use serde::{Deserialize, Serialize};
+
+pub const NUM_OUTPUT_BUCKETS: usize = OUTPUT_BUCKETS.len();
+
+/// One path's predicted (or measured) slowdown distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathDistribution {
+    /// `NUM_OUTPUT_BUCKETS x NUM_PERCENTILES` slowdown values; empty buckets
+    /// hold an empty vector.
+    pub buckets: Vec<Vec<f64>>,
+    /// Foreground flows per bucket on this path.
+    pub counts: [usize; NUM_OUTPUT_BUCKETS],
+}
+
+impl PathDistribution {
+    /// From raw (size, slowdown) samples (used for ground-truth paths and
+    /// the flowSim baseline).
+    pub fn from_samples(samples: &[(u64, f64)]) -> Self {
+        let mut per: Vec<Vec<f64>> = vec![Vec::new(); NUM_OUTPUT_BUCKETS];
+        let mut counts = [0usize; NUM_OUTPUT_BUCKETS];
+        for &(size, sldn) in samples {
+            let b = output_bucket(size);
+            per[b].push(sldn);
+            counts[b] += 1;
+        }
+        let buckets = per
+            .into_iter()
+            .map(|mut v| {
+                if v.is_empty() {
+                    return Vec::new();
+                }
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                (1..=NUM_PERCENTILES)
+                    .map(|p| percentile(&v, p as f64))
+                    .collect()
+            })
+            .collect();
+        PathDistribution { buckets, counts }
+    }
+
+    /// From a model output vector (4x100 flattened) plus bucket counts.
+    /// Values are clamped to >= 1 and made monotone across percentiles
+    /// (a distribution's quantile function must be non-decreasing).
+    pub fn from_model_output(out: &[f32], counts: [usize; NUM_OUTPUT_BUCKETS]) -> Self {
+        assert_eq!(out.len(), NUM_OUTPUT_BUCKETS * NUM_PERCENTILES);
+        let buckets = (0..NUM_OUTPUT_BUCKETS)
+            .map(|b| {
+                if counts[b] == 0 {
+                    return Vec::new();
+                }
+                let mut row: Vec<f64> = out[b * NUM_PERCENTILES..(b + 1) * NUM_PERCENTILES]
+                    .iter()
+                    .map(|&v| (v as f64).max(1.0))
+                    .collect();
+                for i in 1..row.len() {
+                    row[i] = row[i].max(row[i - 1]);
+                }
+                row
+            })
+            .collect();
+        PathDistribution { buckets, counts }
+    }
+}
+
+/// The aggregated network-wide estimate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkEstimate {
+    /// Pooled slowdown samples per bucket (sorted).
+    pub bucket_samples: Vec<Vec<f64>>,
+    /// Total foreground flows per bucket across sampled paths.
+    pub bucket_counts: [usize; NUM_OUTPUT_BUCKETS],
+}
+
+impl NetworkEstimate {
+    /// Uniformly pool the per-bucket percentile vectors of all paths.
+    pub fn aggregate(paths: &[PathDistribution]) -> Self {
+        assert!(!paths.is_empty(), "need at least one path distribution");
+        let mut bucket_samples: Vec<Vec<f64>> = vec![Vec::new(); NUM_OUTPUT_BUCKETS];
+        let mut bucket_counts = [0usize; NUM_OUTPUT_BUCKETS];
+        for p in paths {
+            for b in 0..NUM_OUTPUT_BUCKETS {
+                bucket_samples[b].extend_from_slice(&p.buckets[b]);
+                bucket_counts[b] += p.counts[b];
+            }
+        }
+        for v in bucket_samples.iter_mut() {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        }
+        NetworkEstimate {
+            bucket_samples,
+            bucket_counts,
+        }
+    }
+
+    /// Quantile of one size bucket (NaN if the bucket is empty).
+    pub fn bucket_quantile(&self, bucket: usize, p: f64) -> f64 {
+        percentile(&self.bucket_samples[bucket], p)
+    }
+
+    /// p99 slowdown of one size bucket.
+    pub fn bucket_p99(&self, bucket: usize) -> f64 {
+        self.bucket_quantile(bucket, 99.0)
+    }
+
+    /// Network-wide quantile: buckets combined with probability proportional
+    /// to flow count (Fig. 8's probabilistic sampling, done analytically via
+    /// a weighted merge).
+    pub fn overall_quantile(&self, p: f64) -> f64 {
+        let total: usize = self.bucket_counts.iter().sum();
+        assert!(total > 0, "no flows to aggregate");
+        // Weighted merge: each sample in bucket b carries weight
+        // count_b / len_b.
+        let mut weighted: Vec<(f64, f64)> = Vec::new();
+        for b in 0..NUM_OUTPUT_BUCKETS {
+            let n = self.bucket_samples[b].len();
+            if n == 0 {
+                continue;
+            }
+            let w = self.bucket_counts[b] as f64 / n as f64;
+            weighted.extend(self.bucket_samples[b].iter().map(|&v| (v, w)));
+        }
+        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total_w: f64 = weighted.iter().map(|(_, w)| w).sum();
+        let target = p.clamp(0.0, 100.0) / 100.0 * total_w;
+        let mut acc = 0.0;
+        for (v, w) in &weighted {
+            acc += w;
+            if acc >= target {
+                return *v;
+            }
+        }
+        weighted.last().map(|(v, _)| *v).unwrap_or(f64::NAN)
+    }
+
+    /// The paper's headline metric: network-wide p99 slowdown.
+    pub fn p99(&self) -> f64 {
+        self.overall_quantile(99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(vals: &[(u64, f64)]) -> PathDistribution {
+        PathDistribution::from_samples(vals)
+    }
+
+    #[test]
+    fn from_samples_bucketing() {
+        let d = dist(&[(500, 2.0), (500, 4.0), (5_000, 3.0), (100_000, 8.0)]);
+        assert_eq!(d.counts, [2, 1, 0, 1]);
+        assert!(d.buckets[2].is_empty());
+        assert_eq!(d.buckets[1].len(), NUM_PERCENTILES);
+    }
+
+    #[test]
+    fn model_output_clamped_and_monotone() {
+        let mut out = vec![0.5f32; 400];
+        out[100] = 3.0; // bucket 1 starts high then drops
+        out[101] = 2.0;
+        let d = PathDistribution::from_model_output(&out, [1, 1, 1, 1]);
+        for b in 0..4 {
+            let row = &d.buckets[b];
+            assert!(row.iter().all(|&v| v >= 1.0));
+            for w in row.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+        assert!((d.buckets[1][1] - 3.0).abs() < 1e-9, "monotone enforcement");
+    }
+
+    #[test]
+    fn empty_bucket_in_model_output() {
+        let out = vec![2.0f32; 400];
+        let d = PathDistribution::from_model_output(&out, [5, 0, 0, 0]);
+        assert!(d.buckets[1].is_empty());
+    }
+
+    #[test]
+    fn aggregate_pools_uniformly() {
+        let d1 = dist(&[(500, 2.0)]);
+        let d2 = dist(&[(500, 6.0)]);
+        let agg = NetworkEstimate::aggregate(&[d1, d2]);
+        // Pooled: 100 samples at 2.0 and 100 at 6.0 -> median 4-ish, p99 = 6.
+        assert!((agg.bucket_p99(0) - 6.0).abs() < 1e-9);
+        let med = agg.bucket_quantile(0, 50.0);
+        assert!((2.0..=6.0).contains(&med));
+        assert_eq!(agg.bucket_counts[0], 2);
+    }
+
+    #[test]
+    fn overall_quantile_weights_by_count() {
+        // Bucket 0: 99 flows at slowdown 1; bucket 3: 1 flow at slowdown 10.
+        let mut d1 = dist(&[(500, 1.0)]);
+        d1.counts = [99, 0, 0, 0];
+        let mut d2 = dist(&[(100_000, 10.0)]);
+        d2.counts = [0, 0, 0, 1];
+        let agg = NetworkEstimate::aggregate(&[d1, d2]);
+        // p50 dominated by bucket 0; p99.5 reaches bucket 3's value.
+        assert!((agg.overall_quantile(50.0) - 1.0).abs() < 1e-9);
+        assert!((agg.overall_quantile(99.9) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_matches_direct_computation_single_bucket() {
+        let samples: Vec<(u64, f64)> = (0..1000).map(|i| (500u64, 1.0 + i as f64 * 0.01)).collect();
+        let d = dist(&samples);
+        let agg = NetworkEstimate::aggregate(&[d]);
+        let mut sl: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let direct = m3_netsim::stats::percentile_unsorted(&mut sl, 99.0);
+        assert!((agg.p99() - direct).abs() / direct < 0.02);
+    }
+}

@@ -1,0 +1,294 @@
+//! Path-level decomposition (§3.2, Eqs. 1-2) and weighted path sampling.
+//!
+//! A *path* is the full directed link sequence of some flow's route (host to
+//! host). The foreground of a path is every flow with that exact route; the
+//! background is every flow sharing at least one *directed* channel with it
+//! (full-duplex links mean opposite-direction traffic does not contend).
+//!
+//! Decomposition is lazy: the index groups flows by route and inverts the
+//! port -> flows mapping cheaply; background sets are only materialized for
+//! the k sampled paths.
+
+use m3_netsim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Directed channel index: `link * 2 + (forward ? 0 : 1)`.
+#[inline]
+fn port_of(topo: &Topology, link: LinkId, from: NodeId) -> usize {
+    let l = topo.link(link);
+    link.index() * 2 + if l.a == from { 0 } else { 1 }
+}
+
+/// The directed port sequence of a flow's path.
+pub fn flow_ports(topo: &Topology, flow: &FlowSpec) -> Vec<usize> {
+    let mut ports = Vec::with_capacity(flow.path.len());
+    let mut cur = flow.src;
+    for &l in &flow.path {
+        ports.push(port_of(topo, l, cur));
+        cur = topo.link(l).other(cur);
+    }
+    debug_assert_eq!(cur, flow.dst);
+    ports
+}
+
+/// One populated path: its route and foreground flow indices.
+#[derive(Debug, Clone)]
+pub struct PathGroup {
+    /// Indices into the global flow slice.
+    pub foreground: Vec<u32>,
+    /// Representative flow index (defines src/dst/route).
+    pub rep: u32,
+}
+
+/// The decomposition index over a workload.
+pub struct PathIndex {
+    /// Populated paths, keyed by route.
+    pub groups: Vec<PathGroup>,
+    /// Directed port -> flow indices crossing it.
+    port_to_flows: Vec<Vec<u32>>,
+    /// Cached directed port sequence per flow.
+    flow_ports: Vec<Vec<usize>>,
+}
+
+impl PathIndex {
+    pub fn build(topo: &Topology, flows: &[FlowSpec]) -> Self {
+        assert!(flows.len() < u32::MAX as usize);
+        let mut by_route: HashMap<&[LinkId], Vec<u32>> = HashMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            by_route.entry(&f.path).or_default().push(i as u32);
+        }
+        // Routes with identical link sets but different endpoints/direction
+        // are distinguished by the port sequence below; the route key plus
+        // src suffices in practice. Distinguish by (path, src) to be safe.
+        let mut by_route_src: HashMap<(&[LinkId], NodeId), Vec<u32>> = HashMap::new();
+        for (i, f) in flows.iter().enumerate() {
+            by_route_src
+                .entry((&f.path, f.src))
+                .or_default()
+                .push(i as u32);
+        }
+        let mut groups: Vec<PathGroup> = by_route_src
+            .into_values()
+            .map(|foreground| PathGroup {
+                rep: foreground[0],
+                foreground,
+            })
+            .collect();
+        // Deterministic ordering regardless of hash iteration.
+        groups.sort_by_key(|g| g.rep);
+
+        let mut port_to_flows: Vec<Vec<u32>> = vec![Vec::new(); topo.link_count() * 2];
+        let mut flow_ports_cache = Vec::with_capacity(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            let ports = flow_ports(topo, f);
+            for &p in &ports {
+                port_to_flows[p].push(i as u32);
+            }
+            flow_ports_cache.push(ports);
+        }
+        PathIndex {
+            groups,
+            port_to_flows,
+            flow_ports: flow_ports_cache,
+        }
+    }
+
+    pub fn num_paths(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Weighted sampling of `k` paths with replacement, probability
+    /// proportional to foreground flow count (§3.2). Returns group indices.
+    pub fn sample_paths(&self, k: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x736d706c);
+        let cumulative: Vec<u64> = self
+            .groups
+            .iter()
+            .scan(0u64, |acc, g| {
+                *acc += g.foreground.len() as u64;
+                Some(*acc)
+            })
+            .collect();
+        let total = *cumulative.last().expect("no populated paths");
+        (0..k)
+            .map(|_| {
+                let u = rng.gen_range(0..total);
+                cumulative.partition_point(|&c| c <= u)
+            })
+            .collect()
+    }
+
+    /// Materialize the background of one path group: flows sharing at least
+    /// one directed port, with their (first, last) shared hop indices on the
+    /// path. Contiguity of the shared segment is the parking-lot abstraction
+    /// of §3.2; non-contiguous intersections (rare under shortest-path ECMP)
+    /// are widened to their span.
+    pub fn background_of(&self, group_idx: usize, flows: &[FlowSpec]) -> Vec<(u32, usize, usize)> {
+        let group = &self.groups[group_idx];
+        let path_ports = &self.flow_ports[group.rep as usize];
+        // position of each path port for segment computation
+        let port_pos: HashMap<usize, usize> = path_ports
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let mut seen: HashMap<u32, (usize, usize)> = HashMap::new();
+        for (&port, &pos) in &port_pos {
+            for &fi in &self.port_to_flows[port] {
+                seen.entry(fi)
+                    .and_modify(|(a, b)| {
+                        *a = (*a).min(pos);
+                        *b = (*b).max(pos);
+                    })
+                    .or_insert((pos, pos));
+            }
+        }
+        let rep = &flows[group.rep as usize];
+        let mut bg: Vec<(u32, usize, usize)> = seen
+            .into_iter()
+            .filter(|(fi, _)| {
+                // Exclude foreground: identical route and direction (Eq. 2).
+                let f = &flows[*fi as usize];
+                !(f.path == rep.path && f.src == rep.src)
+            })
+            .map(|(fi, (a, b))| (fi, a, b))
+            .collect();
+        bg.sort_unstable();
+        bg
+    }
+
+    /// Foreground flow indices of a group.
+    pub fn foreground_of(&self, group_idx: usize) -> &[u32] {
+        &self.groups[group_idx].foreground
+    }
+
+    /// The representative flow defining the path of a group.
+    pub fn rep_flow<'f>(&self, group_idx: usize, flows: &'f [FlowSpec]) -> &'f FlowSpec {
+        &flows[self.groups[group_idx].rep as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_workload::prelude::*;
+
+    fn workload() -> (FatTree, Vec<FlowSpec>) {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let sc = Scenario {
+            n_flows: 3_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.4,
+            seed: 5,
+        };
+        let w = generate(&ft, &routing, &sc);
+        (ft, w.flows)
+    }
+
+    #[test]
+    fn groups_partition_flows() {
+        let (ft, flows) = workload();
+        let idx = PathIndex::build(&ft.topo, &flows);
+        let total: usize = idx.groups.iter().map(|g| g.foreground.len()).sum();
+        assert_eq!(total, flows.len(), "every flow in exactly one group");
+        for g in &idx.groups {
+            let rep = &flows[g.rep as usize];
+            for &fi in &g.foreground {
+                let f = &flows[fi as usize];
+                assert_eq!(f.path, rep.path);
+                assert_eq!(f.src, rep.src);
+            }
+        }
+    }
+
+    #[test]
+    fn background_shares_a_directed_port() {
+        let (ft, flows) = workload();
+        let idx = PathIndex::build(&ft.topo, &flows);
+        let g = idx
+            .groups
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, g)| g.foreground.len())
+            .unwrap()
+            .0;
+        let bg = idx.background_of(g, &flows);
+        assert!(!bg.is_empty(), "popular path should have background");
+        let rep_ports = flow_ports(&ft.topo, idx.rep_flow(g, &flows));
+        for (fi, a, b) in &bg {
+            assert!(a <= b && *b < rep_ports.len());
+            let f = &flows[*fi as usize];
+            let fp = flow_ports(&ft.topo, f);
+            assert!(
+                fp.iter().any(|p| rep_ports.contains(p)),
+                "background flow must share a directed port"
+            );
+            // Background is not foreground.
+            assert!(!(f.path == idx.rep_flow(g, &flows).path
+                && f.src == idx.rep_flow(g, &flows).src));
+        }
+    }
+
+    #[test]
+    fn opposite_direction_is_not_background() {
+        // Two hosts, two flows in opposite directions on the same links.
+        let mut topo = Topology::new();
+        let a = topo.add_host();
+        let s = topo.add_switch();
+        let b = topo.add_host();
+        let l1 = topo.add_link(a, s, 10 * GBPS, USEC);
+        let l2 = topo.add_link(s, b, 10 * GBPS, USEC);
+        let flows = vec![
+            FlowSpec { id: 0, src: a, dst: b, size: 1000, arrival: 0, path: vec![l1, l2] },
+            FlowSpec { id: 1, src: b, dst: a, size: 1000, arrival: 0, path: vec![l2, l1] },
+        ];
+        let idx = PathIndex::build(&topo, &flows);
+        assert_eq!(idx.num_paths(), 2);
+        for g in 0..2 {
+            assert!(
+                idx.background_of(g, &flows).is_empty(),
+                "reverse traffic shares no directed channel"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_popular_paths() {
+        let (ft, flows) = workload();
+        let idx = PathIndex::build(&ft.topo, &flows);
+        let samples = idx.sample_paths(2000, 1);
+        // The most popular group should be sampled more often than a
+        // singleton group.
+        let popular = idx
+            .groups
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, g)| g.foreground.len())
+            .unwrap();
+        let singleton = idx
+            .groups
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.foreground.len() == 1)
+            .map(|(i, _)| i);
+        let count_pop = samples.iter().filter(|&&s| s == popular.0).count();
+        if let Some(single) = singleton {
+            let count_single = samples.iter().filter(|&&s| s == single).count();
+            assert!(count_pop >= count_single);
+        }
+        assert!(count_pop >= 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let (ft, flows) = workload();
+        let idx = PathIndex::build(&ft.topo, &flows);
+        assert_eq!(idx.sample_paths(50, 7), idx.sample_paths(50, 7));
+        assert_ne!(idx.sample_paths(50, 7), idx.sample_paths(50, 8));
+    }
+}

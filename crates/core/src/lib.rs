@@ -1,0 +1,72 @@
+//! # m3-core
+//!
+//! The m3 system (SIGCOMM 2024): fast, accurate flow-level performance
+//! estimation for data center networks.
+//!
+//! Pipeline (Fig. 4): given a workload and topology, m3
+//! 1. decomposes the network into *paths* and weight-samples k of them
+//!    ([`decompose`]),
+//! 2. runs the max-min fluid simulator flowSim per path and summarizes the
+//!    slowdowns into 10x100 percentile feature maps ([`pathsim`],
+//!    [`features`]),
+//! 3. corrects the foreground estimate with a transformer+MLP conditioned
+//!    on per-hop background context and the network configuration
+//!    ([`spec`], [`pipeline::M3Estimator`]), and
+//! 4. aggregates the k path distributions into network-wide slowdown
+//!    statistics ([`aggregate`]).
+//!
+//! Training on synthetic parking-lot scenarios lives in [`trainer`].
+//!
+//! ```no_run
+//! use m3_core::prelude::*;
+//! use m3_netsim::prelude::*;
+//! use m3_workload::prelude::*;
+//!
+//! // Train a small model on synthetic path scenarios (Table 2)...
+//! let cfg = TrainConfig::default();
+//! let dataset = build_dataset(&cfg);
+//! let (net, _report) = train(&cfg, &dataset);
+//!
+//! // ...then estimate a full-network workload.
+//! let ft = FatTree::build(FatTreeSpec::small(2));
+//! let routing = Routing::new(&ft.topo);
+//! let w = generate(&ft, &routing, &Scenario {
+//!     n_flows: 10_000, matrix_name: "B".into(),
+//!     sizes: SizeDistribution::web_server(),
+//!     sigma: 1.0, max_load: 0.5, seed: 1,
+//! });
+//! let est = M3Estimator::new(net);
+//! let result = est.estimate(&ft.topo, &w.flows, &SimConfig::default(), 100, 7);
+//! println!("network-wide p99 slowdown: {:.2}", result.p99());
+//! ```
+
+pub mod aggregate;
+pub mod decompose;
+pub mod features;
+pub mod optimizer;
+pub mod pathsim;
+pub mod pipeline;
+pub mod spec;
+pub mod trainer;
+
+pub mod prelude {
+    pub use crate::aggregate::{NetworkEstimate, PathDistribution, NUM_OUTPUT_BUCKETS};
+    pub use crate::decompose::{flow_ports, PathGroup, PathIndex};
+    pub use crate::features::{
+        feature_bucket, output_bucket, FeatureMap, FEAT_DIM, OUTPUT_BUCKETS, OUT_DIM, SIZE_BUCKETS,
+    };
+    pub use crate::pathsim::{FlowsimResult, PathFlow, PathScenarioData};
+    pub use crate::pipeline::{
+        flowsim_estimate, global_flowsim_estimate, ground_truth_estimate, ns3_path_estimate,
+        M3Estimator,
+    };
+    pub use crate::optimizer::{
+        bucket_p99_objective, golden_section_search, sweep_knob, Knob, PreparedWorkload,
+        SweepPoint, SweepResult,
+    };
+    pub use crate::spec::{path_base_rtt, spec_vector, SPEC_DIM};
+    pub use crate::trainer::{
+        build_dataset, evaluate, make_example, scenario_features, stage_seed, train,
+        training_point_with_hops, training_points, TrainConfig, TrainExample, TrainReport,
+    };
+}

@@ -1,0 +1,371 @@
+//! Counterfactual configuration search (§5.4 operationalized): prepare the
+//! workload's flowSim features once, then explore network configurations by
+//! re-running only the spec vector + model inference per candidate — the
+//! "live configuration exploration" the paper envisions.
+
+use crate::aggregate::{NetworkEstimate, PathDistribution, NUM_OUTPUT_BUCKETS};
+use crate::decompose::PathIndex;
+use crate::features::output_bucket;
+use crate::pathsim::PathScenarioData;
+use crate::pipeline::M3Estimator;
+use crate::spec::spec_vector;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::SampleInput;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One sampled path's precomputed, configuration-independent model inputs.
+#[derive(Debug, Clone)]
+struct PreparedPath {
+    fg_enc: Vec<f32>,
+    bg_enc: Vec<Vec<f32>>,
+    base_rtt: Nanos,
+    bottleneck: Bps,
+    counts: [usize; NUM_OUTPUT_BUCKETS],
+}
+
+/// A workload prepared for repeated configuration queries. flowSim features
+/// depend on the workload and topology only (the fluid model has no CC or
+/// buffer knobs), so they are computed once; MTU and ACK size must stay
+/// fixed across the sweep (they enter the ideal-FCT normalization).
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    paths: Vec<PreparedPath>,
+    pub k_paths: usize,
+}
+
+impl PreparedWorkload {
+    /// Decompose, sample, and featurize once.
+    pub fn prepare(
+        topo: &Topology,
+        flows: &[FlowSpec],
+        base_config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+    ) -> Self {
+        let index = PathIndex::build(topo, flows);
+        let sampled = index.sample_paths(k_paths, seed);
+        let paths: Vec<PreparedPath> = sampled
+            .par_iter()
+            .map(|&g| {
+                let data = PathScenarioData::from_group(topo, flows, &index, g, base_config);
+                let sim = data.run_flowsim();
+                let (fg_map, bg_maps) = data.features(&sim);
+                let mut counts = [0usize; NUM_OUTPUT_BUCKETS];
+                for f in &data.fg {
+                    counts[output_bucket(f.size)] += 1;
+                }
+                PreparedPath {
+                    fg_enc: fg_map.encode_log(),
+                    bg_enc: bg_maps.iter().map(|m| m.encode_log()).collect(),
+                    base_rtt: data.fg_base_rtt,
+                    bottleneck: data.fg_bottleneck,
+                    counts,
+                }
+            })
+            .collect();
+        PreparedWorkload { paths, k_paths }
+    }
+
+    /// Estimate under a candidate configuration: inference only.
+    pub fn estimate(&self, estimator: &M3Estimator, config: &SimConfig) -> NetworkEstimate {
+        let dists: Vec<PathDistribution> = self
+            .paths
+            .par_iter()
+            .map(|p| {
+                let spec = spec_vector(config, p.base_rtt, p.bottleneck);
+                let sample = SampleInput {
+                    fg: p.fg_enc.clone(),
+                    bg: p.bg_enc.clone(),
+                    spec,
+                    use_context: estimator.use_context,
+                };
+                let out = crate::features::decode_log(&estimator.net.predict(&sample));
+                PathDistribution::from_model_output(&out, p.counts)
+            })
+            .collect();
+        NetworkEstimate::aggregate(&dists)
+    }
+}
+
+/// A tunable scalar knob of [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Knob {
+    InitWindow,
+    BufferSize,
+    DctcpK,
+    HpccEta,
+    HpccRateAi,
+    TimelyTLow,
+    TimelyTHigh,
+    DcqcnKMin,
+    DcqcnKMax,
+}
+
+impl Knob {
+    /// Apply a candidate value to a configuration. Values are in the knob's
+    /// natural unit (bytes, ns, fraction, bps).
+    pub fn apply(self, config: &SimConfig, value: f64) -> SimConfig {
+        let mut c = *config;
+        match self {
+            Knob::InitWindow => c.init_window = value as Bytes,
+            Knob::BufferSize => c.buffer_size = value as Bytes,
+            Knob::DctcpK => c.params.dctcp_k = value as Bytes,
+            Knob::HpccEta => c.params.hpcc_eta = value,
+            Knob::HpccRateAi => c.params.hpcc_rate_ai = value as Bps,
+            Knob::TimelyTLow => c.params.timely_t_low = value as Nanos,
+            Knob::TimelyTHigh => c.params.timely_t_high = value as Nanos,
+            Knob::DcqcnKMin => c.params.dcqcn_k_min = value as Bytes,
+            Knob::DcqcnKMax => c.params.dcqcn_k_max = value as Bytes,
+        }
+        c
+    }
+
+    /// The Table 4 sampling range of this knob.
+    pub fn table4_range(self) -> (f64, f64) {
+        match self {
+            Knob::InitWindow => (5_000.0, 30_000.0),
+            Knob::BufferSize => (200_000.0, 500_000.0),
+            Knob::DctcpK => (5_000.0, 20_000.0),
+            Knob::HpccEta => (0.70, 0.95),
+            Knob::HpccRateAi => (500e6, 1000e6),
+            Knob::TimelyTLow => (40_000.0, 60_000.0),
+            Knob::TimelyTHigh => (100_000.0, 150_000.0),
+            Knob::DcqcnKMin => (20_000.0, 50_000.0),
+            Knob::DcqcnKMax => (50_000.0, 100_000.0),
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub value: f64,
+    pub objective: f64,
+    pub bucket_p99: Vec<f64>,
+    pub overall_p99: f64,
+}
+
+/// Result of a knob sweep or search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    pub knob: Knob,
+    pub points: Vec<SweepPoint>,
+    pub best: SweepPoint,
+}
+
+/// Evaluate explicit candidate values for a knob, minimizing `objective`.
+pub fn sweep_knob(
+    estimator: &M3Estimator,
+    prepared: &PreparedWorkload,
+    base_config: &SimConfig,
+    knob: Knob,
+    candidates: &[f64],
+    objective: impl Fn(&NetworkEstimate) -> f64,
+) -> SweepResult {
+    assert!(!candidates.is_empty());
+    let points: Vec<SweepPoint> = candidates
+        .iter()
+        .map(|&v| {
+            let cfg = knob.apply(base_config, v);
+            let est = prepared.estimate(estimator, &cfg);
+            SweepPoint {
+                value: v,
+                objective: objective(&est),
+                bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| est.bucket_p99(b)).collect(),
+                overall_p99: est.p99(),
+            }
+        })
+        .collect();
+    let best = points
+        .iter()
+        .min_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap())
+        .cloned()
+        .unwrap();
+    SweepResult { knob, points, best }
+}
+
+/// Golden-section search over a knob's range (assumes a roughly unimodal
+/// objective; falls back to the best sampled point otherwise).
+pub fn golden_section_search(
+    estimator: &M3Estimator,
+    prepared: &PreparedWorkload,
+    base_config: &SimConfig,
+    knob: Knob,
+    (lo, hi): (f64, f64),
+    iterations: usize,
+    objective: impl Fn(&NetworkEstimate) -> f64,
+) -> SweepResult {
+    assert!(lo < hi);
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let eval = |v: f64| -> SweepPoint {
+        let cfg = knob.apply(base_config, v);
+        let est = prepared.estimate(estimator, &cfg);
+        SweepPoint {
+            value: v,
+            objective: objective(&est),
+            bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| est.bucket_p99(b)).collect(),
+            overall_p99: est.p99(),
+        }
+    };
+    let mut points = Vec::new();
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - PHI * (b - a);
+    let mut d = a + PHI * (b - a);
+    let mut fc = eval(c);
+    let mut fd = eval(d);
+    points.push(fc.clone());
+    points.push(fd.clone());
+    for _ in 0..iterations {
+        if fc.objective <= fd.objective {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - PHI * (b - a);
+            fc = eval(c);
+            points.push(fc.clone());
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + PHI * (b - a);
+            fd = eval(d);
+            points.push(fd.clone());
+        }
+    }
+    let best = points
+        .iter()
+        .min_by(|x, y| x.objective.partial_cmp(&y.objective).unwrap())
+        .cloned()
+        .unwrap();
+    SweepResult { knob, points, best }
+}
+
+/// Convenience objective: p99 slowdown of one size bucket.
+pub fn bucket_p99_objective(bucket: usize) -> impl Fn(&NetworkEstimate) -> f64 {
+    move |est| {
+        let v = est.bucket_p99(bucket);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SPEC_DIM;
+    use m3_nn::prelude::{M3Net, ModelConfig};
+    use m3_workload::prelude::*;
+
+    fn setup() -> (M3Estimator, PreparedWorkload, SimConfig) {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let w = generate(
+            &ft,
+            &routing,
+            &Scenario {
+                n_flows: 1_500,
+                matrix_name: "B".into(),
+                sizes: SizeDistribution::web_server(),
+                sigma: 1.0,
+                max_load: 0.5,
+                seed: 6,
+            },
+        );
+        let cfg = SimConfig::default();
+        let prepared = PreparedWorkload::prepare(&ft.topo, &w.flows, &cfg, 12, 1);
+        let net = M3Net::new(
+            ModelConfig {
+                embed: 16,
+                heads: 2,
+                layers: 1,
+                ff_hidden: 16,
+                mlp_hidden: 32,
+                ..ModelConfig::repro_default(SPEC_DIM)
+            },
+            3,
+        );
+        (M3Estimator::new(net), prepared, cfg)
+    }
+
+    #[test]
+    fn prepared_estimate_matches_direct_pipeline_shape() {
+        let (est, prepared, cfg) = setup();
+        let e = prepared.estimate(&est, &cfg);
+        assert!(e.p99().is_finite() && e.p99() >= 1.0);
+        assert!(e.bucket_counts.iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn sweep_finds_minimum_of_candidates() {
+        let (est, prepared, cfg) = setup();
+        let candidates = [5_000.0, 10_000.0, 20_000.0, 30_000.0];
+        let r = sweep_knob(
+            &est,
+            &prepared,
+            &cfg,
+            Knob::InitWindow,
+            &candidates,
+            |e| e.p99(),
+        );
+        assert_eq!(r.points.len(), 4);
+        let min = r
+            .points
+            .iter()
+            .map(|p| p.objective)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(r.best.objective, min);
+        assert!(candidates.contains(&r.best.value));
+    }
+
+    #[test]
+    fn golden_section_stays_in_range() {
+        let (est, prepared, cfg) = setup();
+        let (lo, hi) = Knob::DctcpK.table4_range();
+        let r = golden_section_search(
+            &est,
+            &prepared,
+            &cfg,
+            Knob::DctcpK,
+            (lo, hi),
+            5,
+            bucket_p99_objective(0),
+        );
+        for p in &r.points {
+            assert!(p.value >= lo && p.value <= hi);
+        }
+        assert!(r.best.objective <= r.points[0].objective);
+    }
+
+    #[test]
+    fn knob_apply_roundtrip() {
+        let cfg = SimConfig::default();
+        let c = Knob::HpccEta.apply(&cfg, 0.8);
+        assert!((c.params.hpcc_eta - 0.8).abs() < 1e-12);
+        let c = Knob::BufferSize.apply(&cfg, 300_000.0);
+        assert_eq!(c.buffer_size, 300_000);
+        // Untouched fields preserved.
+        assert_eq!(c.init_window, cfg.init_window);
+    }
+
+    #[test]
+    fn all_knobs_have_valid_ranges() {
+        for knob in [
+            Knob::InitWindow,
+            Knob::BufferSize,
+            Knob::DctcpK,
+            Knob::HpccEta,
+            Knob::HpccRateAi,
+            Knob::TimelyTLow,
+            Knob::TimelyTHigh,
+            Knob::DcqcnKMin,
+            Knob::DcqcnKMax,
+        ] {
+            let (lo, hi) = knob.table4_range();
+            assert!(lo < hi, "{knob:?}");
+        }
+    }
+}

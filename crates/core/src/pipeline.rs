@@ -1,0 +1,338 @@
+//! End-to-end estimators over a full-network workload:
+//!
+//! * [`M3Estimator`] — the complete m3 pipeline: decompose, sample k paths,
+//!   flowSim features, ML correction, aggregate (Fig. 4).
+//! * [`flowsim_estimate`] — the no-ML ablation: flowSim's foreground
+//!   slowdowns aggregated directly.
+//! * [`ns3_path_estimate`] — per-path *packet-level* simulation (the paper's
+//!   "ns-3-path" upper bound, §2.1).
+//! * [`ground_truth_estimate`] — the exact network-wide distribution from a
+//!   full packet-level simulation.
+
+use crate::aggregate::{NetworkEstimate, PathDistribution, NUM_OUTPUT_BUCKETS};
+use crate::decompose::PathIndex;
+use crate::features::output_bucket;
+use crate::pathsim::PathScenarioData;
+use crate::spec::spec_vector;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use rayon::prelude::*;
+
+/// Output-bucket counts of a foreground flow set.
+fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
+    let mut counts = [0usize; NUM_OUTPUT_BUCKETS];
+    for f in &data.fg {
+        counts[output_bucket(f.size)] += 1;
+    }
+    counts
+}
+
+/// The m3 estimator: a trained network plus inference options.
+pub struct M3Estimator {
+    pub net: M3Net,
+    /// When false, zero the background context ("m3 w/o context", Fig. 16).
+    pub use_context: bool,
+}
+
+impl M3Estimator {
+    pub fn new(net: M3Net) -> Self {
+        M3Estimator {
+            net,
+            use_context: true,
+        }
+    }
+
+    /// Predict one already-materialized path scenario.
+    pub fn predict_path(&self, data: &PathScenarioData, config: &SimConfig) -> PathDistribution {
+        let sim = data.run_flowsim();
+        let (fg_map, bg_maps) = data.features(&sim);
+        let spec = spec_vector(config, data.fg_base_rtt, data.fg_bottleneck);
+        let sample = SampleInput {
+            fg: fg_map.encode_log(),
+            bg: bg_maps.iter().map(|m| m.encode_log()).collect(),
+            spec,
+            use_context: self.use_context,
+        };
+        let out = self.net.predict(&sample);
+        let decoded = crate::features::decode_log(&out);
+        PathDistribution::from_model_output(&decoded, fg_counts(data))
+    }
+
+    /// Full pipeline: decompose the workload, sample `k_paths` paths, run
+    /// flowSim + ML per path in parallel, aggregate.
+    pub fn estimate(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+    ) -> NetworkEstimate {
+        let index = PathIndex::build(topo, flows);
+        let sampled = index.sample_paths(k_paths, seed);
+        let dists: Vec<PathDistribution> = sampled
+            .par_iter()
+            .map(|&g| {
+                let data = PathScenarioData::from_group(topo, flows, &index, g, config);
+                self.predict_path(&data, config)
+            })
+            .collect();
+        NetworkEstimate::aggregate(&dists)
+    }
+}
+
+/// flowSim-only estimate over sampled paths (the "no ML" ablation).
+pub fn flowsim_estimate(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    config: &SimConfig,
+    k_paths: usize,
+    seed: u64,
+) -> NetworkEstimate {
+    let index = PathIndex::build(topo, flows);
+    let sampled = index.sample_paths(k_paths, seed);
+    let dists: Vec<PathDistribution> = sampled
+        .par_iter()
+        .map(|&g| {
+            let data = PathScenarioData::from_group(topo, flows, &index, g, config);
+            let sim = data.run_flowsim();
+            PathDistribution::from_samples(&sim.fg)
+        })
+        .collect();
+    NetworkEstimate::aggregate(&dists)
+}
+
+/// Path-level *packet* simulation per sampled path (ns-3-path): isolates the
+/// error of the path-decomposition assumption from the ML approximation.
+pub fn ns3_path_estimate(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    config: &SimConfig,
+    k_paths: usize,
+    seed: u64,
+) -> NetworkEstimate {
+    let index = PathIndex::build(topo, flows);
+    let sampled = index.sample_paths(k_paths, seed);
+    let dists: Vec<PathDistribution> = sampled
+        .par_iter()
+        .map(|&g| {
+            let data = PathScenarioData::from_group(topo, flows, &index, g, config);
+            PathDistribution::from_samples(&data.run_ns3_path(*config))
+        })
+        .collect();
+    NetworkEstimate::aggregate(&dists)
+}
+
+/// Exact network-wide distribution from full ground-truth records.
+pub fn ground_truth_estimate(records: &[FctRecord]) -> NetworkEstimate {
+    let mut bucket_samples: Vec<Vec<f64>> = vec![Vec::new(); NUM_OUTPUT_BUCKETS];
+    let mut bucket_counts = [0usize; NUM_OUTPUT_BUCKETS];
+    for r in records {
+        let b = output_bucket(r.size);
+        bucket_samples[b].push(r.slowdown());
+        bucket_counts[b] += 1;
+    }
+    for v in bucket_samples.iter_mut() {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    NetworkEstimate {
+        bucket_samples,
+        bucket_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SPEC_DIM;
+    use m3_workload::prelude::*;
+
+    fn small_workload(n: usize) -> (FatTree, Vec<FlowSpec>, SimConfig) {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let sc = Scenario {
+            n_flows: n,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.4,
+            seed: 17,
+        };
+        (ft.clone(), generate(&ft, &routing, &sc).flows, SimConfig::default())
+    }
+
+    fn untrained_estimator() -> M3Estimator {
+        let cfg = ModelConfig {
+            embed: 16,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            mlp_hidden: 32,
+            ..ModelConfig::repro_default(SPEC_DIM)
+        };
+        M3Estimator::new(M3Net::new(cfg, 3))
+    }
+
+    #[test]
+    fn m3_pipeline_produces_estimate() {
+        let (ft, flows, cfg) = small_workload(1500);
+        let est = untrained_estimator();
+        let e = est.estimate(&ft.topo, &flows, &cfg, 20, 1);
+        let p99 = e.p99();
+        assert!(p99.is_finite() && p99 >= 1.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn flowsim_estimate_close_to_truth_for_long_flows() {
+        let (ft, flows, cfg) = small_workload(1200);
+        let fs = flowsim_estimate(&ft.topo, &flows, &cfg, 30, 2);
+        // Long-flow bucket (>=50 KB) should be predicted within a loose
+        // factor even without ML (§3.3's observation).
+        let gt = ground_truth_estimate(&run_simulation(&ft.topo, cfg, flows.clone()).records);
+        let b = 3;
+        if gt.bucket_counts[b] > 10 && fs.bucket_counts[b] > 10 {
+            let (a, c) = (fs.bucket_p99(b), gt.bucket_p99(b));
+            assert!(a / c < 4.0 && c / a < 4.0, "flowSim {a} vs truth {c}");
+        }
+    }
+
+    #[test]
+    fn ns3_path_estimate_tracks_ground_truth() {
+        let (ft, flows, cfg) = small_workload(1200);
+        let gt_out = run_simulation(&ft.topo, cfg, flows.clone());
+        let gt = ground_truth_estimate(&gt_out.records);
+        let np = ns3_path_estimate(&ft.topo, &flows, &cfg, 40, 3);
+        let (a, c) = (np.p99(), gt.p99());
+        let err = ((a - c) / c).abs();
+        assert!(
+            err < 0.6,
+            "ns-3-path p99 {a} should be near ground truth {c} (err {err})"
+        );
+    }
+
+    #[test]
+    fn ground_truth_estimate_counts_everything() {
+        let (ft, flows, cfg) = small_workload(400);
+        let out = run_simulation(&ft.topo, cfg, flows);
+        let gt = ground_truth_estimate(&out.records);
+        assert_eq!(gt.bucket_counts.iter().sum::<usize>(), out.records.len());
+    }
+
+    #[test]
+    fn estimate_deterministic() {
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let a = est.estimate(&ft.topo, &flows, &cfg, 10, 5).p99();
+        let b = est.estimate(&ft.topo, &flows, &cfg, 10, 5).p99();
+        assert_eq!(a, b);
+    }
+}
+
+/// Global flowSim baseline (extension experiment): fluid-simulate the
+/// *entire network at once* — every flow over its directed channels — and
+/// aggregate all slowdowns. Unlike [`flowsim_estimate`] there is no path
+/// sampling and no decomposition error, only the fluid approximation.
+pub fn global_flowsim_estimate(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    config: &SimConfig,
+) -> NetworkEstimate {
+    use m3_flowsim::prelude::{simulate_fluid_general, GeneralFluidFlow};
+    // One fluid link per directed channel.
+    let mut caps = vec![0.0f64; topo.link_count() * 2];
+    for (l, link) in topo.links() {
+        caps[l.index() * 2] = link.bandwidth as f64;
+        caps[l.index() * 2 + 1] = link.bandwidth as f64;
+    }
+    let fluid: Vec<GeneralFluidFlow> = flows
+        .iter()
+        .map(|f| {
+            let ideal = topo.ideal_fct(&f.path, f.size, config.mtu);
+            let bottleneck = topo.bottleneck_bandwidth(&f.path) as f64;
+            let ser = (f.size.max(1) as f64 * 8e9 / bottleneck).ceil() as Nanos;
+            GeneralFluidFlow {
+                id: f.id,
+                size: f.size,
+                arrival: f.arrival,
+                links: crate::decompose::flow_ports(topo, f)
+                    .into_iter()
+                    .map(|p| p as u32)
+                    .collect(),
+                rate_cap_bps: f64::INFINITY,
+                latency: ideal.saturating_sub(ser),
+                ideal_fct: ideal,
+            }
+        })
+        .collect();
+    let records = simulate_fluid_general(&caps, &fluid);
+    let mut bucket_samples: Vec<Vec<f64>> = vec![Vec::new(); NUM_OUTPUT_BUCKETS];
+    let mut bucket_counts = [0usize; NUM_OUTPUT_BUCKETS];
+    for r in &records {
+        let b = output_bucket(r.size);
+        bucket_samples[b].push(r.slowdown());
+        bucket_counts[b] += 1;
+    }
+    for v in bucket_samples.iter_mut() {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    NetworkEstimate {
+        bucket_samples,
+        bucket_counts,
+    }
+}
+
+#[cfg(test)]
+mod global_tests {
+    use super::*;
+    use m3_workload::prelude::*;
+
+    #[test]
+    fn global_flowsim_covers_all_flows() {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let w = generate(
+            &ft,
+            &routing,
+            &Scenario {
+                n_flows: 1_000,
+                matrix_name: "B".into(),
+                sizes: SizeDistribution::web_server(),
+                sigma: 1.0,
+                max_load: 0.4,
+                seed: 2,
+            },
+        );
+        let est = global_flowsim_estimate(&ft.topo, &w.flows, &SimConfig::default());
+        assert_eq!(est.bucket_counts.iter().sum::<usize>(), 1_000);
+        let p99 = est.p99();
+        assert!(p99.is_finite() && p99 >= 1.0 - 1e-6, "p99 {p99}");
+    }
+
+    #[test]
+    fn global_flowsim_underestimates_like_path_flowsim() {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let w = generate(
+            &ft,
+            &routing,
+            &Scenario {
+                n_flows: 1_500,
+                matrix_name: "B".into(),
+                sizes: SizeDistribution::web_server(),
+                sigma: 1.0,
+                max_load: 0.5,
+                seed: 4,
+            },
+        );
+        let cfg = SimConfig::default();
+        let gt = ground_truth_estimate(&run_simulation(&ft.topo, cfg, w.flows.clone()).records);
+        let gfs = global_flowsim_estimate(&ft.topo, &w.flows, &cfg);
+        // Fluid models lack queueing: the small-flow tail must be below truth.
+        assert!(
+            gfs.bucket_p99(0) <= gt.bucket_p99(0) * 1.1 || gt.bucket_counts[0] < 20,
+            "global flowSim small-flow p99 {} vs truth {}",
+            gfs.bucket_p99(0),
+            gt.bucket_p99(0)
+        );
+    }
+}

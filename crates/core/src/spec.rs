@@ -1,0 +1,124 @@
+//! The network-specification vector (§3.4, step 5): bandwidth-delay
+//! product, init window, buffer size, PFC flag, a one-hot congestion-control
+//! selector, and the CC parameters of Table 4, min-max normalized to their
+//! sampling ranges so the model sees features in [0, 1].
+
+use m3_netsim::prelude::*;
+
+/// Length of the spec vector: bdp, init window, buffer, pfc + one-hot(4) +
+/// 8 protocol parameters.
+pub const SPEC_DIM: usize = 16;
+
+/// Normalization constant for the BDP feature (beyond the largest BDP in
+/// the paper's scenarios).
+const BDP_NORM: f64 = 100_000.0;
+
+#[inline]
+fn minmax(v: f64, lo: f64, hi: f64) -> f32 {
+    (((v - lo) / (hi - lo)).clamp(0.0, 1.5)) as f32
+}
+
+/// Build the spec vector for a path under a simulator configuration.
+///
+/// `base_rtt` and `bottleneck_bps` describe the foreground path; the BDP
+/// feature is their product.
+pub fn spec_vector(config: &SimConfig, base_rtt: Nanos, bottleneck_bps: Bps) -> Vec<f32> {
+    let bdp_bytes = bottleneck_bps as f64 / 8e9 * base_rtt as f64;
+    let p = &config.params;
+    let mut v = vec![0f32; SPEC_DIM];
+    v[0] = (bdp_bytes / BDP_NORM) as f32;
+    v[1] = minmax(config.init_window as f64, 5_000.0, 30_000.0);
+    v[2] = minmax(config.buffer_size as f64, 200_000.0, 500_000.0);
+    v[3] = if config.pfc_enabled { 1.0 } else { 0.0 };
+    v[4 + config.cc.index()] = 1.0;
+    v[8] = minmax(p.dctcp_k as f64, 5_000.0, 20_000.0);
+    v[9] = minmax(p.dcqcn_k_min as f64, 20_000.0, 50_000.0);
+    v[10] = minmax(p.dcqcn_k_max as f64, 50_000.0, 100_000.0);
+    v[11] = minmax(p.hpcc_eta, 0.70, 0.95);
+    v[12] = minmax(p.hpcc_rate_ai as f64, 500e6, 1000e6);
+    v[13] = minmax(p.timely_t_low as f64, 40_000.0, 60_000.0);
+    v[14] = minmax(p.timely_t_high as f64, 100_000.0, 150_000.0);
+    // Reserved: init-window-to-BDP ratio, the feature Table 5 turns on.
+    v[15] = (config.init_window as f64 / bdp_bytes.max(1.0)).min(4.0) as f32 / 4.0;
+    v
+}
+
+/// Base RTT of a path (one-MTU data traversal plus ACK return), matching
+/// the engine's [`m3_netsim::sim`] definition.
+pub fn path_base_rtt(topo: &Topology, path: &[LinkId], config: &SimConfig) -> Nanos {
+    let mut rtt: Nanos = 0;
+    for &l in path {
+        let link = topo.link(l);
+        rtt += 2 * link.delay
+            + m3_netsim::units::tx_time(config.mtu, link.bandwidth)
+            + m3_netsim::units::tx_time(config.ack_size, link.bandwidth);
+    }
+    rtt.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_is_exclusive() {
+        for cc in CcProtocol::ALL {
+            let cfg = SimConfig {
+                cc,
+                ..SimConfig::default()
+            };
+            let v = spec_vector(&cfg, 10_000, 10 * GBPS);
+            let hot: Vec<usize> = (4..8).filter(|&i| v[i] == 1.0).collect();
+            assert_eq!(hot, vec![4 + cc.index()]);
+        }
+    }
+
+    #[test]
+    fn normalized_ranges() {
+        let cfg = SimConfig::default();
+        let v = spec_vector(&cfg, 10_000, 10 * GBPS);
+        assert_eq!(v.len(), SPEC_DIM);
+        for (i, &x) in v.iter().enumerate() {
+            assert!((0.0..=1.5).contains(&x), "feature {i} = {x}");
+        }
+    }
+
+    #[test]
+    fn bdp_scales_with_rtt() {
+        let cfg = SimConfig::default();
+        let a = spec_vector(&cfg, 10_000, 10 * GBPS);
+        let b = spec_vector(&cfg, 20_000, 10 * GBPS);
+        assert!(b[0] > a[0]);
+    }
+
+    #[test]
+    fn window_bdp_ratio_feature_moves() {
+        // Table 5's headline effect: window below vs above BDP.
+        let small = SimConfig {
+            init_window: 10 * KB,
+            ..SimConfig::default()
+        };
+        let big = SimConfig {
+            init_window: 18 * KB,
+            ..SimConfig::default()
+        };
+        let rtt = 12_000; // 15 KB BDP at 10G
+        let vs = spec_vector(&small, rtt, 10 * GBPS);
+        let vb = spec_vector(&big, rtt, 10 * GBPS);
+        assert!(vb[15] > vs[15]);
+    }
+
+    #[test]
+    fn path_base_rtt_positive_and_additive() {
+        let mut topo = Topology::new();
+        let a = topo.add_host();
+        let s = topo.add_switch();
+        let b = topo.add_host();
+        let l1 = topo.add_link(a, s, 10 * GBPS, 1000);
+        let l2 = topo.add_link(s, b, 10 * GBPS, 1000);
+        let cfg = SimConfig::default();
+        let r1 = path_base_rtt(&topo, &[l1], &cfg);
+        let r2 = path_base_rtt(&topo, &[l1, l2], &cfg);
+        assert!(r2 > r1);
+    }
+}

@@ -1,0 +1,440 @@
+//! A max-min fluid simulator over *arbitrary* topologies: flows may occupy
+//! any set of links, not just a contiguous parking-lot segment.
+//!
+//! This generalizes [`crate::fluid`] (which it shares its algorithmic
+//! structure with): flows are still grouped — here by identical (link-set,
+//! rate-cap) — the progressive-filling waterfill runs over groups, and
+//! per-group completion targets ride the fair-queueing service clock. It is
+//! used for the "global flowSim" baseline (fluid simulation of the whole
+//! network at once) and for differential-testing the segment engine.
+
+use crate::types::{Bytes, FluidFctRecord, Nanos};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A fluid flow over an arbitrary link set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralFluidFlow {
+    pub id: u32,
+    pub size: Bytes,
+    pub arrival: Nanos,
+    /// Links traversed (indices into the capacity vector); deduplicated and
+    /// sorted internally.
+    pub links: Vec<u32>,
+    pub rate_cap_bps: f64,
+    pub latency: Nanos,
+    pub ideal_fct: Nanos,
+}
+
+const SERVICE_EPS: f64 = 1e-3;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Target {
+    service: f64,
+    id: u32,
+    arrival: Nanos,
+    size: u64,
+    latency: Nanos,
+    ideal_fct: Nanos,
+}
+
+impl Eq for Target {}
+impl PartialOrd for Target {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Target {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.service
+            .partial_cmp(&other.service)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+#[derive(Debug)]
+struct Group {
+    links: Vec<u32>,
+    cap: f64,
+    n: usize,
+    service: f64,
+    rate: f64,
+    targets: BinaryHeap<std::cmp::Reverse<Target>>,
+    gen: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    time: f64,
+    group: usize,
+    gen: u64,
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.group.cmp(&self.group))
+            .then_with(|| other.gen.cmp(&self.gen))
+    }
+}
+
+/// Run the general fluid simulation. `link_bps[i]` is the capacity of link
+/// `i`; every flow's `links` entries must index into it.
+pub fn simulate_fluid_general(
+    link_bps: &[f64],
+    flows: &[GeneralFluidFlow],
+) -> Vec<FluidFctRecord> {
+    assert!(!link_bps.is_empty());
+    for f in flows {
+        assert!(!f.links.is_empty(), "flow {} has no links", f.id);
+        assert!(f.rate_cap_bps > 0.0, "flow {}: nonpositive cap", f.id);
+        for &l in &f.links {
+            assert!((l as usize) < link_bps.len(), "flow {}: bad link {l}", f.id);
+        }
+    }
+    let caps: Vec<f64> = link_bps.iter().map(|&b| b / 8e9).collect();
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by_key(|&i| (flows[i].arrival, flows[i].id));
+
+    let mut groups: Vec<Group> = Vec::new();
+    let mut group_index: HashMap<(Vec<u32>, u64), usize> = HashMap::new();
+    let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut records = Vec::with_capacity(flows.len());
+    let mut residual = vec![0.0f64; caps.len()];
+    let mut nflows = vec![0usize; caps.len()];
+    let mut now = 0.0f64;
+    let mut next_flow = 0usize;
+    let mut active = 0usize;
+
+    while next_flow < order.len() || active > 0 {
+        let t_arrival = if next_flow < order.len() {
+            flows[order[next_flow]].arrival as f64
+        } else {
+            f64::INFINITY
+        };
+        let t_completion = loop {
+            match candidates.peek() {
+                Some(c) if groups[c.group].gen != c.gen => {
+                    candidates.pop();
+                }
+                Some(c) => break c.time,
+                None => break f64::INFINITY,
+            }
+        };
+        let t_next = t_arrival.min(t_completion);
+        debug_assert!(t_next.is_finite());
+        let dt = (t_next - now).max(0.0);
+        if dt > 0.0 {
+            for g in groups.iter_mut() {
+                if g.n > 0 {
+                    g.service += g.rate * dt;
+                }
+            }
+        }
+        now = t_next;
+
+        let mut changed = false;
+        while let Some(&c) = candidates.peek() {
+            if groups[c.group].gen != c.gen {
+                candidates.pop();
+                continue;
+            }
+            if c.time > now + 1e-9 {
+                break;
+            }
+            candidates.pop();
+            let g = &mut groups[c.group];
+            while let Some(std::cmp::Reverse(t)) = g.targets.peek().copied() {
+                if t.service <= g.service + SERVICE_EPS {
+                    g.targets.pop();
+                    g.n -= 1;
+                    active -= 1;
+                    changed = true;
+                    let fct = (now - t.arrival as f64).max(0.0).ceil() as Nanos + t.latency;
+                    records.push(FluidFctRecord {
+                        id: t.id,
+                        size: t.size,
+                        arrival: t.arrival,
+                        fct: fct.max(1),
+                        ideal_fct: t.ideal_fct,
+                    });
+                } else {
+                    break;
+                }
+            }
+        }
+
+        while next_flow < order.len() && flows[order[next_flow]].arrival as f64 <= now {
+            let f = &flows[order[next_flow]];
+            next_flow += 1;
+            active += 1;
+            changed = true;
+            let mut key_links = f.links.clone();
+            key_links.sort_unstable();
+            key_links.dedup();
+            let key = (key_links.clone(), f.rate_cap_bps.to_bits());
+            let gi = *group_index.entry(key).or_insert_with(|| {
+                groups.push(Group {
+                    links: key_links,
+                    cap: f.rate_cap_bps / 8e9,
+                    n: 0,
+                    service: 0.0,
+                    rate: 0.0,
+                    targets: BinaryHeap::new(),
+                    gen: 0,
+                });
+                groups.len() - 1
+            });
+            let g = &mut groups[gi];
+            g.n += 1;
+            g.targets.push(std::cmp::Reverse(Target {
+                service: g.service + f.size.max(1) as f64,
+                id: f.id,
+                arrival: f.arrival,
+                size: f.size,
+                latency: f.latency,
+                ideal_fct: f.ideal_fct,
+            }));
+        }
+
+        if !changed {
+            continue;
+        }
+        waterfill_general(&caps, &mut groups, &mut residual, &mut nflows);
+        for (gi, g) in groups.iter_mut().enumerate() {
+            g.gen += 1;
+            if g.n == 0 {
+                continue;
+            }
+            debug_assert!(g.rate > 0.0);
+            if let Some(std::cmp::Reverse(t)) = g.targets.peek() {
+                candidates.push(Candidate {
+                    time: now + (t.service - g.service).max(0.0) / g.rate,
+                    group: gi,
+                    gen: g.gen,
+                });
+            }
+        }
+    }
+    records.sort_by_key(|r| r.id);
+    records
+}
+
+fn waterfill_general(
+    caps: &[f64],
+    groups: &mut [Group],
+    residual: &mut [f64],
+    nflows: &mut [usize],
+) {
+    residual.copy_from_slice(caps);
+    nflows.iter_mut().for_each(|c| *c = 0);
+    let mut unfixed: Vec<usize> = Vec::new();
+    for (gi, g) in groups.iter_mut().enumerate() {
+        if g.n == 0 {
+            g.rate = 0.0;
+            continue;
+        }
+        unfixed.push(gi);
+        for &l in &g.links {
+            nflows[l as usize] += g.n;
+        }
+    }
+    while !unfixed.is_empty() {
+        let mut r_link = f64::INFINITY;
+        let mut l_star = usize::MAX;
+        for (l, &c) in nflows.iter().enumerate() {
+            if c > 0 {
+                let fair = (residual[l] / c as f64).max(0.0);
+                if fair < r_link {
+                    r_link = fair;
+                    l_star = l;
+                }
+            }
+        }
+        let mut r_cap = f64::INFINITY;
+        let mut g_star = usize::MAX;
+        for &gi in &unfixed {
+            if groups[gi].cap < r_cap {
+                r_cap = groups[gi].cap;
+                g_star = gi;
+            }
+        }
+        if r_cap <= r_link {
+            let g = &mut groups[g_star];
+            g.rate = r_cap;
+            for &l in &g.links {
+                residual[l as usize] = (residual[l as usize] - r_cap * g.n as f64).max(0.0);
+                nflows[l as usize] -= g.n;
+            }
+            unfixed.retain(|&x| x != g_star);
+        } else {
+            debug_assert!(l_star != usize::MAX);
+            unfixed.retain(|&gi| {
+                let g = &mut groups[gi];
+                if g.links.iter().any(|&l| l as usize == l_star) {
+                    g.rate = r_link;
+                    for &l in &g.links {
+                        residual[l as usize] =
+                            (residual[l as usize] - r_link * g.n as f64).max(0.0);
+                        nflows[l as usize] -= g.n;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::simulate_fluid;
+    use crate::types::{fluid_ideal_fct, FluidFlow, FluidTopology};
+
+    #[test]
+    fn single_flow_line_rate() {
+        let flows = vec![GeneralFluidFlow {
+            id: 0,
+            size: 10_000,
+            arrival: 0,
+            links: vec![0, 1],
+            rate_cap_bps: f64::INFINITY,
+            latency: 100,
+            ideal_fct: 8_100,
+        }];
+        let recs = simulate_fluid_general(&[10e9, 10e9], &flows);
+        assert_eq!(recs[0].fct, 8_000 + 100);
+    }
+
+    #[test]
+    fn matches_segment_engine_on_parking_lot() {
+        // Any parking-lot workload must produce identical results in both
+        // engines (contiguous segments are a special case of link sets).
+        let topo = FluidTopology::new(vec![10e9, 40e9, 10e9]);
+        let mut seg_flows = Vec::new();
+        let mut gen_flows = Vec::new();
+        let mut state = 99u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for i in 0..200u32 {
+            let a = (rng() % 3) as u16;
+            let b = (rng() % 3) as u16;
+            let (first, last) = (a.min(b), a.max(b));
+            let size = 200 + rng() % 80_000;
+            let arrival = rng() % 500_000;
+            let cap = if rng() % 2 == 0 { 10e9 } else { f64::INFINITY };
+            let mut f = FluidFlow {
+                id: i,
+                size,
+                arrival,
+                first_link: first,
+                last_link: last,
+                rate_cap_bps: cap,
+                latency: 55,
+                ideal_fct: 0,
+            };
+            f.ideal_fct = fluid_ideal_fct(&topo, &f);
+            gen_flows.push(GeneralFluidFlow {
+                id: i,
+                size,
+                arrival,
+                links: (first as u32..=last as u32).collect(),
+                rate_cap_bps: cap,
+                latency: 55,
+                ideal_fct: f.ideal_fct,
+            });
+            seg_flows.push(f);
+        }
+        let seg = simulate_fluid(&topo, &seg_flows);
+        let gen = simulate_fluid_general(&topo.link_bps, &gen_flows);
+        for (s, g) in seg.iter().zip(&gen) {
+            let tol = 2.0 + 1e-6 * s.fct as f64;
+            assert!(
+                (s.fct as f64 - g.fct as f64).abs() <= tol,
+                "flow {}: segment {} vs general {}",
+                s.id,
+                s.fct,
+                g.fct
+            );
+        }
+    }
+
+    #[test]
+    fn non_contiguous_link_sets() {
+        // Flow A uses links {0, 2} (skipping 1); B saturates link 1 alone.
+        // A and B must not contend.
+        let flows = vec![
+            GeneralFluidFlow {
+                id: 0,
+                size: 10_000,
+                arrival: 0,
+                links: vec![0, 2],
+                rate_cap_bps: f64::INFINITY,
+                latency: 0,
+                ideal_fct: 8_000,
+            },
+            GeneralFluidFlow {
+                id: 1,
+                size: 10_000,
+                arrival: 0,
+                links: vec![1],
+                rate_cap_bps: f64::INFINITY,
+                latency: 0,
+                ideal_fct: 8_000,
+            },
+        ];
+        let recs = simulate_fluid_general(&[10e9, 10e9, 10e9], &flows);
+        assert_eq!(recs[0].fct, 8_000);
+        assert_eq!(recs[1].fct, 8_000);
+    }
+
+    #[test]
+    fn duplicate_links_deduplicated() {
+        let flows = vec![GeneralFluidFlow {
+            id: 0,
+            size: 10_000,
+            arrival: 0,
+            links: vec![0, 0, 0],
+            rate_cap_bps: f64::INFINITY,
+            latency: 0,
+            ideal_fct: 8_000,
+        }];
+        let recs = simulate_fluid_general(&[10e9], &flows);
+        assert_eq!(recs[0].fct, 8_000, "a flow crosses each link once");
+    }
+
+    #[test]
+    fn star_topology_fairness() {
+        // Three flows sharing one hub link pairwise through distinct spokes:
+        // hub is the bottleneck, each gets 1/3.
+        let caps = vec![10e9, 10e9, 10e9, 10e9]; // 0 = hub, 1-3 spokes
+        let flows: Vec<GeneralFluidFlow> = (0..3u32)
+            .map(|i| GeneralFluidFlow {
+                id: i,
+                size: 30_000,
+                arrival: 0,
+                links: vec![0, 1 + i],
+                rate_cap_bps: f64::INFINITY,
+                latency: 0,
+                ideal_fct: 24_000,
+            })
+            .collect();
+        let recs = simulate_fluid_general(&caps, &flows);
+        for r in &recs {
+            assert_eq!(r.fct, 72_000, "each of 3 flows gets 1/3 of the hub");
+        }
+    }
+}

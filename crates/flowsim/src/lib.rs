@@ -1,0 +1,47 @@
+//! # m3-flowsim
+//!
+//! flowSim: the fast max-min fair fluid flow-level simulator of the m3 paper
+//! (Algorithm 1, Appendix A). Flows are "fluid": at every instant each
+//! active flow proceeds at its max-min fair share of the parking-lot links
+//! it traverses; rates are recomputed on every arrival and completion. The
+//! flow completes when the integrated rate consumes its size, plus a fixed
+//! end-to-end latency factor.
+//!
+//! flowSim deliberately ignores queueing, packet boundaries, and congestion
+//! control — it is *not* an accurate short-flow simulator (Fig. 6), but its
+//! per-size-bucket slowdown percentiles are the workload feature map that
+//! m3's ML model corrects (§2.2, §3.3).
+//!
+//! Two engines are provided:
+//! * [`fluid::simulate_fluid`] — the fast grouped engine (O(F log F) heap
+//!   work; waterfill over flow groups).
+//! * [`reference::simulate_fluid_reference`] — a straightforward O(F^2)
+//!   implementation used to differentially test the fast engine.
+//!
+//! ```
+//! use m3_flowsim::prelude::*;
+//!
+//! let topo = FluidTopology::new(vec![10e9]); // one 10 Gbps link
+//! let flow = FluidFlow {
+//!     id: 0, size: 10_000, arrival: 0,
+//!     first_link: 0, last_link: 0,
+//!     rate_cap_bps: f64::INFINITY, latency: 0,
+//!     ideal_fct: fluid_ideal_fct(&FluidTopology::new(vec![10e9]), &FluidFlow {
+//!         id: 0, size: 10_000, arrival: 0, first_link: 0, last_link: 0,
+//!         rate_cap_bps: f64::INFINITY, latency: 0, ideal_fct: 0 }),
+//! };
+//! let records = simulate_fluid(&topo, &[flow]);
+//! assert_eq!(records[0].fct, 8_000); // 10 kB at 10 Gbps
+//! ```
+
+pub mod fluid;
+pub mod general;
+pub mod reference;
+pub mod types;
+
+pub mod prelude {
+    pub use crate::fluid::simulate_fluid;
+    pub use crate::general::{simulate_fluid_general, GeneralFluidFlow};
+    pub use crate::reference::simulate_fluid_reference;
+    pub use crate::types::{fluid_ideal_fct, FluidFctRecord, FluidFlow, FluidTopology};
+}

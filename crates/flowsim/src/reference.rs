@@ -1,0 +1,206 @@
+//! A deliberately simple O(F^2) max-min fluid simulator used for
+//! differential testing of the fast grouped engine in [`crate::fluid`].
+//!
+//! Per-flow progressive filling, per-event full rescan. Only suitable for
+//! small flow counts; the property tests compare its output against
+//! [`crate::fluid::simulate_fluid`] byte for byte (within fluid tolerance).
+
+use crate::types::{FluidFctRecord, FluidFlow, FluidTopology, Nanos};
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    idx: usize,
+    remaining: f64,
+    rate: f64,
+}
+
+/// Run the reference simulation. Same contract as
+/// [`crate::fluid::simulate_fluid`].
+pub fn simulate_fluid_reference(topo: &FluidTopology, flows: &[FluidFlow]) -> Vec<FluidFctRecord> {
+    for f in flows {
+        f.validate(topo);
+    }
+    let caps: Vec<f64> = topo.link_bps.iter().map(|&b| b / 8e9).collect();
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by_key(|&i| (flows[i].arrival, flows[i].id));
+
+    let mut active: Vec<ActiveFlow> = Vec::new();
+    let mut records = Vec::with_capacity(flows.len());
+    let mut now = 0.0f64;
+    let mut next = 0usize;
+
+    while next < order.len() || !active.is_empty() {
+        assign_rates(&caps, flows, &mut active);
+        let t_arrival = if next < order.len() {
+            flows[order[next]].arrival as f64
+        } else {
+            f64::INFINITY
+        };
+        let t_completion = active
+            .iter()
+            .map(|a| now + a.remaining / a.rate)
+            .fold(f64::INFINITY, f64::min);
+        let t_next = t_arrival.min(t_completion);
+        let dt = (t_next - now).max(0.0);
+        for a in active.iter_mut() {
+            a.remaining -= a.rate * dt;
+        }
+        now = t_next;
+        // Completions (tolerate fluid rounding).
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].remaining <= 1e-3 {
+                let f = &flows[active[i].idx];
+                let fct = (now - f.arrival as f64).max(0.0).ceil() as Nanos + f.latency;
+                records.push(FluidFctRecord {
+                    id: f.id,
+                    size: f.size,
+                    arrival: f.arrival,
+                    fct: fct.max(1),
+                    ideal_fct: f.ideal_fct,
+                });
+                active.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Arrivals.
+        while next < order.len() && flows[order[next]].arrival as f64 <= now {
+            let idx = order[next];
+            next += 1;
+            active.push(ActiveFlow {
+                idx,
+                remaining: flows[idx].size.max(1) as f64,
+                rate: 0.0,
+            });
+        }
+    }
+    records.sort_by_key(|r| r.id);
+    records
+}
+
+/// Per-flow progressive-filling max-min with caps.
+fn assign_rates(caps: &[f64], flows: &[FluidFlow], active: &mut [ActiveFlow]) {
+    let n_links = caps.len();
+    let mut residual = caps.to_vec();
+    let mut counts = vec![0usize; n_links];
+    for a in active.iter() {
+        for l in flows[a.idx].links() {
+            counts[l] += 1;
+        }
+    }
+    let mut unfixed: Vec<usize> = (0..active.len()).collect();
+    while !unfixed.is_empty() {
+        let mut r_link = f64::INFINITY;
+        let mut l_star = usize::MAX;
+        for l in 0..n_links {
+            if counts[l] > 0 {
+                let fair = (residual[l] / counts[l] as f64).max(0.0);
+                if fair < r_link {
+                    r_link = fair;
+                    l_star = l;
+                }
+            }
+        }
+        let mut r_cap = f64::INFINITY;
+        let mut a_star = usize::MAX;
+        for &ai in &unfixed {
+            let cap = flows[active[ai].idx].rate_cap_bps / 8e9;
+            if cap < r_cap {
+                r_cap = cap;
+                a_star = ai;
+            }
+        }
+        if r_cap <= r_link {
+            active[a_star].rate = r_cap;
+            for l in flows[active[a_star].idx].links() {
+                residual[l] = (residual[l] - r_cap).max(0.0);
+                counts[l] -= 1;
+            }
+            unfixed.retain(|&x| x != a_star);
+        } else {
+            unfixed.retain(|&ai| {
+                let f = &flows[active[ai].idx];
+                if f.first_link as usize <= l_star && l_star <= f.last_link as usize {
+                    active[ai].rate = r_link;
+                    for l in f.links() {
+                        residual[l] = (residual[l] - r_link).max(0.0);
+                        counts[l] -= 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::simulate_fluid;
+    use crate::types::fluid_ideal_fct;
+
+    fn make_flow(id: u32, size: u64, arrival: Nanos, first: u16, last: u16, cap: f64, topo: &FluidTopology) -> FluidFlow {
+        let mut f = FluidFlow {
+            id,
+            size,
+            arrival,
+            first_link: first,
+            last_link: last,
+            rate_cap_bps: cap,
+            latency: 37,
+            ideal_fct: 0,
+        };
+        f.ideal_fct = fluid_ideal_fct(topo, &f);
+        f
+    }
+
+    #[test]
+    fn matches_fast_engine_on_mixed_scenario() {
+        let topo = FluidTopology::new(vec![10e9, 40e9, 10e9, 40e9]);
+        let mut flows = Vec::new();
+        let mut state = 12345u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..300u32 {
+            let a = (rng() % 4) as u16;
+            let b = (rng() % 4) as u16;
+            let (first, last) = (a.min(b), a.max(b));
+            let size = 100 + rng() % 100_000;
+            let arrival = rng() % 1_000_000;
+            let cap = if rng() % 2 == 0 { 10e9 } else { f64::INFINITY };
+            flows.push(make_flow(i, size, arrival, first, last, cap, &topo));
+        }
+        let fast = simulate_fluid(&topo, &flows);
+        let slow = simulate_fluid_reference(&topo, &flows);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert_eq!(f.id, s.id);
+            let diff = (f.fct as f64 - s.fct as f64).abs();
+            let tol = 1.0 + 1e-6 * s.fct as f64;
+            assert!(
+                diff <= tol.max(2.0),
+                "flow {}: fast {} vs reference {}",
+                f.id,
+                f.fct,
+                s.fct
+            );
+        }
+    }
+
+    #[test]
+    fn reference_basic_sharing() {
+        let topo = FluidTopology::new(vec![10e9]);
+        let flows = vec![
+            make_flow(0, 10_000, 0, 0, 0, f64::INFINITY, &topo),
+            make_flow(1, 10_000, 0, 0, 0, f64::INFINITY, &topo),
+        ];
+        let recs = simulate_fluid_reference(&topo, &flows);
+        assert_eq!(recs[0].fct, 16_000 + 37);
+        assert_eq!(recs[1].fct, 16_000 + 37);
+    }
+}

@@ -1,0 +1,694 @@
+//! End-host congestion control: DCTCP, TIMELY, DCQCN and HPCC (Table 4).
+//!
+//! Each algorithm maintains a congestion *window* (bytes the engine may keep
+//! in flight) and a pacing *rate* (bits/sec). Window-based algorithms
+//! (DCTCP, HPCC) adapt the window; rate-based algorithms (TIMELY, DCQCN)
+//! adapt the rate and keep the window pinned at the configured initial
+//! window, mirroring the HPCC/ns-3 reference implementations the paper's
+//! ground truth uses.
+//!
+//! DCQCN's 55 us alpha-decay and rate-increase timers are evaluated lazily
+//! at ACK processing time (catching up on elapsed periods) instead of
+//! scheduling per-flow timer events; this is a documented simplification
+//! that keeps the event queue proportional to packet count.
+
+use crate::config::{CcParams, CcProtocol};
+use crate::units::{Bps, Bytes, Nanos, USEC};
+
+/// Maximum path hops recorded by INT telemetry (fat-tree diameter is 6; 8
+/// leaves headroom for parking lots with access links).
+pub const MAX_INT_HOPS: usize = 8;
+
+/// One hop's inband network telemetry, appended by switches at dequeue and
+/// echoed to the sender by ACKs. Used by HPCC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntHop {
+    /// Egress queue length at dequeue.
+    pub qlen: Bytes,
+    /// Cumulative bytes transmitted by the egress port.
+    pub tx_bytes: u64,
+    /// Timestamp of the dequeue.
+    pub ts: Nanos,
+    /// Port capacity.
+    pub bandwidth: Bps,
+}
+
+/// Fixed-capacity INT vector carried in packet headers (no heap allocation
+/// on the per-packet fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntVec {
+    hops: [IntHop; MAX_INT_HOPS],
+    len: u8,
+}
+
+impl IntVec {
+    pub fn push(&mut self, hop: IntHop) {
+        if (self.len as usize) < MAX_INT_HOPS {
+            self.hops[self.len as usize] = hop;
+            self.len += 1;
+        }
+    }
+
+    pub fn as_slice(&self) -> &[IntHop] {
+        &self.hops[..self.len as usize]
+    }
+
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Per-flow environment the CC algorithms are parameterized by.
+#[derive(Debug, Clone, Copy)]
+pub struct CcEnv {
+    /// Unloaded round-trip time of the flow's path.
+    pub base_rtt: Nanos,
+    /// The sender NIC capacity; rates never exceed it.
+    pub nic_bps: Bps,
+    pub mtu: Bytes,
+    pub init_window: Bytes,
+    pub params: CcParams,
+}
+
+/// Information carried by one cumulative ACK back to the sender.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent<'a> {
+    pub now: Nanos,
+    pub bytes_acked: Bytes,
+    /// ECN congestion-experienced echo for the acked data packet.
+    pub ecn: bool,
+    /// RTT sample measured from the echoed transmit timestamp.
+    pub rtt: Nanos,
+    /// Highest byte sequence sent so far (for per-RTT update boundaries).
+    pub sent_seq: u64,
+    /// Cumulative acked bytes after this ACK.
+    pub acked_seq: u64,
+    /// INT telemetry echoed by the receiver (HPCC).
+    pub int: &'a [IntHop],
+}
+
+/// Congestion-control state machine for one flow.
+#[derive(Debug, Clone)]
+pub enum CcState {
+    Dctcp(Dctcp),
+    Timely(Timely),
+    Dcqcn(Dcqcn),
+    Hpcc(Hpcc),
+}
+
+impl CcState {
+    pub fn new(protocol: CcProtocol, env: &CcEnv) -> Self {
+        match protocol {
+            CcProtocol::Dctcp => CcState::Dctcp(Dctcp::new(env)),
+            CcProtocol::Timely => CcState::Timely(Timely::new(env)),
+            CcProtocol::Dcqcn => CcState::Dcqcn(Dcqcn::new(env)),
+            CcProtocol::Hpcc => CcState::Hpcc(Hpcc::new(env)),
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn window(&self) -> f64 {
+        match self {
+            CcState::Dctcp(s) => s.window,
+            CcState::Timely(s) => s.window,
+            CcState::Dcqcn(s) => s.window,
+            CcState::Hpcc(s) => s.window,
+        }
+    }
+
+    /// Current pacing rate in bits/sec. `f64::INFINITY` disables pacing.
+    pub fn rate_bps(&self) -> f64 {
+        match self {
+            CcState::Dctcp(_) => f64::INFINITY,
+            CcState::Timely(s) => s.rate,
+            CcState::Dcqcn(s) => s.rate,
+            CcState::Hpcc(s) => s.rate,
+        }
+    }
+
+    pub fn on_ack(&mut self, ack: &AckEvent, env: &CcEnv) {
+        match self {
+            CcState::Dctcp(s) => s.on_ack(ack, env),
+            CcState::Timely(s) => s.on_ack(ack, env),
+            CcState::Dcqcn(s) => s.on_ack(ack, env),
+            CcState::Hpcc(s) => s.on_ack(ack, env),
+        }
+    }
+
+    /// Retransmission timeout: collapse to conservative state.
+    pub fn on_timeout(&mut self, env: &CcEnv) {
+        match self {
+            CcState::Dctcp(s) => {
+                s.ssthresh = (s.window / 2.0).max(env.mtu as f64);
+                s.window = env.mtu as f64;
+            }
+            CcState::Timely(s) => s.rate = min_rate(env),
+            CcState::Dcqcn(s) => {
+                s.rate = min_rate(env);
+                s.target = s.rate;
+            }
+            CcState::Hpcc(s) => {
+                s.w_ref = env.mtu as f64;
+                s.window = env.mtu as f64;
+                s.rate = s.window * 8e9 / env.base_rtt.max(1) as f64;
+            }
+        }
+    }
+}
+
+fn min_rate(env: &CcEnv) -> f64 {
+    // 10 Mbps floor, matching common RDMA CC minimum rates.
+    (10e6_f64).min(env.nic_bps as f64)
+}
+
+// ---------------------------------------------------------------------------
+// DCTCP
+// ---------------------------------------------------------------------------
+
+/// DCTCP (Alizadeh et al.): ECN-fraction EWMA `alpha`, one multiplicative
+/// decrease of `alpha/2` per congestion round, slow start + per-RTT additive
+/// increase otherwise.
+#[derive(Debug, Clone)]
+pub struct Dctcp {
+    pub window: f64,
+    pub ssthresh: f64,
+    pub alpha: f64,
+    /// EWMA gain g (RFC 8257 recommends 1/16).
+    g: f64,
+    acked_in_round: u64,
+    marked_in_round: u64,
+    /// acked_seq boundary at which the current round ends.
+    round_end: u64,
+    cut_this_round: bool,
+}
+
+impl Dctcp {
+    pub fn new(env: &CcEnv) -> Self {
+        Dctcp {
+            window: env.init_window as f64,
+            ssthresh: f64::INFINITY,
+            alpha: 1.0,
+            g: 1.0 / 16.0,
+            acked_in_round: 0,
+            marked_in_round: 0,
+            round_end: env.init_window,
+            cut_this_round: false,
+        }
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, env: &CcEnv) {
+        self.acked_in_round += ack.bytes_acked;
+        if ack.ecn {
+            self.marked_in_round += ack.bytes_acked;
+            self.ssthresh = self.ssthresh.min(self.window);
+            if !self.cut_this_round {
+                self.window *= 1.0 - self.alpha / 2.0;
+                self.cut_this_round = true;
+            }
+        } else if self.window < self.ssthresh {
+            // Slow start: window grows by bytes acked.
+            self.window += ack.bytes_acked as f64;
+        } else {
+            // Congestion avoidance: +1 MTU per RTT.
+            self.window += env.mtu as f64 * ack.bytes_acked as f64 / self.window.max(1.0);
+        }
+        if ack.acked_seq >= self.round_end {
+            let f = if self.acked_in_round > 0 {
+                self.marked_in_round as f64 / self.acked_in_round as f64
+            } else {
+                0.0
+            };
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
+            self.acked_in_round = 0;
+            self.marked_in_round = 0;
+            self.cut_this_round = false;
+            self.round_end = ack.acked_seq + self.window.max(env.mtu as f64) as u64;
+        }
+        self.window = self.window.clamp(env.mtu as f64, 32.0 * 1024.0 * 1024.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TIMELY
+// ---------------------------------------------------------------------------
+
+/// TIMELY (Mittal et al.): RTT-gradient rate control with T_low / T_high
+/// guard bands and hyperactive additive increase after consecutive
+/// negative-gradient samples.
+#[derive(Debug, Clone)]
+pub struct Timely {
+    pub rate: f64,
+    pub window: f64,
+    prev_rtt: f64,
+    rtt_diff: f64,
+    neg_gradient_count: u32,
+    /// Multiplicative decreases are applied at most once per base RTT;
+    /// per-ACK decreases would compound far faster than the deployed
+    /// algorithm, which updates on completion events.
+    last_decrease: Nanos,
+}
+
+/// TIMELY constants from the paper: EWMA weight for the RTT difference,
+/// multiplicative-decrease factor, additive increment.
+const TIMELY_ALPHA: f64 = 0.875;
+const TIMELY_BETA: f64 = 0.8;
+const TIMELY_DELTA_BPS: f64 = 10e6;
+const TIMELY_HAI_THRESH: u32 = 5;
+
+impl Timely {
+    pub fn new(env: &CcEnv) -> Self {
+        Timely {
+            rate: env.nic_bps as f64,
+            window: env.init_window as f64,
+            prev_rtt: env.base_rtt as f64,
+            rtt_diff: 0.0,
+            neg_gradient_count: 0,
+            last_decrease: 0,
+        }
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, env: &CcEnv) {
+        let rtt = ack.rtt as f64;
+        let new_diff = rtt - self.prev_rtt;
+        self.prev_rtt = rtt;
+        self.rtt_diff = TIMELY_ALPHA * self.rtt_diff + (1.0 - TIMELY_ALPHA) * new_diff;
+        let min_rtt = env.base_rtt.max(1) as f64;
+        let gradient = self.rtt_diff / min_rtt;
+
+        let can_decrease = ack.now.saturating_sub(self.last_decrease) >= env.base_rtt;
+        if rtt < env.params.timely_t_low as f64 {
+            self.rate += TIMELY_DELTA_BPS;
+            self.neg_gradient_count = 0;
+        } else if rtt > env.params.timely_t_high as f64 {
+            if can_decrease {
+                self.rate *= 1.0 - TIMELY_BETA * (1.0 - env.params.timely_t_high as f64 / rtt);
+                self.last_decrease = ack.now;
+            }
+            self.neg_gradient_count = 0;
+        } else if gradient <= 0.0 {
+            self.neg_gradient_count += 1;
+            let n = if self.neg_gradient_count >= TIMELY_HAI_THRESH {
+                5.0
+            } else {
+                1.0
+            };
+            self.rate += n * TIMELY_DELTA_BPS;
+        } else {
+            self.neg_gradient_count = 0;
+            if can_decrease {
+                self.rate *= (1.0 - TIMELY_BETA * gradient).max(0.5);
+                self.last_decrease = ack.now;
+            }
+        }
+        self.rate = self.rate.clamp(min_rate(env), env.nic_bps as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DCQCN
+// ---------------------------------------------------------------------------
+
+/// DCQCN (Zhu et al.): CNP-driven multiplicative decrease with alpha EWMA,
+/// then fast-recovery / additive / hyper rate increase stages. Timers are
+/// applied lazily at ACK time.
+#[derive(Debug, Clone)]
+pub struct Dcqcn {
+    pub rate: f64,
+    pub target: f64,
+    pub window: f64,
+    alpha: f64,
+    last_cut: Nanos,
+    last_alpha_decay: Nanos,
+    last_increase: Nanos,
+    inc_stage: u32,
+}
+
+const DCQCN_G: f64 = 1.0 / 16.0;
+/// Minimum gap between consecutive rate decreases (CNP window).
+const DCQCN_CNP_WINDOW: Nanos = 50 * USEC;
+/// Alpha-decay and rate-increase timer period.
+const DCQCN_TIMER: Nanos = 55 * USEC;
+/// Fast-recovery stages before additive increase.
+const DCQCN_F: u32 = 5;
+const DCQCN_RATE_AI: f64 = 40e6;
+const DCQCN_RATE_HAI: f64 = 400e6;
+
+impl Dcqcn {
+    pub fn new(env: &CcEnv) -> Self {
+        Dcqcn {
+            rate: env.nic_bps as f64,
+            target: env.nic_bps as f64,
+            window: env.init_window as f64,
+            alpha: 1.0,
+            last_cut: 0,
+            last_alpha_decay: 0,
+            last_increase: 0,
+            inc_stage: 0,
+        }
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, env: &CcEnv) {
+        // Lazy alpha decay for elapsed timer periods without CNP.
+        let decay_periods = (ack.now.saturating_sub(self.last_alpha_decay)) / DCQCN_TIMER;
+        if decay_periods > 0 {
+            self.alpha *= (1.0 - DCQCN_G).powi(decay_periods.min(64) as i32);
+            self.last_alpha_decay += decay_periods * DCQCN_TIMER;
+        }
+
+        if ack.ecn {
+            self.alpha = (1.0 - DCQCN_G) * self.alpha + DCQCN_G;
+            self.last_alpha_decay = ack.now;
+            if ack.now.saturating_sub(self.last_cut) >= DCQCN_CNP_WINDOW {
+                self.target = self.rate;
+                self.rate *= 1.0 - self.alpha / 2.0;
+                self.last_cut = ack.now;
+                self.last_increase = ack.now;
+                self.inc_stage = 0;
+            }
+        } else {
+            // Lazy rate increase for elapsed timer periods.
+            let mut periods = (ack.now.saturating_sub(self.last_increase)) / DCQCN_TIMER;
+            periods = periods.min(200);
+            for _ in 0..periods {
+                self.inc_stage += 1;
+                if self.inc_stage > 2 * DCQCN_F {
+                    self.target += DCQCN_RATE_HAI;
+                } else if self.inc_stage > DCQCN_F {
+                    self.target += DCQCN_RATE_AI;
+                }
+                self.target = self.target.min(env.nic_bps as f64);
+                self.rate = (self.rate + self.target) / 2.0;
+            }
+            if periods > 0 {
+                self.last_increase += periods * DCQCN_TIMER;
+            }
+        }
+        self.rate = self.rate.clamp(min_rate(env), env.nic_bps as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HPCC
+// ---------------------------------------------------------------------------
+
+/// HPCC (Li et al.): per-ACK window computed from INT-reported link
+/// utilization `U` against target `eta`, with reference-window commits once
+/// per RTT and `W_AI` additive increase after `maxStage` consecutive
+/// increases.
+#[derive(Debug, Clone)]
+pub struct Hpcc {
+    pub window: f64,
+    pub rate: f64,
+    w_ref: f64,
+    u_ewma: f64,
+    inc_stage: u32,
+    /// Sequence boundary for once-per-RTT reference updates.
+    update_seq: u64,
+    last_int: [IntHop; MAX_INT_HOPS],
+    last_int_valid: [bool; MAX_INT_HOPS],
+    last_ack_time: Nanos,
+}
+
+const HPCC_MAX_STAGE: u32 = 5;
+
+impl Hpcc {
+    pub fn new(env: &CcEnv) -> Self {
+        let w = env.init_window as f64;
+        Hpcc {
+            window: w,
+            rate: (w * 8e9 / env.base_rtt.max(1) as f64).min(env.nic_bps as f64),
+            w_ref: w,
+            u_ewma: 0.0,
+            inc_stage: 0,
+            update_seq: 0,
+            last_int: [IntHop::default(); MAX_INT_HOPS],
+            last_int_valid: [false; MAX_INT_HOPS],
+            last_ack_time: 0,
+        }
+    }
+
+    /// W_AI from the configured additive-increase rate: RateAI * T_base.
+    fn w_ai(&self, env: &CcEnv) -> f64 {
+        env.params.hpcc_rate_ai as f64 * env.base_rtt as f64 / 8e9
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent, env: &CcEnv) {
+        let t_base = env.base_rtt.max(1) as f64;
+        // Max per-hop normalized utilization from consecutive INT snapshots.
+        let mut u_max: f64 = 0.0;
+        for (i, hop) in ack.int.iter().enumerate().take(MAX_INT_HOPS) {
+            if self.last_int_valid[i] {
+                let prev = self.last_int[i];
+                let dt = hop.ts.saturating_sub(prev.ts) as f64;
+                let dbytes = hop.tx_bytes.saturating_sub(prev.tx_bytes) as f64;
+                let bw_bytes_per_ns = hop.bandwidth as f64 / 8e9;
+                let tx_rate_frac = if dt > 0.0 {
+                    (dbytes / dt) / bw_bytes_per_ns
+                } else {
+                    0.0
+                };
+                let q_frac = hop.qlen as f64 / (bw_bytes_per_ns * t_base);
+                u_max = u_max.max(q_frac + tx_rate_frac);
+            }
+            self.last_int[i] = *hop;
+            self.last_int_valid[i] = true;
+        }
+        // EWMA over roughly one base RTT of ACKs.
+        let tau = (ack.now.saturating_sub(self.last_ack_time) as f64).min(t_base);
+        self.last_ack_time = ack.now;
+        let w = tau / t_base;
+        self.u_ewma = (1.0 - w) * self.u_ewma + w * u_max;
+
+        let eta = env.params.hpcc_eta;
+        let w_ai = self.w_ai(env);
+        let u = self.u_ewma.max(1e-6);
+        if u >= eta || self.inc_stage >= HPCC_MAX_STAGE {
+            self.window = self.w_ref * eta / u + w_ai;
+            if ack.acked_seq > self.update_seq {
+                self.w_ref = self.window;
+                self.inc_stage = 0;
+                self.update_seq = ack.sent_seq;
+            }
+        } else {
+            self.window = self.w_ref + w_ai;
+            if ack.acked_seq > self.update_seq {
+                self.w_ref = self.window;
+                self.inc_stage += 1;
+                self.update_seq = ack.sent_seq;
+            }
+        }
+        let max_w = env.nic_bps as f64 * t_base / 8e9 * 4.0 + env.init_window as f64;
+        self.window = self.window.clamp(env.mtu as f64, max_w);
+        self.rate = (self.window * 8e9 / t_base).clamp(min_rate(env), env.nic_bps as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{GBPS, KB};
+
+    fn env() -> CcEnv {
+        CcEnv {
+            base_rtt: 8 * USEC,
+            nic_bps: 10 * GBPS,
+            mtu: 1000,
+            init_window: 15 * KB,
+            params: CcParams::default(),
+        }
+    }
+
+    fn ack(now: Nanos, bytes: Bytes, ecn: bool, rtt: Nanos, seq: u64) -> AckEvent<'static> {
+        AckEvent {
+            now,
+            bytes_acked: bytes,
+            ecn,
+            rtt,
+            sent_seq: seq + 100_000,
+            acked_seq: seq,
+            int: &[],
+        }
+    }
+
+    #[test]
+    fn dctcp_slow_start_doubles() {
+        let e = env();
+        let mut s = Dctcp::new(&e);
+        let w0 = s.window;
+        s.on_ack(&ack(1000, 1000, false, e.base_rtt, 1000), &e);
+        assert!(s.window > w0, "slow start should grow the window");
+    }
+
+    #[test]
+    fn dctcp_cuts_once_per_round() {
+        let e = env();
+        let mut s = Dctcp::new(&e);
+        s.alpha = 1.0;
+        let w0 = s.window;
+        s.on_ack(&ack(1000, 1000, true, e.base_rtt, 1000), &e);
+        let w1 = s.window;
+        assert!(w1 < w0);
+        // Second marked ACK in the same round: no further cut.
+        s.on_ack(&ack(2000, 1000, true, e.base_rtt, 2000), &e);
+        assert!((s.window - w1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dctcp_alpha_tracks_marking_fraction() {
+        let e = env();
+        let mut s = Dctcp::new(&e);
+        // A full unmarked round decays alpha toward zero.
+        let round = s.round_end;
+        s.on_ack(&ack(1000, round, false, e.base_rtt, round), &e);
+        assert!(s.alpha < 1.0);
+    }
+
+    #[test]
+    fn dctcp_window_never_below_mtu() {
+        let e = env();
+        let mut s = Dctcp::new(&e);
+        for i in 0..200 {
+            s.on_ack(&ack(i * 100, 100, true, e.base_rtt, (i + 1) * 100), &e);
+        }
+        assert!(s.window >= e.mtu as f64);
+    }
+
+    #[test]
+    fn timely_decreases_on_high_rtt() {
+        let e = env();
+        let mut s = Timely::new(&e);
+        let r0 = s.rate;
+        // `now` must be at least one base RTT in: decreases are rate-limited.
+        s.on_ack(
+            &ack(100 * USEC, 1000, false, e.params.timely_t_high + 100 * USEC, 1000),
+            &e,
+        );
+        assert!(s.rate < r0);
+    }
+
+    #[test]
+    fn timely_increases_on_low_rtt() {
+        let e = env();
+        let mut s = Timely::new(&e);
+        s.rate = 1e9;
+        s.on_ack(&ack(1000, 1000, false, e.params.timely_t_low / 2, 1000), &e);
+        assert!(s.rate > 1e9);
+    }
+
+    #[test]
+    fn timely_rate_clamped_to_nic() {
+        let e = env();
+        let mut s = Timely::new(&e);
+        for i in 0..1000 {
+            s.on_ack(&ack(i * 1000, 1000, false, e.params.timely_t_low / 2, i * 1000), &e);
+        }
+        assert!(s.rate <= e.nic_bps as f64);
+    }
+
+    #[test]
+    fn dcqcn_cnp_cuts_rate() {
+        let e = env();
+        let mut s = Dcqcn::new(&e);
+        let r0 = s.rate;
+        s.on_ack(&ack(100 * USEC, 1000, true, e.base_rtt, 1000), &e);
+        assert!(s.rate < r0);
+        assert!((s.target - r0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dcqcn_respects_cnp_window() {
+        let e = env();
+        let mut s = Dcqcn::new(&e);
+        s.on_ack(&ack(100 * USEC, 1000, true, e.base_rtt, 1000), &e);
+        let r1 = s.rate;
+        // Another CNP 10us later: inside the 50us window, no further cut.
+        s.on_ack(&ack(110 * USEC, 1000, true, e.base_rtt, 2000), &e);
+        assert!((s.rate - r1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dcqcn_recovers_toward_target() {
+        let e = env();
+        let mut s = Dcqcn::new(&e);
+        s.on_ack(&ack(100 * USEC, 1000, true, e.base_rtt, 1000), &e);
+        let cut = s.rate;
+        // Several timer periods later, fast recovery should close the gap.
+        s.on_ack(&ack(100 * USEC + 4 * DCQCN_TIMER, 1000, false, e.base_rtt, 2000), &e);
+        assert!(s.rate > cut);
+        assert!(s.rate <= s.target + 1.0);
+    }
+
+    #[test]
+    fn hpcc_shrinks_window_when_overutilized() {
+        let e = env();
+        let mut s = Hpcc::new(&e);
+        let bw = 10 * GBPS;
+        // First INT snapshot.
+        let int1 = [IntHop {
+            qlen: 0,
+            tx_bytes: 0,
+            ts: 0,
+            bandwidth: bw,
+        }];
+        let mut a = ack(8 * USEC, 1000, false, e.base_rtt, 1000);
+        a.int = &int1;
+        s.on_ack(&a, &e);
+        // Second snapshot: queue built up and link ran at full rate.
+        let int2 = [IntHop {
+            qlen: 100 * KB,
+            tx_bytes: 10_000,
+            ts: 8 * USEC,
+            bandwidth: bw,
+        }];
+        let mut b = ack(16 * USEC, 1000, false, e.base_rtt, 2000);
+        b.int = &int2;
+        let w0 = s.window;
+        s.on_ack(&b, &e);
+        assert!(s.window < w0, "window should shrink under congestion");
+    }
+
+    #[test]
+    fn hpcc_grows_when_underutilized() {
+        let e = env();
+        let mut s = Hpcc::new(&e);
+        let bw = 10 * GBPS;
+        for i in 0..6u64 {
+            let int = [IntHop {
+                qlen: 0,
+                tx_bytes: i * 100, // nearly idle link
+                ts: i * 8 * USEC,
+                bandwidth: bw,
+            }];
+            let mut a = ack((i + 1) * 8 * USEC, 1000, false, e.base_rtt, (i + 1) * 1000);
+            a.int = &int;
+            s.on_ack(&a, &e);
+        }
+        assert!(s.window > e.init_window as f64);
+    }
+
+    #[test]
+    fn timeout_collapses_all_protocols() {
+        let e = env();
+        for p in CcProtocol::ALL {
+            let mut s = CcState::new(p, &e);
+            s.on_timeout(&e);
+            assert!(s.window() >= e.mtu as f64);
+            if s.rate_bps().is_finite() {
+                assert!(s.rate_bps() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn int_vec_caps_at_max_hops() {
+        let mut v = IntVec::default();
+        for _ in 0..20 {
+            v.push(IntHop::default());
+        }
+        assert_eq!(v.as_slice().len(), MAX_INT_HOPS);
+    }
+}

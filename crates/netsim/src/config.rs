@@ -1,0 +1,157 @@
+//! Simulator configuration: the network-configuration parameter space of
+//! Table 4 (init window, buffer size, PFC, CC protocol and its parameters)
+//! plus packet-format constants.
+
+use crate::units::{Bps, Bytes, Nanos, KB, MSEC, USEC};
+use serde::{Deserialize, Serialize};
+
+/// Congestion control protocol selector (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcProtocol {
+    Dctcp,
+    Timely,
+    Dcqcn,
+    Hpcc,
+}
+
+impl CcProtocol {
+    pub const ALL: [CcProtocol; 4] = [
+        CcProtocol::Dctcp,
+        CcProtocol::Timely,
+        CcProtocol::Dcqcn,
+        CcProtocol::Hpcc,
+    ];
+
+    /// Stable index used for one-hot encoding in m3's spec vector.
+    pub fn index(self) -> usize {
+        match self {
+            CcProtocol::Dctcp => 0,
+            CcProtocol::Timely => 1,
+            CcProtocol::Dcqcn => 2,
+            CcProtocol::Hpcc => 3,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CcProtocol::Dctcp => "dctcp",
+            CcProtocol::Timely => "timely",
+            CcProtocol::Dcqcn => "dcqcn",
+            CcProtocol::Hpcc => "hpcc",
+        }
+    }
+}
+
+/// Congestion-control parameters; only the fields for the selected protocol
+/// are consulted. Ranges follow Table 4.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CcParams {
+    /// DCTCP marking threshold K.
+    pub dctcp_k: Bytes,
+    /// DCQCN RED-style marking thresholds (K_min, K_max).
+    pub dcqcn_k_min: Bytes,
+    pub dcqcn_k_max: Bytes,
+    /// HPCC target utilization eta.
+    pub hpcc_eta: f64,
+    /// HPCC additive-increase rate (paper: RateAI, 500-1000 Mbps).
+    pub hpcc_rate_ai: Bps,
+    /// TIMELY RTT thresholds.
+    pub timely_t_low: Nanos,
+    pub timely_t_high: Nanos,
+}
+
+impl Default for CcParams {
+    fn default() -> Self {
+        CcParams {
+            dctcp_k: 12 * KB,
+            dcqcn_k_min: 30 * KB,
+            dcqcn_k_max: 75 * KB,
+            hpcc_eta: 0.95,
+            hpcc_rate_ai: 750_000_000,
+            timely_t_low: 50 * USEC,
+            timely_t_high: 120 * USEC,
+        }
+    }
+}
+
+/// Full simulator configuration (Table 4 plus packet constants).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Maximum payload per packet.
+    pub mtu: Bytes,
+    /// ACK/control frame size on the wire.
+    pub ack_size: Bytes,
+    /// Initial (and, for rate-based CCs, fixed) window in bytes.
+    pub init_window: Bytes,
+    /// Per-egress-port buffer limit; arriving packets that would exceed it
+    /// are dropped (unless PFC backpressure prevented the arrival).
+    pub buffer_size: Bytes,
+    /// Whether Priority Flow Control is enabled.
+    pub pfc_enabled: bool,
+    /// PFC XOFF threshold on per-ingress buffered bytes.
+    pub pfc_threshold: Bytes,
+    /// Hysteresis: resume when ingress usage falls below threshold - gap.
+    pub pfc_resume_gap: Bytes,
+    /// Retransmission timeout (go-back-N on expiry). Must exceed the
+    /// worst-case queueing RTT (~2.4 ms with 500 kB buffers over 6 hops);
+    /// a smaller value causes spurious retransmission cascades under load.
+    pub rto: Nanos,
+    pub cc: CcProtocol,
+    pub params: CcParams,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mtu: 1000,
+            ack_size: 64,
+            init_window: 15 * KB,
+            buffer_size: 400 * KB,
+            pfc_enabled: false,
+            pfc_threshold: 150 * KB,
+            pfc_resume_gap: 30 * KB,
+            rto: 5 * MSEC,
+            cc: CcProtocol::Dctcp,
+            params: CcParams::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of full-size packets a flow of `size` bytes needs.
+    pub fn packets_for(&self, size: Bytes) -> u64 {
+        size.max(1).div_ceil(self.mtu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_indices_are_distinct() {
+        let mut seen = [false; 4];
+        for p in CcProtocol::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+        }
+    }
+
+    #[test]
+    fn packets_for_rounds_up() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.packets_for(1), 1);
+        assert_eq!(cfg.packets_for(1000), 1);
+        assert_eq!(cfg.packets_for(1001), 2);
+        assert_eq!(cfg.packets_for(0), 1);
+    }
+
+    #[test]
+    fn default_config_is_within_table4_ranges() {
+        let c = SimConfig::default();
+        assert!((5 * KB..=30 * KB).contains(&c.init_window));
+        assert!((200 * KB..=500 * KB).contains(&c.buffer_size));
+        assert!((5 * KB..=20 * KB).contains(&c.params.dctcp_k));
+        assert!((0.70..=0.95).contains(&c.params.hpcc_eta));
+    }
+}

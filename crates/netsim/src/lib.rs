@@ -1,0 +1,56 @@
+//! # m3-netsim
+//!
+//! A packet-level discrete-event data center network simulator: the
+//! ground-truth substrate of the m3 reproduction (the paper uses ns-3; see
+//! DESIGN.md for the substitution rationale).
+//!
+//! The simulator models:
+//! * store-and-forward switching with per-port FIFO queues and buffer limits,
+//! * ECN marking (threshold and RED-style) and PFC backpressure,
+//! * four congestion-control protocols: DCTCP, TIMELY, DCQCN and HPCC
+//!   (with in-band network telemetry),
+//! * per-flow static ECMP routes over arbitrary topologies, with builders
+//!   for the paper's fat trees and parking lots,
+//! * cumulative ACKs, go-back-N loss recovery, and retransmission timers.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use m3_netsim::prelude::*;
+//!
+//! // Two hosts, one switch.
+//! let mut topo = Topology::new();
+//! let a = topo.add_host();
+//! let s = topo.add_switch();
+//! let b = topo.add_host();
+//! let l1 = topo.add_link(a, s, 10 * GBPS, USEC);
+//! let l2 = topo.add_link(s, b, 10 * GBPS, USEC);
+//!
+//! let flow = FlowSpec { id: 0, src: a, dst: b, size: 30_000, arrival: 0, path: vec![l1, l2] };
+//! let out = run_simulation(&topo, SimConfig::default(), vec![flow]);
+//! assert_eq!(out.records.len(), 1);
+//! assert!(out.records[0].slowdown() >= 1.0);
+//! ```
+
+pub mod cc;
+pub mod config;
+pub mod flow;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod units;
+
+/// Convenient re-exports of the crate's primary types.
+pub mod prelude {
+    pub use crate::cc::{CcEnv, CcState, IntHop};
+    pub use crate::config::{CcParams, CcProtocol, SimConfig};
+    pub use crate::flow::{FctRecord, FlowId, FlowSpec};
+    pub use crate::routing::Routing;
+    pub use crate::sim::{run_simulation, ChannelStats, SimOutput, Simulator};
+    pub use crate::stats::{percentile, percentile_unsorted, relative_error, Ecdf, ErrorSummary};
+    pub use crate::topology::{
+        FatTree, FatTreeSpec, Link, LinkId, NodeId, NodeKind, ParkingLot, PortId, Topology,
+    };
+    pub use crate::units::{Bps, Bytes, Nanos, GBPS, KB, MB, MSEC, SEC, USEC};
+}

@@ -1,0 +1,1035 @@
+//! The packet-level discrete-event simulation engine.
+//!
+//! A single binary-heap event queue drives per-port packet serialization,
+//! store-and-forward switching, ECN marking, PFC backpressure, per-flow
+//! congestion control, cumulative ACKs, and go-back-N loss recovery. This is
+//! the repository's stand-in for ns-3: every estimator in the workspace is
+//! validated against the FCT slowdowns this engine produces.
+//!
+//! Design notes:
+//! * Time is integer nanoseconds; ties are broken by a monotonically
+//!   increasing event sequence number, so runs are exactly reproducible.
+//! * Flows carry precomputed static routes ([`FlowSpec::path`]); ACKs travel
+//!   the reverse route. All estimators therefore see identical routing.
+//! * FCT is recorded at the receiver when the last in-order byte arrives,
+//!   and normalized by [`Topology::ideal_fct`] over the same path.
+
+use crate::cc::{AckEvent, CcEnv, CcState, IntHop, IntVec};
+use crate::config::{CcProtocol, SimConfig};
+use crate::flow::{FctRecord, FlowId, FlowSpec};
+use crate::topology::{LinkId, NodeKind, Topology};
+use crate::units::{tx_time, Bytes, Nanos};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a directed channel: `link.index() * 2 + (forward ? 0 : 1)`.
+type PortIdx = u32;
+
+#[inline]
+fn port_idx(link: LinkId, forward: bool) -> PortIdx {
+    link.0 * 2 + if forward { 0 } else { 1 }
+}
+
+#[inline]
+fn port_link(p: PortIdx) -> LinkId {
+    LinkId(p / 2)
+}
+
+#[inline]
+fn port_forward(p: PortIdx) -> bool {
+    p % 2 == 0
+}
+
+/// A packet on the wire. Data packets flow src -> dst along the path; ACKs
+/// flow back along the reverse path. INT telemetry is boxed so the non-HPCC
+/// fast path stays allocation-free.
+#[derive(Debug, Clone)]
+struct Packet {
+    flow: FlowId,
+    /// First payload byte offset (data) or echoed offset (ACK).
+    seq: u64,
+    /// Bytes on the wire.
+    size: u32,
+    is_ack: bool,
+    /// ECN congestion-experienced mark (set by switches on data packets).
+    ecn: bool,
+    /// Sender timestamp, echoed by the receiver for RTT sampling.
+    tx_time: Nanos,
+    /// Data: index of the next link in `path` to traverse.
+    /// ACK: index of the next link in `path` to traverse in reverse.
+    hop: u16,
+    /// Cumulative ACK (ACK packets only).
+    ack_seq: u64,
+    /// Directed port this packet most recently arrived on (PFC accounting);
+    /// `u32::MAX` when host-originated.
+    ingress: PortIdx,
+    /// In-band telemetry accumulated hop by hop (HPCC only).
+    int: Option<Box<IntVec>>,
+    /// Strict-priority class (0 = highest). ACKs inherit the flow's class.
+    prio: u8,
+}
+
+#[derive(Debug)]
+enum Ev {
+    FlowArrive(FlowId),
+    /// The port finished serializing its current packet.
+    PortFree(PortIdx),
+    /// A packet reached the far end of a directed port.
+    Deliver(PortIdx, Packet),
+    /// Pacing timer for a rate-limited flow.
+    PaceSend(FlowId),
+    /// Retransmission-timer check.
+    Timeout(FlowId),
+    /// PFC pause/resume taking effect at the upstream transmitter.
+    PfcSet(PortIdx, bool),
+}
+
+struct HeapEv {
+    time: Nanos,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// State of one directed channel.
+#[derive(Debug, Default)]
+struct Port {
+    /// Per-priority FIFO queues; index 0 is served first (strict priority).
+    queues: Vec<std::collections::VecDeque<Packet>>,
+    qbytes: Bytes,
+    busy: bool,
+    /// PFC pause asserted by the downstream node.
+    paused: bool,
+    /// Cumulative transmitted bytes (INT counter).
+    tx_bytes: u64,
+    /// Bytes buffered at the *downstream* node that arrived via this port
+    /// and have not yet been forwarded (PFC ingress accounting).
+    ingress_bytes: Bytes,
+    /// Whether we have an outstanding PAUSE toward this port's transmitter.
+    pause_sent: bool,
+    /// Telemetry: peak queue occupancy observed.
+    max_qbytes: Bytes,
+    /// Telemetry: cumulative serialization (busy) time.
+    busy_ns: Nanos,
+    /// Telemetry: packets dropped at this channel's queue.
+    drops: u64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    spec: FlowSpec,
+    env: CcEnv,
+    cc: CcState,
+    /// Bytes handed to the NIC (includes retransmissions rewinding it).
+    next_seq: u64,
+    /// Cumulative bytes acknowledged.
+    acked: u64,
+    /// Receiver's next expected in-order byte.
+    recv_next: u64,
+    dup_acks: u32,
+    pace_next: Nanos,
+    pace_scheduled: bool,
+    /// Retransmission deadline; a single pending Timeout event lazily chases it.
+    timer_expiry: Nanos,
+    timer_scheduled: bool,
+    started: bool,
+    fct_recorded: bool,
+    /// Strict-priority class (0 = highest; default for all flows).
+    prio: u8,
+}
+
+impl Flow {
+    fn send_done(&self) -> bool {
+        self.next_seq >= self.spec.size
+    }
+    fn fully_acked(&self) -> bool {
+        self.acked >= self.spec.size
+    }
+}
+
+/// Per-directed-channel telemetry collected during a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelStats {
+    /// Total bytes transmitted.
+    pub tx_bytes: u64,
+    /// Peak queue occupancy.
+    pub max_qbytes: Bytes,
+    /// Cumulative time spent serializing packets.
+    pub busy_ns: Nanos,
+    /// Packets dropped at this channel's queue.
+    pub drops: u64,
+}
+
+impl ChannelStats {
+    /// Utilization over a horizon (clamped to [0, 1]).
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        (self.busy_ns as f64 / horizon.max(1) as f64).min(1.0)
+    }
+}
+
+/// Full simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    pub records: Vec<FctRecord>,
+    /// Total data packets delivered (for event-throughput benchmarks).
+    pub data_packets_delivered: u64,
+    /// Packets dropped at full buffers.
+    pub drops: u64,
+    /// Simulated time at which the last flow completed.
+    pub end_time: Nanos,
+    /// Telemetry per directed channel, indexed `link.index() * 2 +
+    /// (forward ? 0 : 1)`.
+    pub channel_stats: Vec<ChannelStats>,
+}
+
+/// The simulator. Construct with a topology, configuration and flow set,
+/// then call [`Simulator::run`].
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    config: SimConfig,
+    flows: Vec<Flow>,
+    ports: Vec<Port>,
+    events: BinaryHeap<HeapEv>,
+    event_seq: u64,
+    now: Nanos,
+    rng: SmallRng,
+    recorded: usize,
+    records: Vec<FctRecord>,
+    data_packets: u64,
+    drops: u64,
+    /// Hard stop (safety net); `None` runs to completion.
+    deadline: Option<Nanos>,
+}
+
+impl<'a> Simulator<'a> {
+    pub fn new(topo: &'a Topology, config: SimConfig, flows: Vec<FlowSpec>) -> Self {
+        let n_flows = flows.len();
+        let flows = flows
+            .into_iter()
+            .map(|spec| {
+                assert!(!spec.path.is_empty(), "flow {} has an empty path", spec.id);
+                assert!(
+                    spec.path.len() <= u16::MAX as usize,
+                    "path too long for hop counter"
+                );
+                let env = flow_env(topo, &spec, &config);
+                let cc = CcState::new(config.cc, &env);
+                Flow {
+                    spec,
+                    env,
+                    cc,
+                    next_seq: 0,
+                    acked: 0,
+                    recv_next: 0,
+                    dup_acks: 0,
+                    pace_next: 0,
+                    pace_scheduled: false,
+                    timer_expiry: 0,
+                    timer_scheduled: false,
+                    started: false,
+                    fct_recorded: false,
+                    prio: 0,
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut sim = Simulator {
+            topo,
+            config,
+            flows,
+            ports: (0..topo.link_count() * 2).map(|_| Port::default()).collect(),
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            now: 0,
+            rng: SmallRng::seed_from_u64(0x6D33_5EED),
+            recorded: 0,
+            records: Vec::with_capacity(n_flows),
+            data_packets: 0,
+            drops: 0,
+            deadline: None,
+        };
+        for i in 0..sim.flows.len() {
+            let t = sim.flows[i].spec.arrival;
+            sim.push(t, Ev::FlowArrive(i as FlowId));
+        }
+        sim
+    }
+
+    /// Abort the run at `t` even if flows remain (used as a safety net by
+    /// callers that construct potentially overloaded scenarios).
+    pub fn set_deadline(&mut self, t: Nanos) {
+        self.deadline = Some(t);
+    }
+
+    /// Assign strict-priority classes per flow (0 = highest; the default).
+    /// Switch egress ports serve class 0 exhaustively before class 1, and
+    /// so on — the paper's "priority classes" future-work item (§3.6).
+    /// `priorities` must be indexed by flow position in the input order.
+    pub fn set_priorities(&mut self, priorities: &[u8]) {
+        assert_eq!(priorities.len(), self.flows.len(), "one class per flow");
+        for (f, &p) in self.flows.iter_mut().zip(priorities) {
+            f.prio = p;
+        }
+    }
+
+    fn push(&mut self, time: Nanos, ev: Ev) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        self.event_seq += 1;
+        self.events.push(HeapEv {
+            time,
+            seq: self.event_seq,
+            ev,
+        });
+    }
+
+    /// Run to completion and return all flow records.
+    pub fn run(mut self) -> SimOutput {
+        while let Some(HeapEv { time, ev, .. }) = self.events.pop() {
+            self.now = time;
+            if let Some(d) = self.deadline {
+                if time > d {
+                    break;
+                }
+            }
+            match ev {
+                Ev::FlowArrive(f) => self.on_flow_arrive(f),
+                Ev::PortFree(p) => self.on_port_free(p),
+                Ev::Deliver(p, pkt) => self.on_deliver(p, pkt),
+                Ev::PaceSend(f) => {
+                    self.flows[f as usize].pace_scheduled = false;
+                    self.try_send(f);
+                }
+                Ev::Timeout(f) => self.on_timeout(f),
+                Ev::PfcSet(p, paused) => self.on_pfc_set(p, paused),
+            }
+            if self.recorded == self.flows.len() {
+                break;
+            }
+        }
+        SimOutput {
+            records: std::mem::take(&mut self.records),
+            data_packets_delivered: self.data_packets,
+            drops: self.drops,
+            end_time: self.now,
+            channel_stats: self
+                .ports
+                .iter()
+                .map(|p| ChannelStats {
+                    tx_bytes: p.tx_bytes,
+                    max_qbytes: p.max_qbytes,
+                    busy_ns: p.busy_ns,
+                    drops: p.drops,
+                })
+                .collect(),
+        }
+    }
+
+    fn on_flow_arrive(&mut self, f: FlowId) {
+        let flow = &mut self.flows[f as usize];
+        flow.started = true;
+        flow.pace_next = self.now;
+        flow.timer_expiry = self.now + self.config.rto;
+        self.arm_timer(f);
+        self.try_send(f);
+    }
+
+    /// Push as many packets as window, pacing, and remaining data allow.
+    fn try_send(&mut self, f: FlowId) {
+        loop {
+            let flow = &self.flows[f as usize];
+            if flow.send_done() || flow.fully_acked() {
+                return;
+            }
+            let inflight = flow.next_seq - flow.acked;
+            let window = flow.cc.window();
+            if (inflight as f64) >= window {
+                return; // window-limited; ACKs will resume us
+            }
+            let rate = flow.cc.rate_bps();
+            if rate.is_finite() && self.now < flow.pace_next {
+                let when = flow.pace_next;
+                if !flow.pace_scheduled {
+                    self.flows[f as usize].pace_scheduled = true;
+                    self.push(when, Ev::PaceSend(f));
+                }
+                return;
+            }
+            // Emit one packet.
+            let flow = &mut self.flows[f as usize];
+            let payload = (flow.spec.size - flow.next_seq).min(self.config.mtu) as u32;
+            let seq = flow.next_seq;
+            flow.next_seq += payload as u64;
+            if rate.is_finite() {
+                let pace_gap = (payload as f64 * 8e9 / rate).ceil() as Nanos;
+                flow.pace_next = self.now.max(flow.pace_next) + pace_gap;
+            }
+            let int = if self.config.cc == CcProtocol::Hpcc {
+                Some(Box::new(IntVec::default()))
+            } else {
+                None
+            };
+            let first_link = flow.spec.path[0];
+            let src = flow.spec.src;
+            let pkt = Packet {
+                flow: f,
+                seq,
+                size: payload,
+                is_ack: false,
+                ecn: false,
+                tx_time: self.now,
+                hop: 1,
+                ack_seq: 0,
+                ingress: u32::MAX,
+                int,
+                prio: flow.prio,
+            };
+            let link = self.topo.link(first_link);
+            let p = port_idx(first_link, link.a == src);
+            self.enqueue(p, pkt);
+        }
+    }
+
+    /// Enqueue a packet on a directed port, applying buffer limits, ECN
+    /// marking, and PFC ingress accounting; start transmission if idle.
+    fn enqueue(&mut self, p: PortIdx, mut pkt: Packet) {
+        let from_switch = {
+            let link = self.topo.link(port_link(p));
+            let src_node = if port_forward(p) { link.a } else { link.b };
+            self.topo.kind(src_node) == NodeKind::Switch
+        };
+        let port = &mut self.ports[p as usize];
+        // Buffer limits apply at switch egress only: a host's NIC queue holds
+        // its own windowed backlog (it cannot "drop" data it has not sent).
+        if from_switch && port.qbytes + pkt.size as u64 > self.config.buffer_size {
+            self.drops += 1;
+            port.drops += 1;
+            // PFC ingress accounting for the dropped packet's origin is not
+            // incremented (the packet never occupies the buffer).
+            return;
+        }
+        // ECN marking at switch egress enqueue, on data packets.
+        if from_switch && !pkt.is_ack {
+            match self.config.cc {
+                CcProtocol::Dctcp | CcProtocol::Hpcc => {
+                    if port.qbytes >= self.config.params.dctcp_k {
+                        pkt.ecn = true;
+                    }
+                }
+                CcProtocol::Dcqcn => {
+                    let kmin = self.config.params.dcqcn_k_min;
+                    let kmax = self.config.params.dcqcn_k_max;
+                    if port.qbytes >= kmax {
+                        pkt.ecn = true;
+                    } else if port.qbytes > kmin {
+                        let prob =
+                            (port.qbytes - kmin) as f64 / (kmax - kmin).max(1) as f64;
+                        if self.rng.gen::<f64>() < prob {
+                            pkt.ecn = true;
+                        }
+                    }
+                }
+                CcProtocol::Timely => {}
+            }
+        }
+        // PFC ingress accounting: the packet now occupies buffer space at
+        // this node, attributed to the port it arrived on.
+        if self.config.pfc_enabled && pkt.ingress != u32::MAX {
+            let ing = &mut self.ports[pkt.ingress as usize];
+            ing.ingress_bytes += pkt.size as u64;
+            if ing.ingress_bytes >= self.config.pfc_threshold && !ing.pause_sent {
+                ing.pause_sent = true;
+                let delay = self.topo.link(port_link(pkt.ingress)).delay;
+                let target = pkt.ingress;
+                self.push(self.now + delay, Ev::PfcSet(target, true));
+            }
+        }
+        let port = &mut self.ports[p as usize];
+        port.qbytes += pkt.size as u64;
+        port.max_qbytes = port.max_qbytes.max(port.qbytes);
+        let prio = pkt.prio as usize;
+        if port.queues.len() <= prio {
+            port.queues.resize_with(prio + 1, Default::default);
+        }
+        port.queues[prio].push_back(pkt);
+        if !port.busy && !port.paused {
+            self.start_tx(p);
+        }
+    }
+
+    /// Begin serializing the head-of-line packet of an idle, unpaused port.
+    fn start_tx(&mut self, p: PortIdx) {
+        let link = *self.topo.link(port_link(p));
+        let port = &mut self.ports[p as usize];
+        debug_assert!(!port.busy && !port.paused);
+        // Strict priority: serve the lowest-index non-empty class first.
+        let Some(mut pkt) = port
+            .queues
+            .iter_mut()
+            .find_map(|q| q.pop_front())
+        else {
+            return;
+        };
+        port.qbytes -= pkt.size as u64;
+        port.busy = true;
+        port.tx_bytes += pkt.size as u64;
+        let qlen_after = port.qbytes;
+        let tx_bytes = port.tx_bytes;
+        // Release PFC ingress accounting now that the packet leaves this node.
+        if self.config.pfc_enabled && pkt.ingress != u32::MAX {
+            let resume_below = self
+                .config
+                .pfc_threshold
+                .saturating_sub(self.config.pfc_resume_gap);
+            let ing_delay = self.topo.link(port_link(pkt.ingress)).delay;
+            let ing = &mut self.ports[pkt.ingress as usize];
+            ing.ingress_bytes = ing.ingress_bytes.saturating_sub(pkt.size as u64);
+            if ing.pause_sent && ing.ingress_bytes < resume_below {
+                ing.pause_sent = false;
+                let target = pkt.ingress;
+                self.push(self.now + ing_delay, Ev::PfcSet(target, false));
+            }
+        }
+        // INT telemetry at dequeue (HPCC).
+        if let Some(int) = pkt.int.as_deref_mut() {
+            if !pkt.is_ack {
+                int.push(IntHop {
+                    qlen: qlen_after,
+                    tx_bytes,
+                    ts: self.now,
+                    bandwidth: link.bandwidth,
+                });
+            }
+        }
+        let ser = tx_time(pkt.size as u64, link.bandwidth);
+        self.ports[p as usize].busy_ns += ser;
+        self.push(self.now + ser, Ev::PortFree(p));
+        self.push(self.now + ser + link.delay, Ev::Deliver(p, pkt));
+    }
+
+    fn on_port_free(&mut self, p: PortIdx) {
+        let port = &mut self.ports[p as usize];
+        port.busy = false;
+        if !port.paused && port.qbytes > 0 {
+            self.start_tx(p);
+        }
+    }
+
+    fn on_pfc_set(&mut self, p: PortIdx, paused: bool) {
+        let port = &mut self.ports[p as usize];
+        port.paused = paused;
+        if !paused && !port.busy && port.qbytes > 0 {
+            self.start_tx(p);
+        }
+    }
+
+    fn on_deliver(&mut self, p: PortIdx, mut pkt: Packet) {
+        let link = self.topo.link(port_link(p));
+        let node = if port_forward(p) { link.b } else { link.a };
+        let flow_idx = pkt.flow as usize;
+        if !pkt.is_ack {
+            // Data packet.
+            let at_dst = node == self.flows[flow_idx].spec.dst;
+            if at_dst {
+                self.data_packets += 1;
+                self.receive_data(p, pkt);
+            } else {
+                // Forward along the path.
+                let hop = pkt.hop as usize;
+                let path = &self.flows[flow_idx].spec.path;
+                debug_assert!(hop < path.len(), "data packet overran its path");
+                let next_link = path[hop];
+                pkt.hop += 1;
+                pkt.ingress = p;
+                let l = self.topo.link(next_link);
+                let out = port_idx(next_link, l.a == node);
+                self.enqueue(out, pkt);
+            }
+        } else {
+            let at_src = node == self.flows[flow_idx].spec.src;
+            if at_src {
+                self.receive_ack(pkt);
+            } else {
+                // ACKs traverse the path in reverse; hop is the index of
+                // the link just traversed, so the next reverse-order link
+                // is path[hop - 1].
+                let hop = pkt.hop as usize;
+                debug_assert!(hop > 0, "ACK overran the reverse path");
+                let path = &self.flows[flow_idx].spec.path;
+                let next_link = path[hop - 1];
+                pkt.hop -= 1;
+                pkt.ingress = p;
+                let l = self.topo.link(next_link);
+                let out = port_idx(next_link, l.a == node);
+                self.enqueue(out, pkt);
+            }
+        }
+    }
+
+    /// Receiver-side data processing: cumulative in-order delivery, FCT
+    /// recording, and ACK generation.
+    fn receive_data(&mut self, _p: PortIdx, pkt: Packet) {
+        let flow = &mut self.flows[pkt.flow as usize];
+        if pkt.seq == flow.recv_next {
+            flow.recv_next += pkt.size as u64;
+        }
+        // Out-of-order (go-back-N): discard payload, still ACK cumulatively.
+        if flow.recv_next >= flow.spec.size && !flow.fct_recorded {
+            flow.fct_recorded = true;
+            let fct = self.now - flow.spec.arrival;
+            let ideal = self
+                .topo
+                .ideal_fct(&flow.spec.path, flow.spec.size, self.config.mtu);
+            self.records.push(FctRecord {
+                id: flow.spec.id,
+                size: flow.spec.size,
+                arrival: flow.spec.arrival,
+                fct,
+                ideal_fct: ideal,
+            });
+            self.recorded += 1;
+        }
+        let flow = &self.flows[pkt.flow as usize];
+        let path_len = flow.spec.path.len();
+        let dst = flow.spec.dst;
+        let ack = Packet {
+            flow: pkt.flow,
+            seq: pkt.seq,
+            size: self.config.ack_size as u32,
+            is_ack: true,
+            ecn: pkt.ecn, // ECN echo
+            tx_time: pkt.tx_time,
+            hop: (path_len - 1) as u16,
+            ack_seq: flow.recv_next,
+            ingress: u32::MAX,
+            int: pkt.int,
+            prio: flow.prio,
+        };
+        let last_link = flow.spec.path[path_len - 1];
+        let l = self.topo.link(last_link);
+        let out = port_idx(last_link, l.a == dst);
+        self.enqueue(out, ack);
+    }
+
+    /// Sender-side ACK processing: CC update, fast retransmit, timer re-arm.
+    fn receive_ack(&mut self, pkt: Packet) {
+        let f = pkt.flow;
+        let flow = &mut self.flows[f as usize];
+        if flow.fully_acked() {
+            return;
+        }
+        let newly = pkt.ack_seq.saturating_sub(flow.acked);
+        if newly > 0 {
+            flow.acked = pkt.ack_seq;
+            // Go-back-N may have rewound next_seq while earlier transmissions
+            // were still in flight; never let the ACK clock run ahead of it.
+            flow.next_seq = flow.next_seq.max(flow.acked);
+            flow.dup_acks = 0;
+            flow.timer_expiry = self.now + self.config.rto;
+            let rtt = self.now.saturating_sub(pkt.tx_time).max(1);
+            let empty: &[IntHop] = &[];
+            let int = pkt.int.as_deref().map(|v| v.as_slice()).unwrap_or(empty);
+            let ack_ev = AckEvent {
+                now: self.now,
+                bytes_acked: newly,
+                ecn: pkt.ecn,
+                rtt,
+                sent_seq: flow.next_seq,
+                acked_seq: flow.acked,
+                int,
+            };
+            let env = flow.env;
+            flow.cc.on_ack(&ack_ev, &env);
+        } else {
+            flow.dup_acks += 1;
+            if flow.dup_acks >= 3 {
+                // Go-back-N fast retransmit.
+                flow.dup_acks = 0;
+                flow.next_seq = flow.acked;
+            }
+        }
+        self.try_send(f);
+    }
+
+    /// Lazily-chasing retransmission timer (at most one pending event per flow).
+    fn arm_timer(&mut self, f: FlowId) {
+        let flow = &mut self.flows[f as usize];
+        if !flow.timer_scheduled {
+            flow.timer_scheduled = true;
+            let when = flow.timer_expiry;
+            self.push(when.max(self.now), Ev::Timeout(f));
+        }
+    }
+
+    fn on_timeout(&mut self, f: FlowId) {
+        let flow = &mut self.flows[f as usize];
+        flow.timer_scheduled = false;
+        if flow.fully_acked() || !flow.started {
+            return;
+        }
+        if self.now < flow.timer_expiry {
+            // Progress happened since this event was scheduled; chase.
+            self.arm_timer(f);
+            return;
+        }
+        // Genuine timeout: go-back-N and collapse the window.
+        flow.next_seq = flow.acked;
+        flow.dup_acks = 0;
+        flow.timer_expiry = self.now + self.config.rto;
+        let env = flow.env;
+        flow.cc.on_timeout(&env);
+        self.arm_timer(f);
+        self.try_send(f);
+    }
+}
+
+/// Derive a flow's CC environment: base RTT = unloaded one-MTU data
+/// traversal plus unloaded ACK return.
+fn flow_env(topo: &Topology, spec: &FlowSpec, config: &SimConfig) -> CcEnv {
+    let mut rtt: Nanos = 0;
+    for &l in &spec.path {
+        let link = topo.link(l);
+        rtt += 2 * link.delay
+            + tx_time(config.mtu, link.bandwidth)
+            + tx_time(config.ack_size, link.bandwidth);
+    }
+    CcEnv {
+        base_rtt: rtt.max(1),
+        nic_bps: topo.host_nic_bandwidth(spec.src),
+        mtu: config.mtu,
+        init_window: config.init_window,
+        params: config.params,
+    }
+}
+
+/// Convenience: run one simulation and return records sorted by flow id.
+pub fn run_simulation(topo: &Topology, config: SimConfig, flows: Vec<FlowSpec>) -> SimOutput {
+    let mut out = Simulator::new(topo, config, flows).run();
+    out.records.sort_by_key(|r| r.id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CcParams;
+    use crate::topology::{NodeId, ParkingLot};
+    use crate::units::{GBPS, KB, USEC};
+
+    fn two_host_topo() -> (Topology, NodeId, NodeId, LinkId) {
+        let mut topo = Topology::new();
+        let a = topo.add_host();
+        let s = topo.add_switch();
+        let b = topo.add_host();
+        let l1 = topo.add_link(a, s, 10 * GBPS, USEC);
+        let l2 = topo.add_link(s, b, 10 * GBPS, USEC);
+        let _ = l1;
+        (topo, a, b, l2)
+    }
+
+    fn flow(topo: &Topology, id: FlowId, src: NodeId, dst: NodeId, size: Bytes, at: Nanos) -> FlowSpec {
+        // Direct path: both hosts hang off the single switch.
+        let (sw_s, l_s) = topo.access_switch(src);
+        let (sw_d, l_d) = topo.access_switch(dst);
+        assert_eq!(sw_s, sw_d);
+        FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            arrival: at,
+            path: vec![l_s, l_d],
+        }
+    }
+
+    #[test]
+    fn single_flow_matches_ideal_fct() {
+        let (topo, a, b, _) = two_host_topo();
+        let f = flow(&topo, 0, a, b, 30 * KB, 0);
+        let cfg = SimConfig {
+            init_window: 64 * KB, // never window-limited
+            ..SimConfig::default()
+        };
+        let out = run_simulation(&topo, cfg, vec![f]);
+        assert_eq!(out.records.len(), 1);
+        let r = out.records[0];
+        // An unloaded flow should track the ideal FCT closely (ACK overheads
+        // and rounding give a tiny slack).
+        assert!(
+            r.slowdown() < 1.05,
+            "unloaded slowdown {} too high (fct={} ideal={})",
+            r.slowdown(),
+            r.fct,
+            r.ideal_fct
+        );
+        assert_eq!(out.drops, 0);
+    }
+
+    #[test]
+    fn window_limited_small_flow_completes() {
+        let (topo, a, b, _) = two_host_topo();
+        let f = flow(&topo, 0, a, b, 500, 0);
+        let out = run_simulation(&topo, SimConfig::default(), vec![f]);
+        assert_eq!(out.records.len(), 1);
+        assert!(out.records[0].slowdown() >= 0.99);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_fairly() {
+        let (topo, a, b, _) = two_host_topo();
+        // Two long flows from the same host compete for the same NIC: each
+        // should take roughly twice the unloaded time.
+        let size = 500 * KB;
+        let f1 = flow(&topo, 0, a, b, size, 0);
+        let f2 = flow(&topo, 1, a, b, size, 0);
+        let cfg = SimConfig {
+            init_window: 30 * KB,
+            ..SimConfig::default()
+        };
+        let out = run_simulation(&topo, cfg, vec![f1, f2]);
+        assert_eq!(out.records.len(), 2);
+        for r in &out.records {
+            assert!(
+                (1.6..2.6).contains(&r.slowdown()),
+                "expected ~2x slowdown, got {}",
+                r.slowdown()
+            );
+        }
+    }
+
+    #[test]
+    fn later_flow_unaffected_by_earlier_completion() {
+        let (topo, a, b, _) = two_host_topo();
+        let f1 = flow(&topo, 0, a, b, 10 * KB, 0);
+        // Arrives long after f1 finished.
+        let f2 = flow(&topo, 1, a, b, 10 * KB, 10_000_000);
+        let out = run_simulation(&topo, SimConfig::default(), vec![f1, f2]);
+        let s1 = out.records[0].slowdown();
+        let s2 = out.records[1].slowdown();
+        assert!((s1 - s2).abs() < 0.05, "isolated flows should match: {s1} vs {s2}");
+    }
+
+    #[test]
+    fn all_protocols_complete_a_congested_scenario() {
+        for cc in CcProtocol::ALL {
+            let pl = ParkingLot::build(2, 10 * GBPS, 10 * GBPS, USEC);
+            let mut pl = pl;
+            let bg_src = pl.attach_background_host(0, 10 * GBPS, USEC);
+            let bg_dst = pl.attach_background_host(2, 10 * GBPS, USEC);
+            let topo = pl.topo.clone();
+            let fg_path = pl.foreground_path();
+            let (_, bg_l1) = topo.access_switch(bg_src);
+            let (_, bg_l2) = topo.access_switch(bg_dst);
+            let mut bg_path = vec![bg_l1];
+            bg_path.extend_from_slice(&pl.path_links);
+            bg_path.push(bg_l2);
+            let mut flows = Vec::new();
+            for i in 0..20 {
+                flows.push(FlowSpec {
+                    id: i,
+                    src: pl.fg_src,
+                    dst: pl.fg_dst,
+                    size: 50 * KB,
+                    arrival: i as u64 * 10 * USEC,
+                    path: fg_path.clone(),
+                });
+            }
+            for i in 0..20 {
+                flows.push(FlowSpec {
+                    id: 20 + i,
+                    src: bg_src,
+                    dst: bg_dst,
+                    size: 50 * KB,
+                    arrival: i as u64 * 10 * USEC + USEC,
+                    path: bg_path.clone(),
+                });
+            }
+            let cfg = SimConfig {
+                cc,
+                params: CcParams::default(),
+                ..SimConfig::default()
+            };
+            let out = run_simulation(&topo, cfg, flows);
+            assert_eq!(out.records.len(), 40, "{} lost flows", cc.name());
+            for r in &out.records {
+                assert!(r.slowdown() >= 0.99, "{}: slowdown {}", cc.name(), r.slowdown());
+                // TIMELY's additive recovery is slow under 40-way overload;
+                // several-hundred-x tails are expected there, divergence is not.
+                assert!(r.slowdown() < 500.0, "{}: runaway slowdown {}", cc.name(), r.slowdown());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let (topo, a, b, _) = two_host_topo();
+        let flows: Vec<FlowSpec> = (0..50)
+            .map(|i| flow(&topo, i, a, b, (i as u64 + 1) * 1500, i as u64 * 3 * USEC))
+            .collect();
+        let o1 = run_simulation(&topo, SimConfig::default(), flows.clone());
+        let o2 = run_simulation(&topo, SimConfig::default(), flows);
+        let s1: Vec<_> = o1.records.iter().map(|r| r.fct).collect();
+        let s2: Vec<_> = o2.records.iter().map(|r| r.fct).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn congestion_increases_slowdown() {
+        let (topo, a, b, _) = two_host_topo();
+        // One flow alone.
+        let solo = run_simulation(
+            &topo,
+            SimConfig::default(),
+            vec![flow(&topo, 0, a, b, 100 * KB, 0)],
+        );
+        // Same flow with nine competitors.
+        let mut flows: Vec<FlowSpec> = (0..10)
+            .map(|i| flow(&topo, i, a, b, 100 * KB, 0))
+            .collect();
+        flows[0].id = 0;
+        let busy = run_simulation(&topo, SimConfig::default(), flows);
+        let s_solo = solo.records[0].slowdown();
+        let s_busy = busy.records.iter().map(|r| r.slowdown()).sum::<f64>() / 10.0;
+        assert!(
+            s_busy > 2.0 * s_solo,
+            "sharing 10 ways should slow flows down: {s_solo} vs {s_busy}"
+        );
+    }
+
+    #[test]
+    fn drops_recovered_by_retransmission() {
+        // Incast into a tiny switch buffer forces drops; flows must still
+        // complete via RTO / go-back-N.
+        let mut topo = Topology::new();
+        let s = topo.add_switch();
+        let dst = topo.add_host();
+        let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+        let mut flows = Vec::new();
+        for i in 0..8u32 {
+            let h = topo.add_host();
+            let l = topo.add_link(h, s, 10 * GBPS, USEC);
+            flows.push(FlowSpec {
+                id: i,
+                src: h,
+                dst,
+                size: 40 * KB,
+                arrival: 0,
+                path: vec![l, dst_l],
+            });
+        }
+        let cfg = SimConfig {
+            buffer_size: 5 * KB,
+            init_window: 30 * KB,
+            ..SimConfig::default()
+        };
+        let out = run_simulation(&topo, cfg, flows);
+        assert_eq!(out.records.len(), 8, "all flows must complete despite drops");
+        assert!(out.drops > 0, "scenario should actually drop packets");
+    }
+
+    #[test]
+    fn pfc_prevents_drops() {
+        // Same incast with and without PFC: drops with PFC off, none with
+        // PFC on (backpressure pauses the upstream senders).
+        let build = || {
+            let mut topo = Topology::new();
+            let s = topo.add_switch();
+            let dst = topo.add_host();
+            let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+            let mut flows = Vec::new();
+            for i in 0..8u32 {
+                let h = topo.add_host();
+                let l = topo.add_link(h, s, 10 * GBPS, USEC);
+                flows.push(FlowSpec {
+                    id: i,
+                    src: h,
+                    dst,
+                    size: 60 * KB,
+                    arrival: 0,
+                    path: vec![l, dst_l],
+                });
+            }
+            (topo, flows)
+        };
+        // Buffer sizing: 8 flows x 30 KB windows = 240 KB offered, so the
+        // 150 KB buffer overflows without PFC; with PFC each of the 8
+        // ingress ports is paused at 10 KB plus ~1 BDP in flight (~100 KB
+        // total), which fits.
+        let base = SimConfig {
+            buffer_size: 150 * KB,
+            pfc_threshold: 10 * KB,
+            pfc_resume_gap: 5 * KB,
+            init_window: 30 * KB,
+            cc: CcProtocol::Dcqcn,
+            ..SimConfig::default()
+        };
+        let (topo, flows) = build();
+        let without = run_simulation(
+            &topo,
+            SimConfig {
+                pfc_enabled: false,
+                ..base
+            },
+            flows,
+        );
+        assert!(without.drops > 0, "incast must overflow the buffer");
+        let (topo, flows) = build();
+        let with = run_simulation(
+            &topo,
+            SimConfig {
+                pfc_enabled: true,
+                ..base
+            },
+            flows,
+        );
+        assert_eq!(with.records.len(), 8);
+        assert_eq!(with.drops, 0, "PFC should eliminate drops");
+    }
+
+    #[test]
+    fn incast_tail_exceeds_median() {
+        // 16-to-1 incast through one switch: classic queueing tail.
+        let mut topo = Topology::new();
+        let s = topo.add_switch();
+        let dst = topo.add_host();
+        let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+        let mut flows = Vec::new();
+        for i in 0..16u32 {
+            let h = topo.add_host();
+            let l = topo.add_link(h, s, 10 * GBPS, USEC);
+            flows.push(FlowSpec {
+                id: i,
+                src: h,
+                dst,
+                size: 64 * KB,
+                arrival: 0,
+                path: vec![l, dst_l],
+            });
+        }
+        let out = run_simulation(&topo, SimConfig::default(), flows);
+        assert_eq!(out.records.len(), 16);
+        let mut sldn: Vec<f64> = out.records.iter().map(|r| r.slowdown()).collect();
+        sldn.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!(sldn[15] > 4.0, "incast tail should be heavily slowed");
+    }
+}

@@ -1,0 +1,108 @@
+//! Tests for strict-priority queueing (the paper's §3.6 future-work item,
+//! implemented here as an extension).
+
+use m3_netsim::prelude::*;
+use m3_netsim::sim::Simulator;
+
+/// Elephants + latency-sensitive probes through one bottleneck.
+fn scenario() -> (Topology, Vec<FlowSpec>) {
+    let mut topo = Topology::new();
+    let s = topo.add_switch();
+    let dst = topo.add_host();
+    let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+    let mut flows = Vec::new();
+    // Four 2MB elephants keep the egress saturated.
+    for i in 0..4u32 {
+        let h = topo.add_host();
+        let l = topo.add_link(h, s, 10 * GBPS, USEC);
+        flows.push(FlowSpec {
+            id: i,
+            src: h,
+            dst,
+            size: 2 * MB,
+            arrival: 0,
+            path: vec![l, dst_l],
+        });
+    }
+    // Twenty 2KB probes arrive while the queue is standing.
+    for i in 0..20u32 {
+        let h = topo.add_host();
+        let l = topo.add_link(h, s, 10 * GBPS, USEC);
+        flows.push(FlowSpec {
+            id: 4 + i,
+            src: h,
+            dst,
+            size: 2 * KB,
+            arrival: 300 * USEC + i as u64 * 40 * USEC,
+            path: vec![l, dst_l],
+        });
+    }
+    (topo, flows)
+}
+
+fn probe_p99(priorities: Option<Vec<u8>>) -> f64 {
+    let (topo, flows) = scenario();
+    let mut sim = Simulator::new(&topo, SimConfig::default(), flows);
+    if let Some(p) = priorities {
+        sim.set_priorities(&p);
+    }
+    let out = sim.run();
+    assert_eq!(out.records.len(), 24);
+    let mut probes: Vec<f64> = out
+        .records
+        .iter()
+        .filter(|r| r.size == 2 * KB)
+        .map(|r| r.slowdown())
+        .collect();
+    percentile_unsorted(&mut probes, 99.0)
+}
+
+#[test]
+fn high_priority_probes_bypass_elephants() {
+    let baseline = probe_p99(None);
+    // Probes in class 0, elephants demoted to class 1.
+    let mut prios = vec![1u8; 4];
+    prios.extend(std::iter::repeat(0u8).take(20));
+    let prioritized = probe_p99(Some(prios));
+    assert!(
+        prioritized < baseline * 0.7,
+        "priority should cut probe tail: {baseline} -> {prioritized}"
+    );
+    // With priority, probes should be near-unloaded: their only wait is the
+    // residual serialization of one in-flight elephant packet.
+    assert!(
+        prioritized < 3.0,
+        "prioritized probes still queue-bound: {prioritized}"
+    );
+}
+
+#[test]
+fn default_priorities_change_nothing() {
+    let implicit = probe_p99(None);
+    let explicit = probe_p99(Some(vec![0u8; 24]));
+    assert_eq!(implicit, explicit, "all-zero classes must be the default");
+}
+
+#[test]
+fn low_priority_still_completes() {
+    // Strict priority must not starve the elephants forever: probes are a
+    // tiny fraction of bytes.
+    let (topo, flows) = scenario();
+    let mut prios = vec![1u8; 4];
+    prios.extend(std::iter::repeat(0u8).take(20));
+    let mut sim = Simulator::new(&topo, SimConfig::default(), flows);
+    sim.set_priorities(&prios);
+    let out = sim.run();
+    assert_eq!(out.records.len(), 24, "every flow finishes");
+    for r in out.records.iter().filter(|r| r.size == 2 * MB) {
+        assert!(r.slowdown() < 10.0, "elephant slowdown {}", r.slowdown());
+    }
+}
+
+#[test]
+#[should_panic(expected = "one class per flow")]
+fn priority_vector_length_checked() {
+    let (topo, flows) = scenario();
+    let mut sim = Simulator::new(&topo, SimConfig::default(), flows);
+    sim.set_priorities(&[0u8; 3]);
+}

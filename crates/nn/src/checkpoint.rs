@@ -1,0 +1,183 @@
+//! Model checkpoints: a compact self-describing binary container
+//! (magic + JSON header with the config and parameter shapes, then raw
+//! little-endian f32 data). No heavyweight serialization dependency needed.
+
+use crate::model::{M3Net, ModelConfig};
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"M3NN";
+const VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    config: ModelConfig,
+    /// (name, rows, cols) per parameter, in store order.
+    params: Vec<(String, usize, usize)>,
+    /// Seed the net was constructed with (layout reproducibility).
+    seed: u64,
+}
+
+/// Serialize a model to a writer.
+pub fn save<W: Write>(net: &M3Net, seed: u64, mut w: W) -> io::Result<()> {
+    let header = Header {
+        config: net.cfg.clone(),
+        params: net
+            .store
+            .iter()
+            .map(|p| (p.name.clone(), p.value.rows, p.value.cols))
+            .collect(),
+        seed,
+    };
+    let json = serde_json::to_vec(&header).map_err(io::Error::other)?;
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(json.len() as u32).to_le_bytes())?;
+    w.write_all(&json)?;
+    for p in net.store.iter() {
+        for &v in &p.value.data {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a model from a reader.
+pub fn load<R: Read>(mut r: R) -> io::Result<M3Net> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    r.read_exact(&mut buf4)?;
+    let json_len = u32::from_le_bytes(buf4) as usize;
+    let mut json = vec![0u8; json_len];
+    r.read_exact(&mut json)?;
+    let header: Header = serde_json::from_slice(&json).map_err(io::Error::other)?;
+
+    // Rebuild the net with the recorded seed to recover the layout, then
+    // overwrite every parameter with the stored data.
+    let mut net = M3Net::new(header.config, header.seed);
+    if net.store.len() != header.params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checkpoint parameter count does not match architecture",
+        ));
+    }
+    let mut new_store = ParamStore::new();
+    for (name, rows, cols) in &header.params {
+        let mut data = vec![0f32; rows * cols];
+        let mut bytes = vec![0u8; rows * cols * 4];
+        r.read_exact(&mut bytes)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            data[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        new_store.add(name.clone(), Tensor::from_vec(*rows, *cols, data));
+    }
+    // Shape check against the freshly constructed layout.
+    for (fresh, loaded) in net.store.iter().zip(new_store.iter()) {
+        if fresh.value.shape() != loaded.value.shape() || fresh.name != loaded.name {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "parameter mismatch: expected {} {:?}, found {} {:?}",
+                    fresh.name,
+                    fresh.value.shape(),
+                    loaded.name,
+                    loaded.value.shape()
+                ),
+            ));
+        }
+    }
+    net.store = new_store;
+    Ok(net)
+}
+
+/// Save to a file path.
+pub fn save_file(net: &M3Net, seed: u64, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    save(net, seed, io::BufWriter::new(f))
+}
+
+/// Load from a file path.
+pub fn load_file(path: impl AsRef<Path>) -> io::Result<M3Net> {
+    let f = std::fs::File::open(path)?;
+    load(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SampleInput;
+
+    fn tiny_net() -> M3Net {
+        let cfg = ModelConfig {
+            feat_dim: 10,
+            spec_dim: 3,
+            out_dim: 4,
+            embed: 8,
+            heads: 2,
+            layers: 1,
+            block: 4,
+            ff_hidden: 8,
+            mlp_hidden: 8,
+        };
+        M3Net::new(cfg, 11)
+    }
+
+    fn sample() -> SampleInput {
+        SampleInput {
+            fg: (0..10).map(|i| i as f32 * 0.1).collect(),
+            bg: vec![(0..10).map(|i| i as f32 * 0.05).collect()],
+            spec: vec![0.1, 0.2, 0.3],
+            use_context: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let net = tiny_net();
+        let mut buf = Vec::new();
+        save(&net, 11, &mut buf).unwrap();
+        let loaded = load(&buf[..]).unwrap();
+        assert_eq!(net.predict(&sample()), loaded.predict(&sample()));
+        assert_eq!(net.num_params(), loaded.num_params());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load(&b"XXXXgarbage"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let net = tiny_net();
+        let mut buf = Vec::new();
+        save(&net, 11, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let net = tiny_net();
+        let dir = std::env::temp_dir().join("m3nn_test_ckpt.bin");
+        save_file(&net, 11, &dir).unwrap();
+        let loaded = load_file(&dir).unwrap();
+        assert_eq!(net.predict(&sample()), loaded.predict(&sample()));
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,42 @@
+//! # m3-nn
+//!
+//! A minimal pure-Rust neural-network stack built for the m3 model: 2-D
+//! tensors, tape-based reverse-mode autodiff over a closed op set, a
+//! tiny-Llama-style transformer encoder + two-layer MLP ([`model::M3Net`]),
+//! the Adam optimizer, and a compact binary checkpoint format.
+//!
+//! The paper trains with PyTorch Lightning on four A100s; this crate
+//! substitutes a CPU-only from-scratch implementation with identical
+//! architecture and objective (per-percentile L1), at configurable scale
+//! (see `ModelConfig::{repro_default, paper_scale}` and DESIGN.md).
+//!
+//! ```
+//! use m3_nn::prelude::*;
+//!
+//! let cfg = ModelConfig { feat_dim: 10, spec_dim: 2, out_dim: 4, embed: 8,
+//!     heads: 2, layers: 1, block: 4, ff_hidden: 8, mlp_hidden: 8 };
+//! let net = M3Net::new(cfg, 7);
+//! let out = net.predict(&SampleInput {
+//!     fg: vec![0.5; 10],
+//!     bg: vec![vec![0.1; 10], vec![0.2; 10]],
+//!     spec: vec![0.0, 1.0],
+//!     use_context: true,
+//! });
+//! assert_eq!(out.len(), 4);
+//! ```
+
+pub mod checkpoint;
+pub mod model;
+pub mod optim;
+pub mod params;
+pub mod tape;
+pub mod tensor;
+
+pub mod prelude {
+    pub use crate::checkpoint::{load_file, save_file};
+    pub use crate::model::{batch_gradients, M3Net, ModelConfig, SampleInput};
+    pub use crate::optim::Adam;
+    pub use crate::params::{Param, ParamId, ParamStore};
+    pub use crate::tape::{Tape, Var};
+    pub use crate::tensor::Tensor;
+}

@@ -1,0 +1,441 @@
+//! The m3 neural model (§3.4, Fig. 7(b)):
+//!
+//! * a tiny-Llama-style causal transformer (RMSNorm, multi-head attention,
+//!   SwiGLU feed-forward, learned positions) encodes the sequence of
+//!   per-hop *background* feature maps into a fixed-length context vector
+//!   (the last token's hidden state), and
+//! * a two-layer MLP maps [foreground feature map ∥ background context ∥
+//!   network-spec vector] to the corrected slowdown distribution
+//!   (4 size buckets x 100 percentiles = 400 outputs).
+//!
+//! Dimensions are configurable: [`ModelConfig::repro_default`] is small
+//! enough to train on CPU in minutes; [`ModelConfig::paper_scale`] matches
+//! the paper's 4-layer / 4-head / d=576 setup (~16.8 M parameters).
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Model dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Flattened feature-map width (10 size buckets x 100 percentiles).
+    pub feat_dim: usize,
+    /// Network-specification vector width.
+    pub spec_dim: usize,
+    /// Output width (4 buckets x 100 percentiles).
+    pub out_dim: usize,
+    pub embed: usize,
+    pub heads: usize,
+    pub layers: usize,
+    /// Maximum sequence length (hops); the paper uses block size 16.
+    pub block: usize,
+    /// SwiGLU inner width.
+    pub ff_hidden: usize,
+    /// MLP hidden width.
+    pub mlp_hidden: usize,
+}
+
+impl ModelConfig {
+    /// CPU-trainable default used by the reproduction experiments.
+    pub fn repro_default(spec_dim: usize) -> Self {
+        ModelConfig {
+            feat_dim: 1000,
+            spec_dim,
+            out_dim: 400,
+            embed: 64,
+            heads: 4,
+            layers: 2,
+            block: 16,
+            ff_hidden: 128,
+            mlp_hidden: 128,
+        }
+    }
+
+    /// The paper's architecture (§5.1): 4 layers, 4 heads, embedding 576,
+    /// block 16; MLP hidden 512.
+    pub fn paper_scale(spec_dim: usize) -> Self {
+        ModelConfig {
+            feat_dim: 1000,
+            spec_dim,
+            out_dim: 400,
+            embed: 576,
+            heads: 4,
+            layers: 4,
+            block: 16,
+            ff_hidden: 1536,
+            mlp_hidden: 512,
+        }
+    }
+
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.embed % self.heads, 0, "embed must divide by heads");
+        self.embed / self.heads
+    }
+}
+
+/// Parameter layout of one transformer layer.
+#[derive(Debug, Clone)]
+struct LayerIds {
+    norm1: ParamId,
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    wo: Vec<ParamId>,
+    norm2: ParamId,
+    w1: ParamId,
+    w3: ParamId,
+    w2: ParamId,
+}
+
+/// One training/inference sample.
+#[derive(Debug, Clone)]
+pub struct SampleInput {
+    /// Foreground feature map, length `feat_dim`.
+    pub fg: Vec<f32>,
+    /// Per-hop background feature maps, each length `feat_dim`.
+    pub bg: Vec<Vec<f32>>,
+    /// Network-spec vector, length `spec_dim`.
+    pub spec: Vec<f32>,
+    /// When false, the background context is zeroed ("m3 w/o context"
+    /// ablation, Fig. 16).
+    pub use_context: bool,
+}
+
+/// The m3 model: transformer + MLP over a shared [`ParamStore`].
+#[derive(Debug, Clone)]
+pub struct M3Net {
+    pub cfg: ModelConfig,
+    pub store: ParamStore,
+    proj_w: ParamId,
+    proj_b: ParamId,
+    pos: ParamId,
+    layers: Vec<LayerIds>,
+    final_norm: ParamId,
+    mlp_w1: ParamId,
+    mlp_b1: ParamId,
+    mlp_w2: ParamId,
+    mlp_b2: ParamId,
+}
+
+impl M3Net {
+    pub fn new(cfg: ModelConfig, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = ParamStore::seeded_rng(seed);
+        let dh = cfg.head_dim();
+        let proj_w = store.add_xavier("proj.w", cfg.feat_dim, cfg.embed, &mut rng);
+        let proj_b = store.add_zeros("proj.b", 1, cfg.embed);
+        let pos = store.add_xavier("pos", cfg.block, cfg.embed, &mut rng);
+        let mut layers = Vec::with_capacity(cfg.layers);
+        for l in 0..cfg.layers {
+            let mut wq = Vec::new();
+            let mut wk = Vec::new();
+            let mut wv = Vec::new();
+            let mut wo = Vec::new();
+            for h in 0..cfg.heads {
+                wq.push(store.add_xavier(format!("l{l}.h{h}.wq"), cfg.embed, dh, &mut rng));
+                wk.push(store.add_xavier(format!("l{l}.h{h}.wk"), cfg.embed, dh, &mut rng));
+                wv.push(store.add_xavier(format!("l{l}.h{h}.wv"), cfg.embed, dh, &mut rng));
+                wo.push(store.add_xavier(format!("l{l}.h{h}.wo"), dh, cfg.embed, &mut rng));
+            }
+            layers.push(LayerIds {
+                norm1: store.add_ones(format!("l{l}.norm1"), 1, cfg.embed),
+                wq,
+                wk,
+                wv,
+                wo,
+                norm2: store.add_ones(format!("l{l}.norm2"), 1, cfg.embed),
+                w1: store.add_xavier(format!("l{l}.ffn.w1"), cfg.embed, cfg.ff_hidden, &mut rng),
+                w3: store.add_xavier(format!("l{l}.ffn.w3"), cfg.embed, cfg.ff_hidden, &mut rng),
+                w2: store.add_xavier(format!("l{l}.ffn.w2"), cfg.ff_hidden, cfg.embed, &mut rng),
+            });
+        }
+        let final_norm = store.add_ones("final_norm", 1, cfg.embed);
+        let mlp_in = cfg.feat_dim + cfg.embed + cfg.spec_dim;
+        let mlp_w1 = store.add_xavier("mlp.w1", mlp_in, cfg.mlp_hidden, &mut rng);
+        let mlp_b1 = store.add_zeros("mlp.b1", 1, cfg.mlp_hidden);
+        let mlp_w2 = store.add_xavier("mlp.w2", cfg.mlp_hidden, cfg.out_dim, &mut rng);
+        let mlp_b2 = store.add_zeros("mlp.b2", 1, cfg.out_dim);
+        M3Net {
+            cfg,
+            store,
+            proj_w,
+            proj_b,
+            pos,
+            layers,
+            final_norm,
+            mlp_w1,
+            mlp_b1,
+            mlp_w2,
+            mlp_b2,
+        }
+    }
+
+    /// Encode the background maps into a context vector node ([1, embed]).
+    fn context<'t>(&self, tape: &mut Tape<'t>, sample: &SampleInput) -> Var {
+        if !sample.use_context || sample.bg.is_empty() {
+            return tape.input(Tensor::zeros(1, self.cfg.embed));
+        }
+        let l = sample.bg.len().min(self.cfg.block);
+        let mut data = Vec::with_capacity(l * self.cfg.feat_dim);
+        for hop in sample.bg.iter().take(l) {
+            assert_eq!(hop.len(), self.cfg.feat_dim, "background map width");
+            data.extend_from_slice(hop);
+        }
+        let x = tape.input(Tensor::from_vec(l, self.cfg.feat_dim, data));
+        let proj_w = tape.param(self.proj_w);
+        let proj_b = tape.param(self.proj_b);
+        let x = tape.matmul(x, proj_w);
+        let mut x = tape.add_bias(x, proj_b);
+        // Learned positions: selector [L, block] x pos [block, embed].
+        let mut sel = Tensor::zeros(l, self.cfg.block);
+        for i in 0..l {
+            *sel.at_mut(i, i) = 1.0;
+        }
+        let sel = tape.input(sel);
+        let pos = tape.param(self.pos);
+        let posx = tape.matmul(sel, pos);
+        x = tape.add(x, posx);
+
+        let scale = 1.0 / (self.cfg.head_dim() as f32).sqrt();
+        for layer in &self.layers {
+            // Attention sublayer.
+            let g1 = tape.param(layer.norm1);
+            let normed = tape.rms_norm(x, g1);
+            let mut attn_out: Option<Var> = None;
+            for h in 0..self.cfg.heads {
+                let wq = tape.param(layer.wq[h]);
+                let wk = tape.param(layer.wk[h]);
+                let wv = tape.param(layer.wv[h]);
+                let wo = tape.param(layer.wo[h]);
+                let q = tape.matmul(normed, wq);
+                let k = tape.matmul(normed, wk);
+                let v = tape.matmul(normed, wv);
+                let scores = tape.matmul_nt(q, k);
+                let scores = tape.scale(scores, scale);
+                let attn = tape.causal_softmax(scores);
+                let out = tape.matmul(attn, v);
+                let proj = tape.matmul(out, wo);
+                attn_out = Some(match attn_out {
+                    Some(acc) => tape.add(acc, proj),
+                    None => proj,
+                });
+            }
+            x = tape.add(x, attn_out.expect("at least one head"));
+            // SwiGLU feed-forward sublayer.
+            let g2 = tape.param(layer.norm2);
+            let normed = tape.rms_norm(x, g2);
+            let w1 = tape.param(layer.w1);
+            let w3 = tape.param(layer.w3);
+            let w2 = tape.param(layer.w2);
+            let a = tape.matmul(normed, w1);
+            let a = tape.silu(a);
+            let b = tape.matmul(normed, w3);
+            let hmul = tape.mul(a, b);
+            let ff = tape.matmul(hmul, w2);
+            x = tape.add(x, ff);
+        }
+        let gf = tape.param(self.final_norm);
+        let x = tape.rms_norm(x, gf);
+        tape.slice_row(x, l - 1)
+    }
+
+    /// Build the forward graph; returns the prediction node ([1, out_dim]).
+    pub fn forward<'t>(&self, tape: &mut Tape<'t>, sample: &SampleInput) -> Var {
+        assert_eq!(sample.fg.len(), self.cfg.feat_dim, "foreground map width");
+        assert_eq!(sample.spec.len(), self.cfg.spec_dim, "spec vector width");
+        let ctx = self.context(tape, sample);
+        let fg = tape.input(Tensor::row_vector(sample.fg.clone()));
+        let spec = tape.input(Tensor::row_vector(sample.spec.clone()));
+        let joined = tape.concat_cols(fg, ctx);
+        let joined = tape.concat_cols(joined, spec);
+        let w1 = tape.param(self.mlp_w1);
+        let b1 = tape.param(self.mlp_b1);
+        let w2 = tape.param(self.mlp_w2);
+        let b2 = tape.param(self.mlp_b2);
+        let h = tape.matmul(joined, w1);
+        let h = tape.add_bias(h, b1);
+        let h = tape.relu(h);
+        let out = tape.matmul(h, w2);
+        tape.add_bias(out, b2)
+    }
+
+    /// Forward + L1 loss; returns (prediction, loss) nodes.
+    pub fn loss<'t>(&self, tape: &mut Tape<'t>, sample: &SampleInput, target: &[f32]) -> (Var, Var) {
+        assert_eq!(target.len(), self.cfg.out_dim, "target width");
+        let pred = self.forward(tape, sample);
+        let t = tape.input(Tensor::row_vector(target.to_vec()));
+        let loss = tape.l1_loss(pred, t);
+        (pred, loss)
+    }
+
+    /// Inference: run the forward pass and return the output vector.
+    pub fn predict(&self, sample: &SampleInput) -> Vec<f32> {
+        let mut tape = Tape::new(&self.store);
+        let pred = self.forward(&mut tape, sample);
+        tape.value(pred).data.clone()
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+/// Compute summed gradients and mean loss over a batch, in parallel across
+/// samples (each rayon worker owns its own tape; gradients are reduced).
+pub fn batch_gradients(net: &M3Net, batch: &[(SampleInput, Vec<f32>)]) -> (Vec<Tensor>, f64) {
+    assert!(!batch.is_empty());
+    let (grads, loss_sum) = batch
+        .par_iter()
+        .map(|(sample, target)| {
+            let mut grads = net.store.zero_grads();
+            let mut tape = Tape::new(&net.store);
+            let (_, loss) = net.loss(&mut tape, sample, target);
+            tape.backward(loss, &mut grads);
+            (grads, tape.value(loss).data[0] as f64)
+        })
+        .reduce(
+            || (net.store.zero_grads(), 0.0),
+            |(mut ga, la), (gb, lb)| {
+                for (a, b) in ga.iter_mut().zip(&gb) {
+                    for (x, &y) in a.data.iter_mut().zip(&b.data) {
+                        *x += y;
+                    }
+                }
+                (ga, la + lb)
+            },
+        );
+    // Average over the batch.
+    let n = batch.len() as f32;
+    let mut grads = grads;
+    for g in grads.iter_mut() {
+        for v in g.data.iter_mut() {
+            *v /= n;
+        }
+    }
+    (grads, loss_sum / batch.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            feat_dim: 20,
+            spec_dim: 5,
+            out_dim: 8,
+            embed: 8,
+            heads: 2,
+            layers: 2,
+            block: 6,
+            ff_hidden: 16,
+            mlp_hidden: 12,
+        }
+    }
+
+    fn sample(bg_hops: usize, cfg: &ModelConfig) -> SampleInput {
+        SampleInput {
+            fg: (0..cfg.feat_dim).map(|i| (i as f32 * 0.1).sin()).collect(),
+            bg: (0..bg_hops)
+                .map(|h| {
+                    (0..cfg.feat_dim)
+                        .map(|i| ((i + h * 3) as f32 * 0.07).cos())
+                        .collect()
+                })
+                .collect(),
+            spec: vec![0.3; cfg.spec_dim],
+            use_context: true,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let cfg = tiny_cfg();
+        let net = M3Net::new(cfg.clone(), 1);
+        for hops in [0, 1, 3, 6] {
+            let out = net.predict(&sample(hops, &cfg));
+            assert_eq!(out.len(), cfg.out_dim);
+            assert!(out.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn variable_hop_counts_change_output() {
+        let cfg = tiny_cfg();
+        let net = M3Net::new(cfg.clone(), 1);
+        let o2 = net.predict(&sample(2, &cfg));
+        let o4 = net.predict(&sample(4, &cfg));
+        assert_ne!(o2, o4, "context must depend on the hop sequence");
+    }
+
+    #[test]
+    fn no_context_ablation_ignores_background() {
+        let cfg = tiny_cfg();
+        let net = M3Net::new(cfg.clone(), 1);
+        let mut s2 = sample(2, &cfg);
+        let mut s5 = sample(5, &cfg);
+        s2.use_context = false;
+        s5.use_context = false;
+        assert_eq!(net.predict(&s2), net.predict(&s5));
+    }
+
+    #[test]
+    fn deterministic_construction_and_inference() {
+        let cfg = tiny_cfg();
+        let a = M3Net::new(cfg.clone(), 42);
+        let b = M3Net::new(cfg.clone(), 42);
+        assert_eq!(a.predict(&sample(3, &cfg)), b.predict(&sample(3, &cfg)));
+        let c = M3Net::new(cfg.clone(), 43);
+        assert_ne!(a.predict(&sample(3, &cfg)), c.predict(&sample(3, &cfg)));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let cfg = tiny_cfg();
+        let mut net = M3Net::new(cfg.clone(), 5);
+        let batch: Vec<(SampleInput, Vec<f32>)> = (0..4)
+            .map(|i| {
+                (
+                    sample(2 + i % 3, &cfg),
+                    (0..cfg.out_dim).map(|j| (j as f32 + i as f32) * 0.1).collect(),
+                )
+            })
+            .collect();
+        let mut opt = crate::optim::Adam::new(&net.store, 1e-2);
+        let (_, first_loss) = batch_gradients(&net, &batch);
+        let mut last = first_loss;
+        for _ in 0..30 {
+            let (grads, loss) = batch_gradients(&net, &batch);
+            opt.step(&mut net.store, &grads);
+            last = loss;
+        }
+        assert!(
+            last < first_loss * 0.5,
+            "loss should halve: {first_loss} -> {last}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_param_count() {
+        // The paper reports ~16.8M transformer parameters; our paper-scale
+        // config should land in that ballpark (within 2x).
+        let cfg = ModelConfig::paper_scale(16);
+        let net = M3Net::new(cfg, 0);
+        let n = net.num_params();
+        assert!(
+            (8_000_000..40_000_000).contains(&n),
+            "paper-scale params {n}"
+        );
+    }
+
+    #[test]
+    fn long_sequences_truncate_to_block() {
+        let cfg = tiny_cfg();
+        let net = M3Net::new(cfg.clone(), 1);
+        let out = net.predict(&sample(32, &cfg)); // > block
+        assert_eq!(out.len(), cfg.out_dim);
+    }
+}

@@ -1,0 +1,137 @@
+//! Learnable parameter storage, separated from gradients so the store can be
+//! shared read-only across rayon workers during batched forward/backward.
+
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle to one parameter tensor in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(pub usize);
+
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub value: Tensor,
+}
+
+/// All learnable parameters of a model, in registration order. Checkpoints
+/// serialize the store; optimizers keep per-parameter state aligned by index.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.params.push(Param {
+            name: name.into(),
+            value,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Xavier/Glorot-uniform initialized matrix.
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut SmallRng,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        self.add(name, Tensor::from_vec(rows, cols, data))
+    }
+
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    pub fn add_ones(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::from_vec(rows, cols, vec![1.0; rows * cols]))
+    }
+
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Total scalar parameter count (for the "16.8M parameters" style report).
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Fresh zeroed gradient buffers aligned with this store.
+    pub fn zero_grads(&self) -> Vec<Tensor> {
+        self.params
+            .iter()
+            .map(|p| Tensor::zeros(p.value.rows, p.value.cols))
+            .collect()
+    }
+
+    /// Make a deterministic RNG for initialization.
+    pub fn seeded_rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_order_and_counts() {
+        let mut s = ParamStore::new();
+        let mut rng = ParamStore::seeded_rng(0);
+        let a = s.add_xavier("a", 3, 4, &mut rng);
+        let b = s.add_zeros("b", 2, 2);
+        assert_eq!(a, ParamId(0));
+        assert_eq!(b, ParamId(1));
+        assert_eq!(s.num_scalars(), 16);
+        assert_eq!(s.zero_grads().len(), 2);
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut s = ParamStore::new();
+        let mut rng = ParamStore::seeded_rng(1);
+        let id = s.add_xavier("w", 10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(s.get(id).data.iter().all(|&v| v.abs() <= bound));
+        // Not all zero.
+        assert!(s.get(id).data.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let build = || {
+            let mut s = ParamStore::new();
+            let mut rng = ParamStore::seeded_rng(7);
+            s.add_xavier("w", 5, 5, &mut rng);
+            s
+        };
+        assert_eq!(build().get(ParamId(0)).data, build().get(ParamId(0)).data);
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal 2-D tensor: every value in the m3 model is a matrix (a
+//! sequence of embeddings `[L, D]`, a feature map `[1, 1000]`, a weight
+//! `[in, out]`). Row-major `Vec<f32>` storage, no strides, no views —
+//! simplicity over cleverness, per this repo's networking-guide idioms.
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        Tensor {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// C = A * B ([n,k] x [k,m] -> [n,m]), accumulating into `out`.
+    pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(a.cols, b.rows, "matmul inner dims");
+        assert_eq!((out.rows, out.cols), (a.rows, b.cols));
+        // ikj loop order: streams through B and C rows, decent cache use.
+        for i in 0..a.rows {
+            let c_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for k in 0..a.cols {
+                let aik = a.data[i * a.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[k * b.cols..(k + 1) * b.cols];
+                for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                    *c += aik * bv;
+                }
+            }
+        }
+    }
+
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows, b.cols);
+        Tensor::matmul_into(a, b, &mut out);
+        out
+    }
+
+    /// C = A * B^T ([n,k] x [m,k]^T -> [n,m]), accumulating into `out`.
+    pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(a.cols, b.cols, "matmul_nt inner dims");
+        assert_eq!((out.rows, out.cols), (a.rows, b.rows));
+        for i in 0..a.rows {
+            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+            for j in 0..b.rows {
+                let b_row = &b.data[j * b.cols..(j + 1) * b.cols];
+                let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                out.data[i * b.rows + j] += dot;
+            }
+        }
+    }
+
+    /// C = A^T * B ([k,n]^T x [k,m] -> [n,m]), accumulating into `out`.
+    pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(a.rows, b.rows, "matmul_tn inner dims");
+        assert_eq!((out.rows, out.cols), (a.cols, b.cols));
+        for k in 0..a.rows {
+            let a_row = &a.data[k * a.cols..(k + 1) * a.cols];
+            let b_row = &b.data[k * b.cols..(k + 1) * b.cols];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (c, &bv) in c_row.iter_mut().zip(b_row) {
+                    *c += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = Tensor::matmul(&a, &b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_matmul() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        // b = [[7,9,11],[8,10,12]] so that b^T equals the b above.
+        let b = Tensor::from_vec(2, 3, vec![7., 9., 11., 8., 10., 12.]);
+        let mut c = Tensor::zeros(2, 2);
+        Tensor::matmul_nt_into(&a, &b, &mut c);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_matmul() {
+        // a^T where a is [3,2]: compare against direct matmul of transpose.
+        let a = Tensor::from_vec(3, 2, vec![1., 4., 2., 5., 3., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let mut c = Tensor::zeros(2, 2);
+        Tensor::matmul_tn_into(&a, &b, &mut c);
+        // a^T = [[1,2,3],[4,5,6]]
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        Tensor::matmul(&a, &b);
+    }
+}

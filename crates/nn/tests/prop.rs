@@ -1,0 +1,139 @@
+//! Property tests for the autograd engine: analytic gradients must match
+//! central finite differences for randomly-shaped compositions, and model
+//! outputs must be finite and deterministic for arbitrary inputs.
+
+use m3_nn::prelude::*;
+use proptest::prelude::*;
+
+/// Build a random but well-conditioned input tensor.
+fn tensor_from(vals: &[f32], rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| vals[i % vals.len()].clamp(-2.0, 2.0))
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// d(loss)/d(W) for x->matmul->silu->matmul->L1 matches finite
+    /// differences for random shapes and values.
+    #[test]
+    fn mlp_gradient_matches_finite_difference(
+        rows in 1usize..4,
+        inner in 1usize..6,
+        out_w in 1usize..5,
+        vals in prop::collection::vec(-1.0f32..1.0, 8..32),
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = ParamStore::seeded_rng(9);
+        let w1 = store.add_xavier("w1", 3, inner, &mut rng);
+        let w2 = store.add_xavier("w2", inner, out_w, &mut rng);
+        let x = tensor_from(&vals, rows, 3);
+        let t = tensor_from(&vals[1..], rows, out_w);
+        let run = |store: &ParamStore| -> f32 {
+            let mut tape = Tape::new(store);
+            let xv = tape.input(x.clone());
+            let a = tape.param(w1);
+            let b = tape.param(w2);
+            let h = tape.matmul(xv, a);
+            let h = tape.silu(h);
+            let y = tape.matmul(h, b);
+            let tv = tape.input(t.clone());
+            let l = tape.l1_loss(y, tv);
+            tape.value(l).data[0]
+        };
+        let mut grads = store.zero_grads();
+        {
+            let s = store.clone();
+            let mut tape = Tape::new(&s);
+            let xv = tape.input(x.clone());
+            let a = tape.param(w1);
+            let b = tape.param(w2);
+            let h = tape.matmul(xv, a);
+            let h = tape.silu(h);
+            let y = tape.matmul(h, b);
+            let tv = tape.input(t.clone());
+            let l = tape.l1_loss(y, tv);
+            tape.backward(l, &mut grads);
+        }
+        let eps = 1e-2f32;
+        for pid in [w1, w2] {
+            let n = store.get(pid).len();
+            let i = n / 2;
+            let orig = store.get(pid).data[i];
+            store.get_mut(pid).data[i] = orig + eps;
+            let plus = run(&store);
+            store.get_mut(pid).data[i] = orig - eps;
+            let minus = run(&store);
+            store.get_mut(pid).data[i] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads[pid.0].data[i];
+            // L1 has kinks; allow a loose bound plus an absolute floor.
+            prop_assert!(
+                (numeric - analytic).abs() <= 0.15 + 0.3 * numeric.abs().max(analytic.abs()),
+                "param {:?} idx {}: numeric {} vs analytic {}", pid, i, numeric, analytic
+            );
+        }
+    }
+
+    /// The full m3 model produces finite, deterministic outputs for any
+    /// input values and any hop count.
+    #[test]
+    fn model_total_function(
+        hops in 0usize..8,
+        fill in -3.0f32..3.0,
+        spec_fill in 0.0f32..1.5,
+    ) {
+        let cfg = ModelConfig {
+            feat_dim: 12,
+            spec_dim: 4,
+            out_dim: 6,
+            embed: 8,
+            heads: 2,
+            layers: 1,
+            block: 8,
+            ff_hidden: 8,
+            mlp_hidden: 8,
+        };
+        let net = M3Net::new(cfg.clone(), 3);
+        let sample = SampleInput {
+            fg: vec![fill; cfg.feat_dim],
+            bg: vec![vec![fill * 0.5; cfg.feat_dim]; hops],
+            spec: vec![spec_fill; cfg.spec_dim],
+            use_context: true,
+        };
+        let a = net.predict(&sample);
+        let b = net.predict(&sample);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(a.len(), cfg.out_dim);
+    }
+
+    /// Checkpoint roundtrips preserve every prediction bit-exactly.
+    #[test]
+    fn checkpoint_preserves_predictions(seed in 0u64..50, fill in -1.0f32..1.0) {
+        let cfg = ModelConfig {
+            feat_dim: 10,
+            spec_dim: 3,
+            out_dim: 4,
+            embed: 8,
+            heads: 2,
+            layers: 1,
+            block: 4,
+            ff_hidden: 8,
+            mlp_hidden: 8,
+        };
+        let net = M3Net::new(cfg.clone(), seed);
+        let mut buf = Vec::new();
+        m3_nn::checkpoint::save(&net, seed, &mut buf).unwrap();
+        let loaded = m3_nn::checkpoint::load(&buf[..]).unwrap();
+        let sample = SampleInput {
+            fg: vec![fill; 10],
+            bg: vec![vec![fill; 10]; 2],
+            spec: vec![fill.abs(); 3],
+            use_context: true,
+        };
+        prop_assert_eq!(net.predict(&sample), loaded.predict(&sample));
+    }
+}

@@ -1,0 +1,113 @@
+//! Flow arrival processes.
+//!
+//! The paper uses log-normal inter-arrival times whose shape parameter
+//! sigma controls burstiness (sigma = 1 low, sigma = 2 high; Tables 2-3),
+//! scaled so the *mean* inter-arrival hits a target implied by the desired
+//! maximum link load.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// Inter-arrival time process with a configurable mean (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Log-normal inter-arrivals with shape `sigma` (burstiness knob).
+    LogNormal { mean_ns: f64, sigma: f64 },
+    /// Poisson arrivals (exponential inter-arrivals); reference process.
+    Poisson { mean_ns: f64 },
+}
+
+impl ArrivalProcess {
+    pub fn lognormal(mean_ns: f64, sigma: f64) -> Self {
+        assert!(mean_ns > 0.0 && sigma > 0.0);
+        ArrivalProcess::LogNormal { mean_ns, sigma }
+    }
+
+    pub fn poisson(mean_ns: f64) -> Self {
+        assert!(mean_ns > 0.0);
+        ArrivalProcess::Poisson { mean_ns }
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        match self {
+            ArrivalProcess::LogNormal { mean_ns, .. } | ArrivalProcess::Poisson { mean_ns } => {
+                *mean_ns
+            }
+        }
+    }
+
+    /// Sample one inter-arrival gap (>= 1 ns so arrival times strictly
+    /// increase and event ordering stays deterministic).
+    pub fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let gap = match self {
+            ArrivalProcess::LogNormal { mean_ns, sigma } => {
+                // E[LN(mu, sigma)] = exp(mu + sigma^2/2) = mean_ns.
+                let mu = mean_ns.ln() - sigma * sigma / 2.0;
+                LogNormal::new(mu, *sigma).unwrap().sample(rng)
+            }
+            ArrivalProcess::Poisson { mean_ns } => {
+                Exp::new(1.0 / mean_ns).unwrap().sample(rng)
+            }
+        };
+        (gap.round() as u64).max(1)
+    }
+
+    /// Generate `n` strictly increasing arrival times starting at 0.
+    pub fn arrival_times<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<u64> {
+        let mut t = 0u64;
+        (0..n)
+            .map(|_| {
+                t += self.sample_gap(rng);
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_mean_matches_target() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for sigma in [1.0, 1.5, 2.0] {
+            let p = ArrivalProcess::lognormal(10_000.0, sigma);
+            let n = 200_000;
+            let total: f64 = (0..n).map(|_| p.sample_gap(&mut rng) as f64).sum();
+            let mean = total / n as f64;
+            let rel = (mean - 10_000.0).abs() / 10_000.0;
+            assert!(rel < 0.15, "sigma={sigma}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn higher_sigma_is_burstier() {
+        // Burstiness = coefficient of variation of inter-arrivals.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cv = |sigma: f64, rng: &mut SmallRng| {
+            let p = ArrivalProcess::lognormal(10_000.0, sigma);
+            let samples: Vec<f64> = (0..100_000).map(|_| p.sample_gap(rng) as f64).collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var =
+                samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+            var.sqrt() / mean
+        };
+        let cv1 = cv(1.0, &mut rng);
+        let cv2 = cv(2.0, &mut rng);
+        assert!(cv2 > 1.5 * cv1, "cv(sigma=2)={cv2} should exceed cv(sigma=1)={cv1}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = ArrivalProcess::poisson(5.0); // tiny mean forces 1ns floor
+        let times = p.arrival_times(1000, &mut rng);
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Full-network workload generation with maximum-link-load scaling.
+//!
+//! Given a fat tree, a traffic matrix, a size distribution and a burstiness
+//! level, this module samples flows (endpoints, sizes, ECMP routes) and then
+//! chooses the arrival rate so that the *most loaded link* sits at the
+//! requested utilization — the "max load" knob of Tables 2-3.
+
+use crate::arrivals::ArrivalProcess;
+use crate::matrix::TrafficMatrix;
+use crate::sizes::SizeDistribution;
+use m3_netsim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A full-network scenario specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    pub n_flows: usize,
+    /// Paper label ("A"/"B"/"C"/"uniform") for reporting.
+    pub matrix_name: String,
+    pub sizes: SizeDistribution,
+    /// Log-normal inter-arrival shape (1 = low burstiness, 2 = high).
+    pub sigma: f64,
+    /// Target maximum link utilization in (0, 1).
+    pub max_load: f64,
+    pub seed: u64,
+}
+
+/// A generated workload: routed flows plus the load calibration metadata.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// Flows sorted by arrival time; ids follow arrival order.
+    pub flows: Vec<FlowSpec>,
+    /// Mean inter-arrival used for the arrival process.
+    pub mean_interarrival_ns: f64,
+    /// Expected utilization of the most loaded link at that rate.
+    pub target_max_load: f64,
+    /// Index of the most loaded link.
+    pub hottest_link: LinkId,
+}
+
+/// Generate a routed, load-calibrated workload on a fat tree.
+pub fn generate(ft: &FatTree, routing: &Routing, sc: &Scenario) -> GeneratedWorkload {
+    assert!(sc.n_flows > 0);
+    assert!(sc.max_load > 0.0 && sc.max_load < 1.0, "max_load must be in (0,1)");
+    let matrix = TrafficMatrix::by_name(&sc.matrix_name, ft.spec.total_racks())
+        .unwrap_or_else(|| panic!("unknown traffic matrix {:?}", sc.matrix_name));
+    let mut rng = SmallRng::seed_from_u64(sc.seed);
+
+    // Pass 1: sample endpoints, sizes, and routes; accumulate per-link bytes.
+    let mut link_bytes = vec![0u64; ft.topo.link_count()];
+    let mut flows: Vec<FlowSpec> = Vec::with_capacity(sc.n_flows);
+    for id in 0..sc.n_flows {
+        let (src_rack, dst_rack) = matrix.sample(&mut rng);
+        let src = ft.hosts[src_rack][rng.gen_range(0..ft.hosts[src_rack].len())];
+        let dst = ft.hosts[dst_rack][rng.gen_range(0..ft.hosts[dst_rack].len())];
+        let size = sc.sizes.sample(&mut rng);
+        let path = routing.flow_path(&ft.topo, id as u64, src, dst);
+        for &l in &path {
+            link_bytes[l.index()] += size;
+        }
+        flows.push(FlowSpec {
+            id: id as FlowId,
+            src,
+            dst,
+            size,
+            arrival: 0, // assigned below
+            path,
+        });
+    }
+
+    // Pass 2: pick the arrival rate from the hottest link.
+    // load_l = bytes_l * 8 / (n_flows * gap * bw_l); solve gap for max load.
+    let (hottest, seconds_per_gap) = link_bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (i, b as f64 * 8.0 / ft.topo.link(LinkId(i as u32)).bandwidth as f64))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("topology has links");
+    // `seconds_per_gap` is the busy time (s) the hottest link needs per
+    // workload; spread over n_flows gaps at utilization max_load:
+    let gap_ns = seconds_per_gap * 1e9 / (sc.n_flows as f64 * sc.max_load);
+    assert!(gap_ns >= 1.0, "workload too small to calibrate load");
+
+    // Pass 3: assign bursty arrival times.
+    let process = ArrivalProcess::lognormal(gap_ns, sc.sigma);
+    let times = process.arrival_times(sc.n_flows, &mut rng);
+    for (f, t) in flows.iter_mut().zip(times) {
+        f.arrival = t;
+    }
+
+    GeneratedWorkload {
+        flows,
+        mean_interarrival_ns: gap_ns,
+        target_max_load: sc.max_load,
+        hottest_link: LinkId(hottest as u32),
+    }
+}
+
+/// Measure the realized utilization of every link for a generated workload:
+/// bytes offered to the link divided by capacity x makespan. Used by tests
+/// and by experiment manifests to report achieved load.
+pub fn offered_load(topo: &Topology, flows: &[FlowSpec]) -> Vec<f64> {
+    let mut bytes = vec![0u64; topo.link_count()];
+    for f in flows {
+        for &l in &f.path {
+            bytes[l.index()] += f.size;
+        }
+    }
+    let span = flows
+        .iter()
+        .map(|f| f.arrival)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    bytes
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| b as f64 * 8.0 / (topo.link(LinkId(i as u32)).bandwidth as f64 * span / 1e9) / 1e9 * 1e9)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_ft() -> (FatTree, Routing) {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        (ft, routing)
+    }
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario {
+            n_flows: 5_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_sorted() {
+        let (ft, routing) = small_ft();
+        let w = generate(&ft, &routing, &scenario(1));
+        assert_eq!(w.flows.len(), 5_000);
+        for win in w.flows.windows(2) {
+            assert!(win[0].arrival <= win[1].arrival);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ft, routing) = small_ft();
+        let w1 = generate(&ft, &routing, &scenario(42));
+        let w2 = generate(&ft, &routing, &scenario(42));
+        assert_eq!(w1.flows, w2.flows);
+        let w3 = generate(&ft, &routing, &scenario(43));
+        assert_ne!(w1.flows, w3.flows);
+    }
+
+    #[test]
+    fn calibrated_load_is_close_to_target() {
+        let (ft, routing) = small_ft();
+        let mut sc = scenario(7);
+        sc.n_flows = 20_000;
+        let w = generate(&ft, &routing, &sc);
+        let loads = offered_load(&ft.topo, &w.flows);
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (0.3..0.75).contains(&max),
+            "achieved max load {max} should be near target 0.5"
+        );
+    }
+
+    #[test]
+    fn endpoints_follow_matrix() {
+        let (ft, routing) = small_ft();
+        let mut sc = scenario(3);
+        sc.matrix_name = "A".into();
+        sc.n_flows = 20_000;
+        let w = generate(&ft, &routing, &sc);
+        // Matrix A is cluster-local: most flows stay within a 4-rack cluster.
+        let rack_of = |h: NodeId| -> usize {
+            ft.hosts.iter().position(|r| r.contains(&h)).unwrap()
+        };
+        let local = w
+            .flows
+            .iter()
+            .filter(|f| rack_of(f.src) / 4 == rack_of(f.dst) / 4)
+            .count();
+        let frac = local as f64 / w.flows.len() as f64;
+        assert!(frac > 0.5, "cluster-local fraction {frac} too low for matrix A");
+    }
+
+    #[test]
+    fn paths_connect_endpoints() {
+        let (ft, routing) = small_ft();
+        let w = generate(&ft, &routing, &scenario(11));
+        for f in w.flows.iter().take(200) {
+            let mut cur = f.src;
+            for &l in &f.path {
+                cur = ft.topo.link(l).other(cur);
+            }
+            assert_eq!(cur, f.dst);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_load")]
+    fn rejects_overload_target() {
+        let (ft, routing) = small_ft();
+        let mut sc = scenario(1);
+        sc.max_load = 1.5;
+        generate(&ft, &routing, &sc);
+    }
+}

@@ -1,0 +1,40 @@
+//! # m3-workload
+//!
+//! Workload generation for the m3 reproduction: flow size distributions
+//! (production-shaped empirical CDFs and the synthetic Table 2 families),
+//! bursty log-normal arrival processes, rack-to-rack traffic matrices,
+//! maximum-link-load calibration, and the synthetic parking-lot path
+//! scenarios m3 trains on.
+//!
+//! ```
+//! use m3_workload::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let dist = SizeDistribution::web_server();
+//! let size = dist.sample(&mut rng);
+//! assert!(size >= 50);
+//! ```
+
+pub mod arrivals;
+pub mod gen;
+pub mod matrix;
+pub mod path;
+pub mod sizes;
+pub mod spaces;
+pub mod trace;
+
+pub mod prelude {
+    pub use crate::arrivals::ArrivalProcess;
+    pub use crate::gen::{generate, offered_load, GeneratedWorkload, Scenario};
+    pub use crate::matrix::TrafficMatrix;
+    pub use crate::path::{PathScenario, PathScenarioSpec};
+    pub use crate::sizes::{CdfTable, SizeDistribution, MIN_FLOW_SIZE};
+    pub use crate::trace::{
+        flows_to_trace, materialize_trace, read_trace, write_trace, TraceError, TraceRecord,
+    };
+    pub use crate::spaces::{
+        sample_config, sample_config_for, sample_test_point, sample_training_point, TestPoint,
+        TrainingPoint,
+    };
+}

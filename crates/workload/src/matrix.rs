@@ -1,0 +1,208 @@
+//! Rack-to-rack traffic matrices.
+//!
+//! The paper evaluates on three traffic matrices (A, B, C) extracted from
+//! Meta's production dataset (Fig. 18(a)). The dataset itself is not
+//! redistributable, so these builders synthesize matrices with the
+//! qualitative structure the paper describes and Fig. 11 exercises:
+//!
+//! * **A** — clustered (CacheFollower-style): most traffic stays within
+//!   rack clusters, a hot pattern that concentrates load on pod-local links.
+//! * **B** — broad (WebServer-style): near-uniform all-to-all with mild
+//!   row skew.
+//! * **C** — heavily skewed: a few hot source racks dominate ("the most
+//!   skewed traffic", §5.2), producing paths with very few flows.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A rack-to-rack demand matrix. Entries are non-negative weights; sampling
+/// draws a (src, dst) rack pair proportional to weight. The diagonal is
+/// zero: intra-rack traffic does not cross the fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n_racks: usize,
+    /// Row-major weights, diagonal zero.
+    weights: Vec<f64>,
+    /// Cumulative sum for inverse sampling.
+    cumulative: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    pub fn new(n_racks: usize, mut weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), n_racks * n_racks);
+        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()));
+        for i in 0..n_racks {
+            weights[i * n_racks + i] = 0.0;
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "traffic matrix has no demand");
+        TrafficMatrix {
+            n_racks,
+            weights,
+            cumulative,
+        }
+    }
+
+    pub fn n_racks(&self) -> usize {
+        self.n_racks
+    }
+
+    pub fn weight(&self, src: usize, dst: usize) -> f64 {
+        self.weights[src * self.n_racks + dst]
+    }
+
+    /// Normalized demand fraction for (src, dst).
+    pub fn fraction(&self, src: usize, dst: usize) -> f64 {
+        self.weight(src, dst) / self.cumulative.last().unwrap()
+    }
+
+    /// Sample a (src_rack, dst_rack) pair proportional to weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, usize) {
+        let total = *self.cumulative.last().unwrap();
+        let u: f64 = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        let idx = idx.min(self.weights.len() - 1);
+        (idx / self.n_racks, idx % self.n_racks)
+    }
+
+    /// Uniform all-to-all demand.
+    pub fn uniform(n_racks: usize) -> Self {
+        TrafficMatrix::new(n_racks, vec![1.0; n_racks * n_racks])
+    }
+
+    /// Matrix A: clustered. Racks are grouped in clusters of four; traffic
+    /// within a cluster is 20x the background level.
+    pub fn matrix_a(n_racks: usize) -> Self {
+        let cluster = 4;
+        let mut w = vec![1.0; n_racks * n_racks];
+        for s in 0..n_racks {
+            for d in 0..n_racks {
+                if s != d && s / cluster == d / cluster {
+                    w[s * n_racks + d] = 20.0;
+                }
+            }
+        }
+        TrafficMatrix::new(n_racks, w)
+    }
+
+    /// Matrix B: broad with mild skew. Row r's demand is proportional to
+    /// 1 + r/n, an almost-uniform gradient.
+    pub fn matrix_b(n_racks: usize) -> Self {
+        let mut w = vec![0.0; n_racks * n_racks];
+        for s in 0..n_racks {
+            let row = 1.0 + s as f64 / n_racks as f64;
+            for d in 0..n_racks {
+                w[s * n_racks + d] = row;
+            }
+        }
+        TrafficMatrix::new(n_racks, w)
+    }
+
+    /// Matrix C: heavily skewed. Rack popularity follows a Zipf law with
+    /// exponent 1.2 on both rows and columns, so a handful of rack pairs
+    /// carry most of the traffic and many paths carry almost none.
+    pub fn matrix_c(n_racks: usize) -> Self {
+        let pop: Vec<f64> = (0..n_racks)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(1.2))
+            .collect();
+        let mut w = vec![0.0; n_racks * n_racks];
+        for s in 0..n_racks {
+            for d in 0..n_racks {
+                w[s * n_racks + d] = pop[s] * pop[d];
+            }
+        }
+        TrafficMatrix::new(n_racks, w)
+    }
+
+    /// Look up a matrix by its paper label.
+    pub fn by_name(name: &str, n_racks: usize) -> Option<Self> {
+        match name {
+            "A" => Some(Self::matrix_a(n_racks)),
+            "B" => Some(Self::matrix_b(n_racks)),
+            "C" => Some(Self::matrix_c(n_racks)),
+            "uniform" => Some(Self::uniform(n_racks)),
+            _ => None,
+        }
+    }
+
+    /// Gini-style skew measure: fraction of total demand carried by the top
+    /// 1% of rack pairs. Used to sanity-check that A < C in skew.
+    pub fn top_percent_share(&self, percent: f64) -> f64 {
+        let mut w = self.weights.clone();
+        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = w.iter().sum();
+        let k = ((w.len() as f64 * percent / 100.0).ceil() as usize).max(1);
+        w[..k].iter().sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_is_zero() {
+        for m in [
+            TrafficMatrix::uniform(8),
+            TrafficMatrix::matrix_a(8),
+            TrafficMatrix::matrix_b(8),
+            TrafficMatrix::matrix_c(8),
+        ] {
+            for r in 0..8 {
+                assert_eq!(m.weight(r, r), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_never_returns_diagonal() {
+        let m = TrafficMatrix::matrix_c(16);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let (s, d) = m.sample(&mut rng);
+            assert_ne!(s, d);
+            assert!(s < 16 && d < 16);
+        }
+    }
+
+    #[test]
+    fn sample_matches_fractions() {
+        let m = TrafficMatrix::matrix_a(8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 200_000;
+        let mut counts = vec![0usize; 64];
+        for _ in 0..n {
+            let (s, d) = m.sample(&mut rng);
+            counts[s * 8 + d] += 1;
+        }
+        // In-cluster pair (0,1) should see ~20x the traffic of (0,7).
+        let in_cluster = counts[1] as f64;
+        let cross = counts[7] as f64;
+        let ratio = in_cluster / cross.max(1.0);
+        assert!((10.0..40.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn skew_ordering_a_b_c() {
+        let a = TrafficMatrix::matrix_a(32).top_percent_share(5.0);
+        let b = TrafficMatrix::matrix_b(32).top_percent_share(5.0);
+        let c = TrafficMatrix::matrix_c(32).top_percent_share(5.0);
+        assert!(c > a, "C ({c}) must be more skewed than A ({a})");
+        assert!(c > b, "C ({c}) must be more skewed than B ({b})");
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for n in ["A", "B", "C", "uniform"] {
+            assert!(TrafficMatrix::by_name(n, 8).is_some());
+        }
+        assert!(TrafficMatrix::by_name("Z", 8).is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Synthetic parking-lot path scenarios: the training building block of m3
+//! (Table 2). A scenario is a parking lot of 2/4/6 hops, a set of
+//! foreground flows spanning the whole path, and background flows joining
+//! and leaving at arbitrary hops via private attachment hosts (§3.2).
+
+use crate::arrivals::ArrivalProcess;
+use crate::sizes::SizeDistribution;
+use m3_flowsim::prelude::{FluidFlow, FluidTopology};
+use m3_netsim::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Specification for one synthetic parking-lot scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathScenarioSpec {
+    /// Number of switch-to-switch links (2, 4 or 6 in the paper).
+    pub n_hops: usize,
+    pub n_foreground: usize,
+    pub n_background: usize,
+    pub sizes: SizeDistribution,
+    pub sigma: f64,
+    pub max_load: f64,
+    pub link_bandwidth: Bps,
+    pub host_bandwidth: Bps,
+    pub hop_delay: Nanos,
+    pub seed: u64,
+}
+
+impl Default for PathScenarioSpec {
+    fn default() -> Self {
+        PathScenarioSpec {
+            n_hops: 4,
+            n_foreground: 500,
+            n_background: 1500,
+            sizes: SizeDistribution::cache_follower(),
+            sigma: 1.5,
+            max_load: 0.5,
+            link_bandwidth: 10 * GBPS,
+            host_bandwidth: 10 * GBPS,
+            hop_delay: USEC,
+            seed: 0,
+        }
+    }
+}
+
+/// A fully materialized path scenario: a parking-lot topology with private
+/// background attachment hosts, routed flows, and the foreground flag per
+/// flow. Ready to run in the packet simulator (ground truth) or to convert
+/// into the fluid model (flowSim features).
+#[derive(Debug, Clone)]
+pub struct PathScenario {
+    pub topo: Topology,
+    /// The foreground path: fg access link, the path links, fg egress link.
+    pub fg_path: Vec<LinkId>,
+    /// Switch-to-switch links only, in order.
+    pub path_links: Vec<LinkId>,
+    /// All flows, sorted by arrival; `flows[i]` is foreground iff
+    /// `is_foreground[i]`.
+    pub flows: Vec<FlowSpec>,
+    pub is_foreground: Vec<bool>,
+    /// (join hop, exit hop) per flow: indexes into switches; foreground
+    /// flows span (0, n_hops).
+    pub segments: Vec<(usize, usize)>,
+    pub spec: PathScenarioSpec,
+}
+
+impl PathScenario {
+    /// Generate a scenario from its spec (deterministic in the seed).
+    pub fn generate(spec: &PathScenarioSpec) -> Self {
+        assert!(spec.n_hops >= 1);
+        assert!(spec.n_foreground > 0);
+        assert!(spec.max_load > 0.0 && spec.max_load < 1.0);
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x70617468);
+        let mut pl = ParkingLot::build(
+            spec.n_hops,
+            spec.link_bandwidth,
+            spec.host_bandwidth,
+            spec.hop_delay,
+        );
+
+        // Flow descriptors: segment + size, then shuffled for interleaving.
+        struct Desc {
+            seg: (usize, usize),
+            size: Bytes,
+            fg: bool,
+        }
+        let mut descs: Vec<Desc> = Vec::with_capacity(spec.n_foreground + spec.n_background);
+        for _ in 0..spec.n_foreground {
+            descs.push(Desc {
+                seg: (0, spec.n_hops),
+                size: spec.sizes.sample(&mut rng),
+                fg: true,
+            });
+        }
+        for _ in 0..spec.n_background {
+            // Any hop pair (i < j); full-span background is allowed, it just
+            // uses private attachment links so it is not foreground traffic.
+            let i = rng.gen_range(0..spec.n_hops);
+            let j = rng.gen_range(i + 1..=spec.n_hops);
+            descs.push(Desc {
+                seg: (i, j),
+                size: spec.sizes.sample(&mut rng),
+                fg: false,
+            });
+        }
+        descs.shuffle(&mut rng);
+
+        // Materialize topology attachments and paths; accumulate link bytes
+        // for load calibration.
+        let mut link_bytes = vec![0u64; 0];
+        let mut flows = Vec::with_capacity(descs.len());
+        let mut is_foreground = Vec::with_capacity(descs.len());
+        let mut segments = Vec::with_capacity(descs.len());
+        for (id, d) in descs.iter().enumerate() {
+            let (src, dst, path) = if d.fg {
+                (pl.fg_src, pl.fg_dst, pl.foreground_path())
+            } else {
+                let src = pl.attach_background_host(d.seg.0, spec.host_bandwidth, spec.hop_delay);
+                let dst = pl.attach_background_host(d.seg.1, spec.host_bandwidth, spec.hop_delay);
+                let (_, l_src) = pl.topo.access_switch(src);
+                let (_, l_dst) = pl.topo.access_switch(dst);
+                let mut p = vec![l_src];
+                p.extend_from_slice(&pl.path_links[d.seg.0..d.seg.1]);
+                p.push(l_dst);
+                (src, dst, p)
+            };
+            link_bytes.resize(pl.topo.link_count(), 0);
+            for &l in &path {
+                link_bytes[l.index()] += d.size;
+            }
+            flows.push(FlowSpec {
+                id: id as FlowId,
+                src,
+                dst,
+                size: d.size,
+                arrival: 0,
+                path,
+            });
+            is_foreground.push(d.fg);
+            segments.push(d.seg);
+        }
+
+        // Load calibration on the hottest link (same scheme as gen.rs).
+        let n = flows.len();
+        let seconds_per_gap = link_bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b as f64 * 8.0 / pl.topo.link(LinkId(i as u32)).bandwidth as f64)
+            .fold(0.0f64, f64::max);
+        let gap_ns = (seconds_per_gap * 1e9 / (n as f64 * spec.max_load)).max(1.0);
+        let process = ArrivalProcess::lognormal(gap_ns, spec.sigma);
+        let times = process.arrival_times(n, &mut rng);
+        for (f, t) in flows.iter_mut().zip(times) {
+            f.arrival = t;
+        }
+
+        PathScenario {
+            fg_path: pl.foreground_path(),
+            path_links: pl.path_links.clone(),
+            topo: pl.topo,
+            flows,
+            is_foreground,
+            segments,
+            spec: spec.clone(),
+        }
+    }
+
+    /// Number of fluid links: fg access + path links + fg egress.
+    pub fn fluid_link_count(&self) -> usize {
+        self.path_links.len() + 2
+    }
+
+    /// Convert to the fluid model used by flowSim. Fluid link 0 is the
+    /// foreground access link, links 1..=n are the path links, link n+1 is
+    /// the foreground egress link. Background flows are mapped onto their
+    /// path-link segment with a private rate cap equal to their NIC.
+    pub fn to_fluid(&self, mtu: Bytes) -> (FluidTopology, Vec<FluidFlow>) {
+        let n_hops = self.path_links.len();
+        let mut link_bps = Vec::with_capacity(n_hops + 2);
+        link_bps.push(self.topo.link(self.fg_path[0]).bandwidth as f64);
+        for &l in &self.path_links {
+            link_bps.push(self.topo.link(l).bandwidth as f64);
+        }
+        link_bps.push(self.topo.link(*self.fg_path.last().unwrap()).bandwidth as f64);
+        let fluid_topo = FluidTopology::new(link_bps);
+
+        let flows = self
+            .flows
+            .iter()
+            .zip(self.is_foreground.iter().zip(self.segments.iter()))
+            .map(|(f, (&fg, &(i, j)))| {
+                let (first, last) = if fg {
+                    (0u16, (n_hops + 1) as u16)
+                } else {
+                    ((i + 1) as u16, j as u16)
+                };
+                let cap = if fg {
+                    f64::INFINITY
+                } else {
+                    self.topo.host_nic_bandwidth(f.src).min(self.topo.host_nic_bandwidth(f.dst))
+                        as f64
+                };
+                let ideal_fct = self.topo.ideal_fct(&f.path, f.size, mtu);
+                // Latency = ideal minus bottleneck serialization: folds
+                // propagation and per-hop pipelining into a constant, so an
+                // unloaded fluid flow has slowdown exactly 1 (Appendix A's
+                // end-to-end latency factor).
+                let bottleneck =
+                    (self.topo.bottleneck_bandwidth(&f.path) as f64).min(cap);
+                let ser = (f.size.max(1) as f64 * 8e9 / bottleneck).ceil() as Nanos;
+                FluidFlow {
+                    id: f.id,
+                    size: f.size,
+                    arrival: f.arrival,
+                    first_link: first,
+                    last_link: last,
+                    rate_cap_bps: cap,
+                    latency: ideal_fct.saturating_sub(ser),
+                    ideal_fct,
+                }
+            })
+            .collect();
+        (fluid_topo, flows)
+    }
+
+    /// Run the packet-level ground truth for this scenario.
+    pub fn ground_truth(&self, config: SimConfig) -> SimOutput {
+        run_simulation(&self.topo, config, self.flows.clone())
+    }
+
+    pub fn foreground_ids(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .zip(&self.is_foreground)
+            .filter_map(|(f, &fg)| fg.then_some(f.id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PathScenarioSpec {
+        PathScenarioSpec {
+            n_foreground: 50,
+            n_background: 150,
+            seed: 9,
+            ..PathScenarioSpec::default()
+        }
+    }
+
+    #[test]
+    fn counts_and_flags() {
+        let s = PathScenario::generate(&spec());
+        assert_eq!(s.flows.len(), 200);
+        assert_eq!(s.is_foreground.iter().filter(|&&f| f).count(), 50);
+        // Arrivals sorted.
+        for w in s.flows.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn foreground_uses_full_path() {
+        let s = PathScenario::generate(&spec());
+        for (f, &fg) in s.flows.iter().zip(&s.is_foreground) {
+            if fg {
+                assert_eq!(f.path, s.fg_path);
+            } else {
+                assert_ne!(f.path, s.fg_path);
+            }
+        }
+    }
+
+    #[test]
+    fn background_segments_within_path() {
+        let s = PathScenario::generate(&spec());
+        for (&(i, j), &fg) in s.segments.iter().zip(&s.is_foreground) {
+            assert!(i < j && j <= s.spec.n_hops);
+            let _ = fg;
+        }
+    }
+
+    #[test]
+    fn fluid_conversion_shapes() {
+        let s = PathScenario::generate(&spec());
+        let (ft, flows) = s.to_fluid(1000);
+        assert_eq!(ft.num_links(), s.spec.n_hops + 2);
+        assert_eq!(flows.len(), s.flows.len());
+        for (ff, &fg) in flows.iter().zip(&s.is_foreground) {
+            if fg {
+                assert_eq!(ff.first_link, 0);
+                assert_eq!(ff.last_link as usize, s.spec.n_hops + 1);
+                assert!(ff.rate_cap_bps.is_infinite());
+            } else {
+                assert!(ff.first_link >= 1);
+                assert!((ff.last_link as usize) <= s.spec.n_hops);
+                assert!(ff.rate_cap_bps.is_finite());
+            }
+            assert!(ff.ideal_fct > 0);
+        }
+    }
+
+    #[test]
+    fn ground_truth_smoke() {
+        let mut sp = spec();
+        sp.n_foreground = 20;
+        sp.n_background = 60;
+        let s = PathScenario::generate(&sp);
+        let out = s.ground_truth(SimConfig::default());
+        assert_eq!(out.records.len(), 80);
+        for r in &out.records {
+            assert!(r.slowdown() >= 0.99);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PathScenario::generate(&spec());
+        let b = PathScenario::generate(&spec());
+        assert_eq!(a.flows, b.flows);
+    }
+}

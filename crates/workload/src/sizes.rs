@@ -1,0 +1,273 @@
+//! Flow size distributions.
+//!
+//! Two families, matching the paper's Tables 2-3:
+//! * parametric distributions (Pareto, Exponential, Gaussian, Log-normal)
+//!   with a continuous size parameter theta, used for synthetic training
+//!   scenarios, and
+//! * empirical CDFs shaped after the Meta/Facebook production distributions
+//!   (CacheFollower, WebServer, Hadoop; Fig. 18(b)), used for evaluation.
+//!
+//! The empirical tables are approximations of the published curves with the
+//! Hadoop tail truncated at 3 MB so the packet-level ground-truth simulations
+//! stay tractable (see DESIGN.md, substitutions).
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal, Normal, Pareto};
+use serde::{Deserialize, Serialize};
+
+/// Minimum flow size we ever generate (one small request).
+pub const MIN_FLOW_SIZE: u64 = 50;
+
+/// A point-wise empirical CDF: P(size <= bytes) = cdf, strictly increasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdfTable {
+    /// (bytes, cumulative probability), sorted, last probability = 1.0.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl CdfTable {
+    pub fn new(points: Vec<(u64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+            "CDF points must be strictly increasing"
+        );
+        let last = points.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1.0");
+        assert!(points[0].1 >= 0.0);
+        CdfTable { points }
+    }
+
+    /// Inverse-CDF sampling with linear interpolation between points.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        self.inverse(u)
+    }
+
+    /// Quantile function (u in [0,1]).
+    pub fn inverse(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        if u <= self.points[0].1 {
+            return self.points[0].0.max(MIN_FLOW_SIZE);
+        }
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if u <= p1 {
+                let frac = (u - p0) / (p1 - p0);
+                let x = x0 as f64 + frac * (x1 - x0) as f64;
+                return (x as u64).max(MIN_FLOW_SIZE);
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Mean under the piecewise-linear interpolation.
+    pub fn mean(&self) -> f64 {
+        let mut m = self.points[0].0 as f64 * self.points[0].1;
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            m += (p1 - p0) * (x0 + x1) as f64 / 2.0;
+        }
+        m
+    }
+}
+
+/// The flow size distribution families of Tables 2-3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Empirical production-shaped CDF.
+    Empirical(CdfTable),
+    /// Pareto with mean `theta` (shape fixed at 1.8).
+    Pareto { theta: f64 },
+    /// Exponential with mean `theta`.
+    Exp { theta: f64 },
+    /// Gaussian with mean `theta`, std `theta/2`, truncated at MIN_FLOW_SIZE.
+    Gaussian { theta: f64 },
+    /// Log-normal with mean `theta` and shape sigma = 1.
+    LogNormal { theta: f64 },
+}
+
+/// Pareto shape used for the synthetic family; >1 so the mean exists.
+const PARETO_SHAPE: f64 = 1.8;
+/// Log-normal shape for the synthetic family.
+const LOGNORMAL_SHAPE: f64 = 1.0;
+
+impl SizeDistribution {
+    /// The three production workloads of §5.1, shaped after Fig. 18(b).
+    pub fn web_server() -> Self {
+        SizeDistribution::Empirical(CdfTable::new(vec![
+            (100, 0.05),
+            (200, 0.20),
+            (300, 0.35),
+            (500, 0.50),
+            (700, 0.60),
+            (1_000, 0.70),
+            (2_000, 0.82),
+            (5_000, 0.90),
+            (10_000, 0.94),
+            (20_000, 0.97),
+            (50_000, 0.990),
+            (100_000, 0.997),
+            (500_000, 1.0),
+        ]))
+    }
+
+    pub fn cache_follower() -> Self {
+        SizeDistribution::Empirical(CdfTable::new(vec![
+            (100, 0.02),
+            (300, 0.10),
+            (1_000, 0.25),
+            (2_000, 0.40),
+            (5_000, 0.55),
+            (10_000, 0.70),
+            (20_000, 0.80),
+            (50_000, 0.90),
+            (100_000, 0.95),
+            (500_000, 0.99),
+            (1_000_000, 0.998),
+            (3_000_000, 1.0),
+        ]))
+    }
+
+    pub fn hadoop() -> Self {
+        SizeDistribution::Empirical(CdfTable::new(vec![
+            (100, 0.10),
+            (300, 0.30),
+            (1_000, 0.50),
+            (10_000, 0.65),
+            (100_000, 0.82),
+            (500_000, 0.92),
+            (1_000_000, 0.97),
+            (3_000_000, 1.0),
+        ]))
+    }
+
+    /// Look up a production workload by its paper name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "WebServer" => Some(Self::web_server()),
+            "CacheFollower" => Some(Self::cache_follower()),
+            "Hadoop" => Some(Self::hadoop()),
+            _ => None,
+        }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let v = match self {
+            SizeDistribution::Empirical(cdf) => return cdf.sample(rng),
+            SizeDistribution::Pareto { theta } => {
+                // mean = shape * scale / (shape - 1)  =>  scale from theta.
+                let scale = theta * (PARETO_SHAPE - 1.0) / PARETO_SHAPE;
+                Pareto::new(scale, PARETO_SHAPE).unwrap().sample(rng)
+            }
+            SizeDistribution::Exp { theta } => Exp::new(1.0 / theta).unwrap().sample(rng),
+            SizeDistribution::Gaussian { theta } => {
+                Normal::new(*theta, theta / 2.0).unwrap().sample(rng)
+            }
+            SizeDistribution::LogNormal { theta } => {
+                // mean = exp(mu + sigma^2/2)  =>  mu = ln(theta) - sigma^2/2.
+                let mu = theta.ln() - LOGNORMAL_SHAPE * LOGNORMAL_SHAPE / 2.0;
+                LogNormal::new(mu, LOGNORMAL_SHAPE).unwrap().sample(rng)
+            }
+        };
+        (v.max(MIN_FLOW_SIZE as f64) as u64).max(MIN_FLOW_SIZE)
+    }
+
+    /// Analytic mean flow size (up to truncation effects).
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDistribution::Empirical(cdf) => cdf.mean(),
+            SizeDistribution::Pareto { theta }
+            | SizeDistribution::Exp { theta }
+            | SizeDistribution::Gaussian { theta }
+            | SizeDistribution::LogNormal { theta } => *theta,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            SizeDistribution::Empirical(_) => "empirical",
+            SizeDistribution::Pareto { .. } => "pareto",
+            SizeDistribution::Exp { .. } => "exp",
+            SizeDistribution::Gaussian { .. } => "gaussian",
+            SizeDistribution::LogNormal { .. } => "lognormal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_inverse_endpoints() {
+        let cdf = CdfTable::new(vec![(100, 0.5), (1000, 1.0)]);
+        assert_eq!(cdf.inverse(0.0), 100);
+        assert_eq!(cdf.inverse(1.0), 1000);
+        assert_eq!(cdf.inverse(0.75), 550);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn cdf_rejects_nonmonotone() {
+        CdfTable::new(vec![(100, 0.5), (1000, 0.4), (2000, 1.0)]);
+    }
+
+    #[test]
+    fn sample_means_match_theta() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for dist in [
+            SizeDistribution::Pareto { theta: 20_000.0 },
+            SizeDistribution::Exp { theta: 20_000.0 },
+            SizeDistribution::Gaussian { theta: 20_000.0 },
+            SizeDistribution::LogNormal { theta: 20_000.0 },
+        ] {
+            let n = 200_000;
+            let total: f64 = (0..n).map(|_| dist.sample(&mut rng) as f64).sum();
+            let mean = total / n as f64;
+            let rel = (mean - 20_000.0).abs() / 20_000.0;
+            assert!(
+                rel < 0.25,
+                "{}: sample mean {mean} too far from theta",
+                dist.name()
+            );
+        }
+    }
+
+    #[test]
+    fn production_workloads_ordered_by_weight() {
+        // WebServer is dominated by small flows; Hadoop has the heaviest tail.
+        let web = SizeDistribution::web_server().mean();
+        let cache = SizeDistribution::cache_follower().mean();
+        let hadoop = SizeDistribution::hadoop().mean();
+        assert!(web < cache, "web {web} < cache {cache}");
+        assert!(cache < hadoop, "cache {cache} < hadoop {hadoop}");
+    }
+
+    #[test]
+    fn samples_respect_min_size() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dist = SizeDistribution::Gaussian { theta: 100.0 };
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) >= MIN_FLOW_SIZE);
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for name in ["WebServer", "CacheFollower", "Hadoop"] {
+            assert!(SizeDistribution::by_name(name).is_some());
+        }
+        assert!(SizeDistribution::by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn empirical_mean_reasonable() {
+        let m = SizeDistribution::web_server().mean();
+        assert!(m > 1_000.0 && m < 50_000.0, "web mean {m}");
+    }
+}

@@ -1,0 +1,174 @@
+//! The parameter spaces of Tables 2 (training), 3 (test) and 4 (network
+//! configuration), as samplable types. Every sampler is deterministic given
+//! the RNG, so train/test sets are reproducible from a seed.
+
+use crate::path::PathScenarioSpec;
+use crate::sizes::SizeDistribution;
+use m3_netsim::prelude::*;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sample a network configuration from Table 4.
+pub fn sample_config<R: Rng + ?Sized>(rng: &mut R) -> SimConfig {
+    let cc = CcProtocol::ALL[rng.gen_range(0..CcProtocol::ALL.len())];
+    sample_config_for(rng, cc)
+}
+
+/// Sample a Table 4 configuration for a fixed CC protocol.
+pub fn sample_config_for<R: Rng + ?Sized>(rng: &mut R, cc: CcProtocol) -> SimConfig {
+    let k_min = rng.gen_range(20 * KB..=50 * KB);
+    let k_max = rng.gen_range(50 * KB..=100 * KB).max(k_min + KB);
+    SimConfig {
+        init_window: rng.gen_range(5 * KB..=30 * KB),
+        buffer_size: rng.gen_range(200 * KB..=500 * KB),
+        pfc_enabled: rng.gen_bool(0.5),
+        cc,
+        params: CcParams {
+            dctcp_k: rng.gen_range(5 * KB..=20 * KB),
+            dcqcn_k_min: k_min,
+            dcqcn_k_max: k_max,
+            hpcc_eta: rng.gen_range(0.70..=0.95),
+            hpcc_rate_ai: rng.gen_range(500_000_000..=1_000_000_000),
+            timely_t_low: rng.gen_range(40 * USEC..=60 * USEC),
+            timely_t_high: rng.gen_range(100 * USEC..=150 * USEC),
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// Table 2: one training workload point (size family, theta, burstiness,
+/// load, path length). `scale` shrinks the paper's 20,000 foreground flows
+/// to a tractable count for CPU-only ground-truth collection; DESIGN.md
+/// documents the substitution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingPoint {
+    pub n_hops: usize,
+    pub sizes: SizeDistribution,
+    pub sigma: f64,
+    pub max_load: f64,
+    pub config: SimConfig,
+    pub seed: u64,
+}
+
+/// Sample one Table 2 training point. `n_hops` cycles through {2, 4, 6}.
+pub fn sample_training_point<R: Rng + ?Sized>(rng: &mut R, n_hops: usize) -> TrainingPoint {
+    assert!(matches!(n_hops, 2 | 4 | 6), "paper trains on 2/4/6-hop paths");
+    let theta = rng.gen_range(5_000.0..=50_000.0);
+    let sizes = match rng.gen_range(0..4) {
+        0 => SizeDistribution::Pareto { theta },
+        1 => SizeDistribution::Exp { theta },
+        2 => SizeDistribution::Gaussian { theta },
+        _ => SizeDistribution::LogNormal { theta },
+    };
+    TrainingPoint {
+        n_hops,
+        sizes,
+        sigma: rng.gen_range(1.0..=2.0),
+        max_load: rng.gen_range(0.20..=0.80),
+        config: sample_config(rng),
+        seed: rng.gen(),
+    }
+}
+
+impl TrainingPoint {
+    /// Instantiate the scenario spec with explicit flow counts (the paper
+    /// uses 20,000 foreground flows; the repro default is set by callers).
+    pub fn to_scenario_spec(&self, n_foreground: usize, n_background: usize) -> PathScenarioSpec {
+        PathScenarioSpec {
+            n_hops: self.n_hops,
+            n_foreground,
+            n_background,
+            sizes: self.sizes.clone(),
+            sigma: self.sigma,
+            max_load: self.max_load,
+            link_bandwidth: 10 * GBPS,
+            host_bandwidth: 10 * GBPS,
+            hop_delay: USEC,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Table 3: one evaluation scenario on a fat tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestPoint {
+    pub oversub: usize,
+    pub matrix_name: String,
+    pub workload_name: String,
+    pub sigma: f64,
+    pub max_load: f64,
+    pub config: SimConfig,
+    pub seed: u64,
+}
+
+/// Sample one Table 3 test point (optionally pinned to one CC protocol, as
+/// §5.2 pins DCTCP for the Parsimon comparison).
+pub fn sample_test_point<R: Rng + ?Sized>(rng: &mut R, cc: Option<CcProtocol>) -> TestPoint {
+    let config = match cc {
+        Some(p) => sample_config_for(rng, p),
+        None => sample_config(rng),
+    };
+    TestPoint {
+        oversub: [1, 2, 4][rng.gen_range(0..3)],
+        matrix_name: ["A", "B", "C"][rng.gen_range(0..3)].to_string(),
+        workload_name: ["CacheFollower", "WebServer", "Hadoop"][rng.gen_range(0..3)].to_string(),
+        sigma: if rng.gen_bool(0.5) { 1.0 } else { 2.0 },
+        max_load: rng.gen_range(0.26..=0.83),
+        config,
+        seed: rng.gen(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_configs_within_table4() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = sample_config(&mut rng);
+            assert!((5 * KB..=30 * KB).contains(&c.init_window));
+            assert!((200 * KB..=500 * KB).contains(&c.buffer_size));
+            assert!((5 * KB..=20 * KB).contains(&c.params.dctcp_k));
+            assert!(c.params.dcqcn_k_min < c.params.dcqcn_k_max);
+            assert!((0.70..=0.95).contains(&c.params.hpcc_eta));
+            assert!((500_000_000..=1_000_000_000).contains(&c.params.hpcc_rate_ai));
+            assert!(c.params.timely_t_low < c.params.timely_t_high);
+        }
+    }
+
+    #[test]
+    fn training_points_within_table2() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for hops in [2, 4, 6] {
+            for _ in 0..50 {
+                let p = sample_training_point(&mut rng, hops);
+                assert!((1.0..=2.0).contains(&p.sigma));
+                assert!((0.20..=0.80).contains(&p.max_load));
+                assert!(p.sizes.mean() >= 4_000.0 && p.sizes.mean() <= 51_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn test_points_within_table3() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let p = sample_test_point(&mut rng, Some(CcProtocol::Dctcp));
+            assert!(matches!(p.oversub, 1 | 2 | 4));
+            assert!(["A", "B", "C"].contains(&p.matrix_name.as_str()));
+            assert!((0.26..=0.83).contains(&p.max_load));
+            assert_eq!(p.config.cc, CcProtocol::Dctcp);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2/4/6")]
+    fn rejects_odd_hop_count() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        sample_training_point(&mut rng, 3);
+    }
+}

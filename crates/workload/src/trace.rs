@@ -1,0 +1,220 @@
+//! Flow-trace import/export.
+//!
+//! Operators usually have real traces rather than synthetic generators;
+//! this module reads and writes a simple JSON-Lines trace format so
+//! external workloads can be fed to every estimator in the workspace:
+//!
+//! ```text
+//! {"id":0,"src":12,"dst":97,"size":4096,"arrival":1500}
+//! {"id":1,"src":3,"dst":44,"size":512,"arrival":2750}
+//! ```
+//!
+//! `src`/`dst` are host indices into the topology's host list (rack-major
+//! for fat trees); routes are computed with the same ECMP used everywhere
+//! else, so imported traces are directly comparable to generated ones.
+
+use m3_netsim::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// One trace line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    pub id: u32,
+    /// Host index (position in the topology's host list).
+    pub src: usize,
+    pub dst: usize,
+    pub size: u64,
+    pub arrival: u64,
+}
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceError {
+    Io(std::io::Error),
+    Parse { line: usize, message: String },
+    Invalid { line: usize, message: String },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+            TraceError::Invalid { line, message } => {
+                write!(f, "trace line {line}: invalid record: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Parse a JSON-Lines trace. Blank lines and `#` comments are skipped.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let rec: TraceRecord = serde_json::from_str(trimmed).map_err(|e| TraceError::Parse {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        if rec.src == rec.dst {
+            return Err(TraceError::Invalid {
+                line: i + 1,
+                message: format!("flow {} has src == dst", rec.id),
+            });
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Write a JSON-Lines trace.
+pub fn write_trace<W: Write>(mut writer: W, records: &[TraceRecord]) -> Result<(), TraceError> {
+    for r in records {
+        serde_json::to_writer(&mut writer, r).map_err(|e| TraceError::Parse {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Route a parsed trace onto a topology: host indices are resolved against
+/// `hosts` (e.g. `FatTree::all_hosts()`), ECMP routes computed, and the
+/// result sorted by arrival — ready for any estimator.
+pub fn materialize_trace(
+    records: &[TraceRecord],
+    topo: &Topology,
+    hosts: &[NodeId],
+    routing: &Routing,
+) -> Result<Vec<FlowSpec>, TraceError> {
+    let mut flows = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        let src = *hosts.get(r.src).ok_or_else(|| TraceError::Invalid {
+            line: i + 1,
+            message: format!("src host index {} out of range ({} hosts)", r.src, hosts.len()),
+        })?;
+        let dst = *hosts.get(r.dst).ok_or_else(|| TraceError::Invalid {
+            line: i + 1,
+            message: format!("dst host index {} out of range", r.dst),
+        })?;
+        flows.push(FlowSpec {
+            id: r.id,
+            src,
+            dst,
+            size: r.size.max(1),
+            arrival: r.arrival,
+            path: routing.flow_path(topo, r.id as u64, src, dst),
+        });
+    }
+    flows.sort_by_key(|f| (f.arrival, f.id));
+    Ok(flows)
+}
+
+/// Export generated flows back to trace records (inverse of
+/// [`materialize_trace`] up to host indexing).
+pub fn flows_to_trace(flows: &[FlowSpec], hosts: &[NodeId]) -> Vec<TraceRecord> {
+    let index_of: std::collections::HashMap<NodeId, usize> =
+        hosts.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+    flows
+        .iter()
+        .map(|f| TraceRecord {
+            id: f.id,
+            src: index_of[&f.src],
+            dst: index_of[&f.dst],
+            size: f.size,
+            arrival: f.arrival,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> &'static str {
+        "# a comment\n\
+         {\"id\":0,\"src\":0,\"dst\":9,\"size\":4096,\"arrival\":1500}\n\
+         \n\
+         {\"id\":1,\"src\":3,\"dst\":7,\"size\":512,\"arrival\":2750}\n"
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let recs = read_trace(sample_trace().as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].size, 4096);
+        assert_eq!(recs[1].arrival, 2750);
+    }
+
+    #[test]
+    fn parse_rejects_self_flow() {
+        let bad = "{\"id\":0,\"src\":5,\"dst\":5,\"size\":1,\"arrival\":0}";
+        let err = read_trace(bad.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Invalid { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let bad = "{\"id\":0,\"src\":0,\"dst\":1,\"size\":1,\"arrival\":0}\nnot json";
+        let err = read_trace(bad.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let recs = read_trace(sample_trace().as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &recs).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn materialize_routes_and_sorts() {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let hosts = ft.all_hosts();
+        let recs = vec![
+            TraceRecord { id: 0, src: 0, dst: 200, size: 1000, arrival: 900 },
+            TraceRecord { id: 1, src: 5, dst: 100, size: 2000, arrival: 100 },
+        ];
+        let flows = materialize_trace(&recs, &ft.topo, &hosts, &routing).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].id, 1, "sorted by arrival");
+        for f in &flows {
+            let mut cur = f.src;
+            for &l in &f.path {
+                cur = ft.topo.link(l).other(cur);
+            }
+            assert_eq!(cur, f.dst);
+        }
+        // Round-trip back to records.
+        let back = flows_to_trace(&flows, &hosts);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].id, 1);
+        assert_eq!(back[0].src, 5);
+    }
+
+    #[test]
+    fn materialize_rejects_bad_host_index() {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let hosts = ft.all_hosts();
+        let recs = vec![TraceRecord { id: 0, src: 9999, dst: 1, size: 1, arrival: 0 }];
+        assert!(materialize_trace(&recs, &ft.topo, &hosts, &routing).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for workload generation: load calibration, distribution
+//! sanity, and scenario determinism across the whole parameter space.
+
+use m3_netsim::prelude::*;
+use m3_workload::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sampled sizes from any Table 2 family are positive and bounded-mean.
+    #[test]
+    fn synthetic_sizes_positive(theta in 5_000.0f64..50_000.0, which in 0usize..4) {
+        let dist = match which {
+            0 => SizeDistribution::Pareto { theta },
+            1 => SizeDistribution::Exp { theta },
+            2 => SizeDistribution::Gaussian { theta },
+            _ => SizeDistribution::LogNormal { theta },
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = dist.sample(&mut rng);
+            prop_assert!(s >= MIN_FLOW_SIZE);
+        }
+    }
+
+    /// Load calibration lands within a factor of the target for any matrix,
+    /// workload and load level.
+    #[test]
+    fn calibrated_load_reasonable(
+        target in 0.25f64..0.8,
+        m_idx in 0usize..3,
+        w_idx in 0usize..3,
+        seed in 0u64..50,
+    ) {
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let sc = Scenario {
+            n_flows: 8_000,
+            matrix_name: ["A", "B", "C"][m_idx].into(),
+            sizes: SizeDistribution::by_name(["CacheFollower", "WebServer", "Hadoop"][w_idx]).unwrap(),
+            sigma: 1.0,
+            max_load: target,
+            seed,
+        };
+        let w = generate(&ft, &routing, &sc);
+        let loads = offered_load(&ft.topo, &w.flows);
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(
+            max > target * 0.4 && max < target * 2.2,
+            "target {target}, achieved {max}"
+        );
+    }
+
+    /// Path scenarios: arrivals sorted, foreground count honored, every
+    /// path valid, deterministic.
+    #[test]
+    fn path_scenarios_well_formed(
+        hops in prop::sample::select(vec![1usize, 2, 4, 6]),
+        fg in 5usize..40,
+        bg in 0usize..80,
+        seed in 0u64..100,
+    ) {
+        let spec = PathScenarioSpec {
+            n_hops: hops,
+            n_foreground: fg,
+            n_background: bg,
+            seed,
+            ..PathScenarioSpec::default()
+        };
+        let a = PathScenario::generate(&spec);
+        let b = PathScenario::generate(&spec);
+        prop_assert_eq!(&a.flows, &b.flows);
+        prop_assert_eq!(a.flows.len(), fg + bg);
+        prop_assert_eq!(a.is_foreground.iter().filter(|&&x| x).count(), fg);
+        for w in a.flows.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        // Every flow's path is connected from src to dst.
+        for f in &a.flows {
+            let mut cur = f.src;
+            for &l in &f.path {
+                cur = a.topo.link(l).other(cur);
+            }
+            prop_assert_eq!(cur, f.dst);
+        }
+    }
+
+    /// Traffic matrices never emit diagonal pairs and respect rack bounds.
+    #[test]
+    fn matrices_valid(n_racks in 4usize..48, seed in 0u64..20) {
+        for name in ["A", "B", "C", "uniform"] {
+            let m = TrafficMatrix::by_name(name, n_racks).unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                let (s, d) = m.sample(&mut rng);
+                prop_assert!(s != d && s < n_racks && d < n_racks);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: train a small m3 model on synthetic path scenarios, then
+//! estimate the tail latency of a full fat-tree workload and compare with
+//! packet-level ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//! (a few minutes on a laptop; scale down via the constants below)
+
+use m3::core::prelude::*;
+use m3::netsim::prelude::*;
+use m3::workload::prelude::*;
+
+fn main() {
+    // 1. Get a correction model: reuse the `train` binary's checkpoint if
+    //    present, otherwise train a deliberately tiny one on Table 2-style
+    //    parking-lot scenarios right here.
+    let net = if let Ok(net) = m3::nn::checkpoint::load_file("assets/m3-model.ckpt") {
+        println!("loaded assets/m3-model.ckpt ({} params)", net.num_params());
+        net
+    } else {
+        println!("training a small m3 model (synthetic parking-lot scenarios)...");
+        let train_cfg = TrainConfig {
+            n_scenarios: 60,
+            fg_flows: 150,
+            bg_flows: 450,
+            epochs: 25,
+            ..TrainConfig::default()
+        };
+        let dataset = build_dataset(&train_cfg);
+        let (net, report) = train(&train_cfg, &dataset);
+        println!(
+            "  {} params, final train L1 {:.3}, val L1 {:.3}",
+            net.num_params(),
+            report.train_loss.last().unwrap(),
+            report.val_loss.last().unwrap()
+        );
+        net
+    };
+
+    // 2. Build the evaluation scenario: 32-rack fat tree, WebServer sizes,
+    //    broad traffic matrix, 50% max link load.
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let workload = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 30_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 7,
+        },
+    );
+    let config = SimConfig::default(); // DCTCP
+
+    // 3. m3 estimate: decompose into paths, flowSim + ML per path, aggregate.
+    let t = std::time::Instant::now();
+    let estimator = M3Estimator::new(net);
+    let estimate = estimator.estimate(&ft.topo, &workload.flows, &config, 100, 1);
+    let m3_time = t.elapsed();
+
+    // 4. Ground truth: full packet-level simulation.
+    let t = std::time::Instant::now();
+    let gt_out = run_simulation(&ft.topo, config, workload.flows.clone());
+    let gt = ground_truth_estimate(&gt_out.records);
+    let gt_time = t.elapsed();
+
+    println!("\nnetwork-wide p99 FCT slowdown");
+    println!("  ground truth: {:.2}  ({:.1?})", gt.p99(), gt_time);
+    println!(
+        "  m3:           {:.2}  ({:.1?}, {:.1}x faster, {:+.1}% error)",
+        estimate.p99(),
+        m3_time,
+        gt_time.as_secs_f64() / m3_time.as_secs_f64(),
+        relative_error(estimate.p99(), gt.p99()) * 100.0
+    );
+    let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
+    println!("\nper-size-bucket p99 slowdown (truth vs m3)");
+    for b in 0..NUM_OUTPUT_BUCKETS {
+        println!(
+            "  {:12} {:>7.2} {:>7.2}",
+            names[b],
+            gt.bucket_p99(b),
+            estimate.bucket_p99(b)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! A tour of the packet-level simulator substrate: a 16-to-1 incast on a
+//! single switch, run under all four congestion-control protocols, with and
+//! without PFC. Shows the `m3-netsim` API directly (no m3 pipeline).
+//!
+//! Run with: `cargo run --release --example simulator_tour`
+
+use m3::netsim::prelude::*;
+
+fn build_incast(fan_in: u32, size: Bytes) -> (Topology, Vec<FlowSpec>) {
+    let mut topo = Topology::new();
+    let s = topo.add_switch();
+    let dst = topo.add_host();
+    let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+    let mut flows = Vec::new();
+    for i in 0..fan_in {
+        let h = topo.add_host();
+        let l = topo.add_link(h, s, 10 * GBPS, USEC);
+        flows.push(FlowSpec {
+            id: i,
+            src: h,
+            dst,
+            size,
+            arrival: (i as u64) * 500, // near-synchronized burst
+            path: vec![l, dst_l],
+        });
+    }
+    (topo, flows)
+}
+
+fn p(sorted: &mut Vec<f64>, q: f64) -> f64 {
+    percentile_unsorted(sorted, q)
+}
+
+fn main() {
+    println!("16-to-1 incast of 64KB responses into one 10G port\n");
+    println!(
+        "{:>8} {:>5} {:>10} {:>10} {:>10} {:>7} {:>9}",
+        "CC", "PFC", "p50 sldn", "p99 sldn", "max sldn", "drops", "finish"
+    );
+    for cc in CcProtocol::ALL {
+        for pfc in [false, true] {
+            let (topo, flows) = build_incast(16, 64 * KB);
+            let config = SimConfig {
+                cc,
+                pfc_enabled: pfc,
+                buffer_size: 200 * KB,
+                pfc_threshold: 80 * KB,
+                ..SimConfig::default()
+            };
+            let out = run_simulation(&topo, config, flows);
+            let mut sldn: Vec<f64> = out.records.iter().map(|r| r.slowdown()).collect();
+            println!(
+                "{:>8} {:>5} {:>10.2} {:>10.2} {:>10.2} {:>7} {:>8.2}ms",
+                cc.name(),
+                if pfc { "on" } else { "off" },
+                p(&mut sldn, 50.0),
+                p(&mut sldn, 99.0),
+                p(&mut sldn, 100.0),
+                out.drops,
+                out.end_time as f64 / 1e6,
+            );
+        }
+    }
+    println!("\nEvery flow completed in every configuration (losses are");
+    println!("recovered by go-back-N; PFC prevents them outright).");
+}

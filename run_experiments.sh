@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure. Tune M3_FLOWS / M3_PATHS / M3_SCENARIOS
+# for your machine; defaults take roughly an hour on a single core.
+set -uo pipefail
+cd "$(dirname "$0")"
+cargo build --release --workspace
+BINS=(fig18_workload fig3_heatmaps fig2_paths fig5_sampling fig6_path_cdfs \
+      fig16_ablation fig17_config_space table1 fig2_accuracy \
+      fig10_sensitivity fig11_breakdown fig15_error_breakdown \
+      fig13_window_sweep fig14_eta_sweep table5_fig12 ablation_global_flowsim)
+mkdir -p results
+for b in "${BINS[@]}"; do
+    echo "=== running $b ==="
+    ./target/release/"$b" 2>&1 | tee "results/$b.txt" || echo "!! $b failed"
+done

@@ -1,0 +1,302 @@
+//! `m3` — command-line interface to the estimation pipeline.
+//!
+//! ```text
+//! m3 example-spec                # print a scenario spec template (JSON)
+//! m3 estimate <spec.json>       # run the estimators named in the spec
+//! m3 sweep <spec.json> <knob> <v1,v2,...>   # counterfactual knob sweep
+//! ```
+//!
+//! The spec file describes a topology, a workload, a network configuration,
+//! and which estimators to run (`m3`, `flowsim`, `global-flowsim`,
+//! `parsimon`, `parsimon-clustered`, `ns3`, `ns3-path`).
+
+use m3::core::prelude::*;
+use m3::netsim::prelude::*;
+use m3::parsimon::{
+    parsimon_estimate, parsimon_estimate_clustered, slowdown_samples, ClusteringConfig,
+};
+use m3::workload::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Spec {
+    topology: TopoSpec,
+    workload: WorkloadSpec,
+    #[serde(default)]
+    config: ConfigSpec,
+    /// Estimators to run.
+    methods: Vec<String>,
+    #[serde(default = "default_paths")]
+    paths: usize,
+    #[serde(default)]
+    model: Option<String>,
+    #[serde(default)]
+    seed: u64,
+}
+
+fn default_paths() -> usize {
+    100
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+enum TopoSpec {
+    FatTreeSmall { oversub: usize },
+    FatTreeLarge,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct WorkloadSpec {
+    n_flows: usize,
+    matrix: String,
+    sizes: String,
+    sigma: f64,
+    max_load: f64,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct ConfigSpec {
+    #[serde(default)]
+    cc: Option<String>,
+    #[serde(default)]
+    init_window: Option<u64>,
+    #[serde(default)]
+    buffer_size: Option<u64>,
+    #[serde(default)]
+    pfc: Option<bool>,
+}
+
+impl ConfigSpec {
+    fn to_sim_config(&self) -> SimConfig {
+        let mut c = SimConfig::default();
+        if let Some(cc) = &self.cc {
+            c.cc = match cc.as_str() {
+                "dctcp" => CcProtocol::Dctcp,
+                "timely" => CcProtocol::Timely,
+                "dcqcn" => CcProtocol::Dcqcn,
+                "hpcc" => CcProtocol::Hpcc,
+                other => die(&format!("unknown cc protocol {other:?}")),
+            };
+        }
+        if let Some(w) = self.init_window {
+            c.init_window = w;
+        }
+        if let Some(b) = self.buffer_size {
+            c.buffer_size = b;
+        }
+        if let Some(p) = self.pfc {
+            c.pfc_enabled = p;
+        }
+        c
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn example_spec() -> Spec {
+    Spec {
+        topology: TopoSpec::FatTreeSmall { oversub: 2 },
+        workload: WorkloadSpec {
+            n_flows: 20_000,
+            matrix: "B".into(),
+            sizes: "WebServer".into(),
+            sigma: 1.0,
+            max_load: 0.5,
+        },
+        config: ConfigSpec {
+            cc: Some("dctcp".into()),
+            init_window: Some(15_000),
+            buffer_size: Some(400_000),
+            pfc: Some(false),
+        },
+        methods: vec!["m3".into(), "parsimon".into(), "ns3".into()],
+        paths: 100,
+        model: Some("assets/m3-model.ckpt".into()),
+        seed: 1,
+    }
+}
+
+struct Materialized {
+    topo: Topology,
+    flows: Vec<FlowSpec>,
+    config: SimConfig,
+}
+
+fn materialize(spec: &Spec) -> Materialized {
+    let ft = match spec.topology {
+        TopoSpec::FatTreeSmall { oversub } => FatTree::build(FatTreeSpec::small(oversub)),
+        TopoSpec::FatTreeLarge => FatTree::build(FatTreeSpec::large()),
+    };
+    let routing = Routing::new(&ft.topo);
+    let sizes = SizeDistribution::by_name(&spec.workload.sizes)
+        .unwrap_or_else(|| die(&format!("unknown size distribution {:?}", spec.workload.sizes)));
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: spec.workload.n_flows,
+            matrix_name: spec.workload.matrix.clone(),
+            sizes,
+            sigma: spec.workload.sigma,
+            max_load: spec.workload.max_load,
+            seed: spec.seed,
+        },
+    );
+    Materialized {
+        topo: ft.topo,
+        flows: w.flows,
+        config: spec.config.to_sim_config(),
+    }
+}
+
+fn load_model(spec: &Spec) -> m3::nn::prelude::M3Net {
+    let path = spec.model.as_deref().unwrap_or("assets/m3-model.ckpt");
+    m3::nn::checkpoint::load_file(path).unwrap_or_else(|e| {
+        die(&format!(
+            "cannot load model {path:?} ({e}); run `cargo run --release -p m3-bench --bin train` first"
+        ))
+    })
+}
+
+fn report(name: &str, est: &NetworkEstimate, elapsed: std::time::Duration) {
+    println!(
+        "{name:>18}: p99 {:>8.2}   (p50 {:>6.2}, buckets p99 [{:.2}, {:.2}, {:.2}, {:.2}])   {:?}",
+        est.p99(),
+        est.overall_quantile(50.0),
+        est.bucket_p99(0),
+        est.bucket_p99(1),
+        est.bucket_p99(2),
+        est.bucket_p99(3),
+        elapsed
+    );
+}
+
+fn run_estimate(spec: &Spec) {
+    let m = materialize(spec);
+    println!(
+        "scenario: {} flows, {} nodes, {} links",
+        m.flows.len(),
+        m.topo.node_count(),
+        m.topo.link_count()
+    );
+    for method in &spec.methods {
+        let t = Instant::now();
+        match method.as_str() {
+            "m3" => {
+                let est = M3Estimator::new(load_model(spec));
+                let e = est.estimate(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
+                report("m3", &e, t.elapsed());
+            }
+            "flowsim" => {
+                let e = flowsim_estimate(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
+                report("flowsim", &e, t.elapsed());
+            }
+            "global-flowsim" => {
+                let e = global_flowsim_estimate(&m.topo, &m.flows, &m.config);
+                report("global-flowsim", &e, t.elapsed());
+            }
+            "parsimon" => {
+                let recs = parsimon_estimate(&m.topo, &m.flows, &m.config);
+                let e = NetworkEstimate::aggregate(&[PathDistribution::from_samples(
+                    &slowdown_samples(&recs),
+                )]);
+                report("parsimon", &e, t.elapsed());
+            }
+            "parsimon-clustered" => {
+                let (recs, stats) = parsimon_estimate_clustered(
+                    &m.topo,
+                    &m.flows,
+                    &m.config,
+                    &ClusteringConfig::default(),
+                );
+                let e = NetworkEstimate::aggregate(&[PathDistribution::from_samples(
+                    &slowdown_samples(&recs),
+                )]);
+                report("parsimon-clustered", &e, t.elapsed());
+                println!(
+                    "{:>18}  ({} of {} channels simulated)",
+                    "", stats.simulated_channels, stats.total_channels
+                );
+            }
+            "ns3" => {
+                let out = run_simulation(&m.topo, m.config, m.flows.clone());
+                let e = ground_truth_estimate(&out.records);
+                report("ns3 (packet sim)", &e, t.elapsed());
+            }
+            "ns3-path" => {
+                let e = ns3_path_estimate(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
+                report("ns3-path", &e, t.elapsed());
+            }
+            other => die(&format!("unknown method {other:?}")),
+        }
+    }
+}
+
+fn run_sweep(spec: &Spec, knob_name: &str, values: &str) {
+    let knob = match knob_name {
+        "init-window" => Knob::InitWindow,
+        "buffer-size" => Knob::BufferSize,
+        "dctcp-k" => Knob::DctcpK,
+        "hpcc-eta" => Knob::HpccEta,
+        "hpcc-rate-ai" => Knob::HpccRateAi,
+        "timely-tlow" => Knob::TimelyTLow,
+        "timely-thigh" => Knob::TimelyTHigh,
+        other => die(&format!("unknown knob {other:?}")),
+    };
+    let candidates: Vec<f64> = values
+        .split(',')
+        .map(|v| v.trim().parse().unwrap_or_else(|_| die("bad knob value")))
+        .collect();
+    let m = materialize(spec);
+    let estimator = M3Estimator::new(load_model(spec));
+    let t = Instant::now();
+    let prepared = PreparedWorkload::prepare(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
+    println!("prepared {} paths in {:?}", spec.paths, t.elapsed());
+    let t = Instant::now();
+    let result = sweep_knob(&estimator, &prepared, &m.config, knob, &candidates, |e| {
+        e.p99()
+    });
+    println!("swept {} candidates in {:?}:", candidates.len(), t.elapsed());
+    for p in &result.points {
+        println!(
+            "  {knob_name} = {:>12.1}: overall p99 {:>7.2}, buckets [{:.2}, {:.2}, {:.2}, {:.2}]",
+            p.value, p.overall_p99, p.bucket_p99[0], p.bucket_p99[1], p.bucket_p99[2], p.bucket_p99[3]
+        );
+    }
+    println!("best: {knob_name} = {:.1} (p99 {:.2})", result.best.value, result.best.overall_p99);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(|s| s.as_str()) {
+        Some("example-spec") => {
+            println!("{}", serde_json::to_string_pretty(&example_spec()).unwrap());
+        }
+        Some("estimate") => {
+            let path = args.get(2).unwrap_or_else(|| die("usage: m3 estimate <spec.json>"));
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+            let spec: Spec =
+                serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+            run_estimate(&spec);
+        }
+        Some("sweep") => {
+            if args.len() < 5 {
+                die("usage: m3 sweep <spec.json> <knob> <v1,v2,...>");
+            }
+            let text = std::fs::read_to_string(&args[2])
+                .unwrap_or_else(|e| die(&format!("read {}: {e}", args[2])));
+            let spec: Spec = serde_json::from_str(&text)
+                .unwrap_or_else(|e| die(&format!("parse {}: {e}", args[2])));
+            run_sweep(&spec, &args[3], &args[4]);
+        }
+        _ => {
+            eprintln!("usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values>>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # m3 — reproduction workspace root
+//!
+//! Re-exports every crate of the m3 (SIGCOMM 2024) reproduction under one
+//! roof, for use by the examples, the integration tests, and the `m3` CLI:
+//!
+//! * [`netsim`] — packet-level discrete-event simulator (ground truth)
+//! * [`flowsim`] — max-min fluid simulator (flowSim, Algorithm 1)
+//! * [`workload`] — size distributions, traffic matrices, arrivals
+//! * [`nn`] — tensors, autograd, transformer + MLP, Adam, checkpoints
+//! * [`core`] — the m3 pipeline (decompose, featurize, correct, aggregate)
+//! * [`parsimon`] — the Parsimon baseline
+//!
+//! See README.md for a quickstart and DESIGN.md for the architecture.
+
+pub use m3_core as core;
+pub use m3_flowsim as flowsim;
+pub use m3_netsim as netsim;
+pub use m3_nn as nn;
+pub use m3_parsimon as parsimon;
+pub use m3_workload as workload;

@@ -1,0 +1,216 @@
+//! Differential tests: the packet-level simulator against analytically
+//! solvable scenarios, flowSim against the packet simulator on long flows,
+//! and Parsimon against full simulation where its decomposition is exact.
+
+use m3::flowsim::prelude::*;
+use m3::netsim::prelude::*;
+
+/// host -- switch -- host with 10G links.
+fn dumbbell() -> (Topology, NodeId, NodeId, Vec<LinkId>) {
+    let mut topo = Topology::new();
+    let a = topo.add_host();
+    let s = topo.add_switch();
+    let b = topo.add_host();
+    let l1 = topo.add_link(a, s, 10 * GBPS, USEC);
+    let l2 = topo.add_link(s, b, 10 * GBPS, USEC);
+    (topo, a, b, vec![l1, l2])
+}
+
+#[test]
+fn unloaded_flow_matches_analytic_fct() {
+    // 100 kB over 2x10G hops: the engine's FCT must equal the closed-form
+    // ideal within ACK-processing slack.
+    let (topo, a, b, path) = dumbbell();
+    let cfg = SimConfig {
+        init_window: 500 * KB, // never window-limited
+        ..SimConfig::default()
+    };
+    let flow = FlowSpec {
+        id: 0,
+        src: a,
+        dst: b,
+        size: 100 * KB,
+        arrival: 0,
+        path: path.clone(),
+    };
+    let out = run_simulation(&topo, cfg, vec![flow]);
+    let ideal = topo.ideal_fct(&path, 100 * KB, cfg.mtu);
+    let fct = out.records[0].fct;
+    assert!(
+        fct >= ideal && fct < ideal + ideal / 20,
+        "fct {fct} vs ideal {ideal}"
+    );
+}
+
+#[test]
+fn serial_flows_see_no_interference() {
+    // Flows spaced far apart behave as if alone.
+    let (topo, a, b, path) = dumbbell();
+    let flows: Vec<FlowSpec> = (0..10)
+        .map(|i| FlowSpec {
+            id: i,
+            src: a,
+            dst: b,
+            size: 20 * KB,
+            arrival: i as u64 * 10 * MSEC,
+            path: path.clone(),
+        })
+        .collect();
+    let out = run_simulation(&topo, SimConfig::default(), flows);
+    let first = out.records[0].fct;
+    for r in &out.records {
+        assert_eq!(r.fct, first, "serial flows must be identical");
+    }
+}
+
+#[test]
+fn flowsim_matches_packet_sim_for_two_long_flows() {
+    // Two simultaneous long flows from different hosts sharing one egress:
+    // the fluid model's prediction (2x slowdown) should match packet-level
+    // DCTCP within ~30%.
+    let mut topo = Topology::new();
+    let s = topo.add_switch();
+    let dst = topo.add_host();
+    let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+    let mut flows = Vec::new();
+    for i in 0..2u32 {
+        let h = topo.add_host();
+        let l = topo.add_link(h, s, 10 * GBPS, USEC);
+        flows.push(FlowSpec {
+            id: i,
+            src: h,
+            dst,
+            size: 2 * MB,
+            arrival: 0,
+            path: vec![l, dst_l],
+        });
+    }
+    let out = run_simulation(&topo, SimConfig::default(), flows.clone());
+
+    let ftopo = FluidTopology::new(vec![10e9]);
+    let fflows: Vec<FluidFlow> = flows
+        .iter()
+        .map(|f| {
+            let ideal = topo.ideal_fct(&f.path, f.size, 1000);
+            FluidFlow {
+                id: f.id,
+                size: f.size,
+                arrival: f.arrival,
+                first_link: 0,
+                last_link: 0,
+                rate_cap_bps: 10e9,
+                latency: 0,
+                ideal_fct: ideal,
+            }
+        })
+        .collect();
+    let fluid = simulate_fluid(&ftopo, &fflows);
+    for (pr, fr) in out.records.iter().zip(&fluid) {
+        let ratio = pr.fct as f64 / fr.fct as f64;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "packet {} vs fluid {} (ratio {ratio})",
+            pr.fct,
+            fr.fct
+        );
+    }
+}
+
+#[test]
+fn parsimon_matches_truth_on_isolated_bottleneck() {
+    // Parsimon's link-independence assumption is exact when only one link
+    // is ever congested.
+    let mut topo = Topology::new();
+    let s = topo.add_switch();
+    let dst = topo.add_host();
+    let dst_l = topo.add_link(dst, s, GBPS, USEC); // the single bottleneck
+    let mut flows = Vec::new();
+    for i in 0..6u32 {
+        let h = topo.add_host();
+        let l = topo.add_link(h, s, 10 * GBPS, USEC);
+        flows.push(FlowSpec {
+            id: i,
+            src: h,
+            dst,
+            size: 200 * KB,
+            arrival: i as u64 * 50 * USEC,
+            path: vec![l, dst_l],
+        });
+    }
+    let cfg = SimConfig::default();
+    let truth = run_simulation(&topo, cfg, flows.clone());
+    let est = m3::parsimon::parsimon_estimate(&topo, &flows, &cfg);
+    for (t, e) in truth.records.iter().zip(&est) {
+        let ratio = e.est_fct as f64 / t.fct as f64;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "flow {}: parsimon {} vs truth {} ({ratio})",
+            t.id,
+            e.est_fct,
+            t.fct
+        );
+    }
+}
+
+#[test]
+fn ecn_keeps_queues_below_timely_queues() {
+    // DCTCP (ECN at K=12KB) should hold a shorter p99 small-flow tail than
+    // TIMELY's high T_high threshold under the same moderate incast.
+    let mut build = || {
+        let mut topo = Topology::new();
+        let s = topo.add_switch();
+        let dst = topo.add_host();
+        let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+        let mut flows = Vec::new();
+        // Eight long flows create standing queues; short probes measure them.
+        for i in 0..8u32 {
+            let h = topo.add_host();
+            let l = topo.add_link(h, s, 10 * GBPS, USEC);
+            flows.push(FlowSpec {
+                id: i,
+                src: h,
+                dst,
+                size: 1_000 * KB,
+                arrival: 0,
+                path: vec![l, dst_l],
+            });
+        }
+        for i in 0..40u32 {
+            let h = topo.add_host();
+            let l = topo.add_link(h, s, 10 * GBPS, USEC);
+            flows.push(FlowSpec {
+                id: 8 + i,
+                src: h,
+                dst,
+                size: 1 * KB,
+                arrival: 100 * USEC + i as u64 * 20 * USEC,
+                path: vec![l, dst_l],
+            });
+        }
+        (topo, flows)
+    };
+    let probe_p99 = |cc: CcProtocol| -> f64 {
+        let (topo, flows) = build();
+        let out = run_simulation(
+            &topo,
+            SimConfig {
+                cc,
+                ..SimConfig::default()
+            },
+            flows,
+        );
+        let mut sldn: Vec<f64> = out
+            .records
+            .iter()
+            .filter(|r| r.size <= KB)
+            .map(|r| r.slowdown())
+            .collect();
+        percentile_unsorted(&mut sldn, 99.0)
+    };
+    let dctcp = probe_p99(CcProtocol::Dctcp);
+    let timely = probe_p99(CcProtocol::Timely);
+    assert!(
+        dctcp < timely * 1.5,
+        "DCTCP short-flow tail {dctcp} should not dwarf TIMELY {timely}"
+    );
+}

@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) over the workspace's core invariants:
+//! max-min fairness, percentile math, feature maps, decomposition, and
+//! aggregation.
+
+use m3::core::prelude::*;
+use m3::flowsim::prelude::*;
+use m3::netsim::prelude::*;
+use proptest::prelude::*;
+
+fn arb_fluid_flow(n_links: u16) -> impl Strategy<Value = FluidFlow> {
+    (
+        0u64..50_000,
+        0u64..2_000_000,
+        0..n_links,
+        0..n_links,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(size, arrival, a, b, capped)| {
+            let (first, last) = (a.min(b), a.max(b));
+            FluidFlow {
+                id: 0, // assigned by caller
+                size,
+                arrival,
+                first_link: first,
+                last_link: last,
+                rate_cap_bps: if capped { 10e9 } else { f64::INFINITY },
+                latency: 1_000,
+                ideal_fct: 0,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every fluid flow completes, FCTs are at least the unloaded FCT, and
+    /// the fast engine matches the O(F^2) reference.
+    #[test]
+    fn fluid_fast_matches_reference(
+        raw in prop::collection::vec(arb_fluid_flow(3), 1..60)
+    ) {
+        let topo = FluidTopology::new(vec![10e9, 40e9, 10e9]);
+        let flows: Vec<FluidFlow> = raw.into_iter().enumerate().map(|(i, mut f)| {
+            f.id = i as u32;
+            f.ideal_fct = fluid_ideal_fct(&topo, &f);
+            f
+        }).collect();
+        let fast = simulate_fluid(&topo, &flows);
+        let slow = simulate_fluid_reference(&topo, &flows);
+        prop_assert_eq!(fast.len(), flows.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.id, s.id);
+            let tol = 2.0 + 1e-5 * s.fct as f64;
+            prop_assert!((f.fct as f64 - s.fct as f64).abs() <= tol,
+                "flow {}: fast {} vs ref {}", f.id, f.fct, s.fct);
+            prop_assert!(f.slowdown() >= 1.0 - 1e-6);
+        }
+    }
+
+    /// Max-min feasibility on a single link: the makespan can never beat
+    /// the work conservation bound (total bytes / capacity).
+    #[test]
+    fn fluid_single_link_work_conservation(
+        sizes in prop::collection::vec(1u64..100_000, 1..40)
+    ) {
+        let topo = FluidTopology::new(vec![8e9]); // 1 byte/ns
+        let flows: Vec<FluidFlow> = sizes.iter().enumerate().map(|(i, &size)| FluidFlow {
+            id: i as u32, size, arrival: 0, first_link: 0, last_link: 0,
+            rate_cap_bps: f64::INFINITY, latency: 0, ideal_fct: 1,
+        }).collect();
+        let recs = simulate_fluid(&topo, &flows);
+        let total: u64 = sizes.iter().map(|&s| s.max(1)).sum();
+        let makespan = recs.iter().map(|r| r.fct).max().unwrap();
+        prop_assert!(makespan + 2 >= total, "makespan {makespan} < work bound {total}");
+        // And the last completion is at most total work (max-min never idles
+        // a busy link).
+        prop_assert!(makespan <= total + 2, "makespan {makespan} > {total}: link idled");
+    }
+
+    /// Percentile vectors are monotone and bounded by the sample extremes.
+    #[test]
+    fn percentile_vector_monotone_and_bounded(
+        mut v in prop::collection::vec(0.0f64..1e6, 1..300)
+    ) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pv = m3::netsim::stats::percentile_vector(&v);
+        for w in pv.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(pv[0] >= v[0] - 1e-9);
+        prop_assert!(pv[99] <= v[v.len() - 1] + 1e-9);
+    }
+
+    /// Feature maps conserve flow counts and keep rows monotone.
+    #[test]
+    fn feature_map_invariants(
+        samples in prop::collection::vec((1u64..10_000_000, 1.0f64..500.0), 0..200)
+    ) {
+        let m = FeatureMap::feature(&samples);
+        prop_assert_eq!(m.total_flows(), samples.len());
+        for b in 0..SIZE_BUCKETS.len() {
+            let row = m.bucket(b);
+            if m.counts[b] == 0 {
+                prop_assert!(row.iter().all(|&v| v == 0.0));
+            } else {
+                for w in row.windows(2) {
+                    prop_assert!(w[0] <= w[1]);
+                }
+                prop_assert!(row[0] >= 1.0);
+            }
+        }
+        // Log encoding roundtrip: decoded non-empty entries within 0.1%.
+        let enc = m.encode_log();
+        let dec = m3::core::features::decode_log(&enc);
+        for (i, (&orig, &back)) in m.data.iter().zip(&dec).enumerate() {
+            if orig > 0.0 {
+                prop_assert!((orig - back).abs() / orig < 1e-3, "idx {i}: {orig} vs {back}");
+            }
+        }
+    }
+
+    /// Aggregation: overall quantiles are bounded by bucket extremes and
+    /// monotone in p.
+    #[test]
+    fn aggregation_quantiles_monotone(
+        samples in prop::collection::vec((1u64..1_000_000, 1.0f64..100.0), 1..150)
+    ) {
+        let d = PathDistribution::from_samples(&samples);
+        let est = NetworkEstimate::aggregate(&[d]);
+        let qs: Vec<f64> = [1.0, 25.0, 50.0, 75.0, 99.0, 100.0]
+            .iter().map(|&p| est.overall_quantile(p)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let lo = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().map(|s| s.1).fold(0.0f64, f64::max);
+        prop_assert!(qs[0] >= lo - 1e-9 && qs[5] <= hi + 1e-9);
+    }
+
+    /// Empirical CDF sampling: inverse is monotone in u and respects table
+    /// bounds.
+    #[test]
+    fn cdf_table_inverse_monotone(us in prop::collection::vec(0.0f64..1.0, 1..50)) {
+        use m3::workload::prelude::*;
+        let dist = SizeDistribution::hadoop();
+        if let SizeDistribution::Empirical(t) = &dist {
+            let mut sorted = us.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let vals: Vec<u64> = sorted.iter().map(|&u| t.inverse(u)).collect();
+            for w in vals.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            prop_assert!(*vals.last().unwrap() <= 3_000_000);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Decomposition invariants on random workloads: foreground groups
+    /// partition the flows; background flows intersect the path but are not
+    /// foreground; sampled groups are valid.
+    #[test]
+    fn decomposition_invariants(seed in 0u64..500) {
+        use m3::workload::prelude::*;
+        let ft = FatTree::build(FatTreeSpec::small(2));
+        let routing = Routing::new(&ft.topo);
+        let w = generate(&ft, &routing, &Scenario {
+            n_flows: 600,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.4,
+            seed,
+        });
+        let idx = PathIndex::build(&ft.topo, &w.flows);
+        let total: usize = (0..idx.num_paths()).map(|g| idx.foreground_of(g).len()).sum();
+        prop_assert_eq!(total, w.flows.len());
+        for &g in idx.sample_paths(10, seed).iter() {
+            prop_assert!(g < idx.num_paths());
+            let fg: std::collections::HashSet<u32> =
+                idx.foreground_of(g).iter().copied().collect();
+            for (fi, a, b) in idx.background_of(g, &w.flows) {
+                prop_assert!(!fg.contains(&fi), "background flow also foreground");
+                prop_assert!(a <= b);
+                prop_assert!(b < idx.rep_flow(g, &w.flows).path.len());
+            }
+        }
+    }
+
+    /// Packet simulator sanity on random single-switch workloads: all flows
+    /// complete, slowdowns >= ~1, determinism holds.
+    #[test]
+    fn netsim_random_workload_sanity(
+        sizes in prop::collection::vec(50u64..200_000, 1..30),
+        seed in 0u64..100
+    ) {
+        let mut topo = Topology::new();
+        let s = topo.add_switch();
+        let dst = topo.add_host();
+        let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+        let mut flows = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let h = topo.add_host();
+            let l = topo.add_link(h, s, 10 * GBPS, USEC);
+            flows.push(FlowSpec {
+                id: i as u32,
+                src: h,
+                dst,
+                size,
+                arrival: (seed * 31 + i as u64 * 977) % 100_000,
+                path: vec![l, dst_l],
+            });
+        }
+        let out1 = run_simulation(&topo, SimConfig::default(), flows.clone());
+        let out2 = run_simulation(&topo, SimConfig::default(), flows);
+        prop_assert_eq!(out1.records.len(), sizes.len());
+        for (a, b) in out1.records.iter().zip(&out2.records) {
+            prop_assert_eq!(a.fct, b.fct);
+            prop_assert!(a.slowdown() >= 0.99, "slowdown {}", a.slowdown());
+        }
+    }
+}
