@@ -1,0 +1,99 @@
+//! Repeated-query benchmark for the batched + cached estimate path.
+//!
+//! The workload of §5.4 is many `estimate` calls over the same network —
+//! counterfactual sweeps and what-if queries. This bench measures:
+//!
+//! * `cold_estimate` — the full pipeline (decompose, flowSim, batched
+//!   forward, aggregate) with no cross-run cache,
+//! * `warm_cached_estimate` — the same query against a pre-warmed
+//!   [`ScenarioCache`], which skips flowSim and the network,
+//! * `prepared_batched_query` — the optimizer's spec-only re-query path
+//!   (flowSim features fixed, one batched forward per candidate config).
+//!
+//! The cold/warm mean times and their speedup are written to
+//! `BENCH_batched_cache.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use m3_workload::prelude::*;
+use std::hint::black_box;
+
+const K_PATHS: usize = 100;
+const SEED: u64 = 11;
+
+fn setup() -> (M3Estimator, FatTree, Vec<FlowSpec>, SimConfig) {
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 8_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 21,
+        },
+    );
+    let net = M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7);
+    (M3Estimator::new(net), ft, w.flows, SimConfig::default())
+}
+
+fn bench_repeated_queries(c: &mut Criterion) {
+    let (est, ft, flows, cfg) = setup();
+
+    c.bench_function("repeated_queries/cold_estimate", |b| {
+        b.iter(|| black_box(est.estimate(&ft.topo, &flows, &cfg, K_PATHS, SEED)))
+    });
+    let cold_ns = c.last_mean_ns();
+
+    let mut cache = ScenarioCache::new(4096);
+    // Warm the cache with one full run; every later identical query hits.
+    let warm_ref = est.estimate_with_cache(&ft.topo, &flows, &cfg, K_PATHS, SEED, &mut cache);
+    assert!(warm_ref.p99().is_finite());
+    c.bench_function("repeated_queries/warm_cached_estimate", |b| {
+        b.iter(|| {
+            black_box(est.estimate_with_cache(&ft.topo, &flows, &cfg, K_PATHS, SEED, &mut cache))
+        })
+    });
+    let warm_ns = c.last_mean_ns();
+
+    let prepared = PreparedWorkload::prepare(&ft.topo, &flows, &cfg, K_PATHS, SEED);
+    c.bench_function("repeated_queries/prepared_batched_query", |b| {
+        b.iter(|| black_box(prepared.estimate(&est, &cfg)))
+    });
+    let prepared_ns = c.last_mean_ns();
+
+    // Confirm the warm path really skipped the expensive stages before
+    // publishing numbers.
+    let check = est.estimate_with_cache(&ft.topo, &flows, &cfg, K_PATHS, SEED, &mut cache);
+    assert_eq!(check.timings.flowsim_runs, 0, "warm run must not simulate");
+
+    let speedup = cold_ns / warm_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"repeated_queries\",\n  \"k_paths\": {K_PATHS},\n  \
+         \"cold_estimate_ms\": {:.3},\n  \"warm_cached_estimate_ms\": {:.3},\n  \
+         \"prepared_batched_query_ms\": {:.3},\n  \"warm_speedup\": {:.2},\n  \
+         \"cache_entries\": {},\n  \"cache_hit_rate\": {:.4}\n}}\n",
+        cold_ns / 1e6,
+        warm_ns / 1e6,
+        prepared_ns / 1e6,
+        speedup,
+        cache.len(),
+        cache.hit_rate(),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_batched_cache.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[repeated_queries] wrote {path}:\n{json}"),
+        Err(e) => eprintln!("[repeated_queries] could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_repeated_queries);
+criterion_main!(benches);

@@ -41,9 +41,21 @@ fn main() {
         table.push(vec![
             sc.label.clone(),
             format!("{:.2}", gt.p99()),
-            format!("{:.2} ({:+.0}%)", pf.p99(), relative_error(pf.p99(), gt.p99()) * 100.0),
-            format!("{:.2} ({:+.0}%)", gf.p99(), relative_error(gf.p99(), gt.p99()) * 100.0),
-            format!("{:.2} ({:+.0}%)", m3e.p99(), relative_error(m3e.p99(), gt.p99()) * 100.0),
+            format!(
+                "{:.2} ({:+.0}%)",
+                pf.p99(),
+                relative_error(pf.p99(), gt.p99()) * 100.0
+            ),
+            format!(
+                "{:.2} ({:+.0}%)",
+                gf.p99(),
+                relative_error(gf.p99(), gt.p99()) * 100.0
+            ),
+            format!(
+                "{:.2} ({:+.0}%)",
+                m3e.p99(),
+                relative_error(m3e.p99(), gt.p99()) * 100.0
+            ),
         ]);
         rows.push(Row {
             scenario: sc.label,

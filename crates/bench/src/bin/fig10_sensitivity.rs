@@ -51,7 +51,7 @@ fn main() {
 
     // (c) runtime distribution.
     let stats = |v: &mut Vec<f64>| -> (f64, f64, f64) {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         (
             m3_netsim::stats::percentile(v, 50.0),
             m3_netsim::stats::percentile(v, 90.0),
@@ -68,9 +68,24 @@ fn main() {
         "Fig 10(c): runtime (seconds)",
         &["Method", "median", "p90", "mean"],
         &[
-            vec!["packet sim (ns-3)".into(), format!("{g50:.2}"), format!("{g90:.2}"), format!("{gm:.2}")],
-            vec!["Parsimon".into(), format!("{p50:.2}"), format!("{p90:.2}"), format!("{pm:.2}")],
-            vec!["m3".into(), format!("{m50:.2}"), format!("{m90:.2}"), format!("{mm:.2}")],
+            vec![
+                "packet sim (ns-3)".into(),
+                format!("{g50:.2}"),
+                format!("{g90:.2}"),
+                format!("{gm:.2}"),
+            ],
+            vec![
+                "Parsimon".into(),
+                format!("{p50:.2}"),
+                format!("{p90:.2}"),
+                format!("{pm:.2}"),
+            ],
+            vec![
+                "m3".into(),
+                format!("{m50:.2}"),
+                format!("{m90:.2}"),
+                format!("{mm:.2}"),
+            ],
         ],
     );
     println!(

@@ -9,12 +9,12 @@ use m3_bench::*;
 use m3_core::prelude::*;
 use m3_netsim::stats::ErrorSummary;
 
-fn boxplot_rows(
-    records: &[SweepRecord],
-    group_name: &str,
-    groups: &[(&str, Box<dyn Fn(&SweepRecord) -> bool>)],
-) -> Vec<Vec<String>> {
-    let methods: [(&str, fn(&SweepRecord) -> f64); 2] = [
+/// A labeled predicate selecting a slice of the sweep records.
+type Filter = (&'static str, Box<dyn Fn(&SweepRecord) -> bool>);
+type ErrFn = fn(&SweepRecord) -> f64;
+
+fn boxplot_rows(records: &[SweepRecord], group_name: &str, groups: &[Filter]) -> Vec<Vec<String>> {
+    let methods: [(&str, ErrFn); 2] = [
         ("m3", |r: &SweepRecord| r.m3_err()),
         ("Parsimon", |r: &SweepRecord| r.parsimon_err()),
     ];
@@ -45,7 +45,7 @@ fn main() {
     let records = dctcp_sweep(&estimator, n_scenarios(), n_flows(), n_paths(), 42);
 
     let mut all_rows = Vec::new();
-    let mats: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> = ["A", "B", "C"]
+    let mats: Vec<Filter> = ["A", "B", "C"]
         .iter()
         .map(|&m| {
             let m = m.to_string();
@@ -56,30 +56,30 @@ fn main() {
         })
         .collect();
     all_rows.extend(boxplot_rows(&records, "matrix", &mats));
-    let works: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> =
-        ["CacheFollower", "WebServer", "Hadoop"]
-            .iter()
-            .map(|&w| {
-                let ws = w.to_string();
-                (
-                    w,
-                    Box::new(move |r: &SweepRecord| r.workload == ws)
-                        as Box<dyn Fn(&SweepRecord) -> bool>,
-                )
-            })
-            .collect();
+    let works: Vec<Filter> = ["CacheFollower", "WebServer", "Hadoop"]
+        .iter()
+        .map(|&w| {
+            let ws = w.to_string();
+            (
+                w,
+                Box::new(move |r: &SweepRecord| r.workload == ws)
+                    as Box<dyn Fn(&SweepRecord) -> bool>,
+            )
+        })
+        .collect();
     all_rows.extend(boxplot_rows(&records, "workload", &works));
-    let oversubs: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> = [(1usize, "1:1"), (2, "2:1"), (4, "4:1")]
+    let oversubs: Vec<Filter> = [(1usize, "1:1"), (2, "2:1"), (4, "4:1")]
         .iter()
         .map(|&(o, label)| {
             (
                 label,
-                Box::new(move |r: &SweepRecord| r.oversub == o) as Box<dyn Fn(&SweepRecord) -> bool>,
+                Box::new(move |r: &SweepRecord| r.oversub == o)
+                    as Box<dyn Fn(&SweepRecord) -> bool>,
             )
         })
         .collect();
     all_rows.extend(boxplot_rows(&records, "oversub", &oversubs));
-    let sigmas: Vec<(&str, Box<dyn Fn(&SweepRecord) -> bool>)> = [(1.0f64, "1.0"), (2.0, "2.0")]
+    let sigmas: Vec<Filter> = [(1.0f64, "1.0"), (2.0, "2.0")]
         .iter()
         .map(|&(s, label)| {
             (

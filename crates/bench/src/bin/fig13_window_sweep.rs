@@ -26,6 +26,12 @@ fn main() {
     let k = n_paths();
     let windows = [5u64, 10, 15, 20, 30];
     let mut points = Vec::new();
+    // Scenario cache held across the sweep. Each window candidate changes
+    // the config spec (part of the scenario fingerprint), so sweep points
+    // never hit each other's entries; the cache pays off when a point is
+    // re-estimated under the same config (e.g. a re-run of this binary's
+    // loop body, or repeated queries in an outer search).
+    let mut cache = ScenarioCache::new(8192);
     for &w_kb in &windows {
         let config = SimConfig {
             cc: CcProtocol::Hpcc,
@@ -42,18 +48,28 @@ fn main() {
         eprintln!("[fig13] window {w_kb}KB...");
         let (gt_out, t_gt) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
         let gt = ground_truth_estimate(&gt_out.records);
-        let (m3_est, t_m3) =
-            timed(|| estimator.estimate(&sc.ft.topo, &sc.flows, &sc.config, k, 4));
+        let (m3_est, t_m3) = timed(|| {
+            estimator.estimate_with_cache(&sc.ft.topo, &sc.flows, &sc.config, k, 4, &mut cache)
+        });
+        eprintln!(
+            "[fig13]   {} paths, {} unique, {} flowSim runs, {} cache hits",
+            m3_est.timings.sampled_paths,
+            m3_est.timings.unique_scenarios,
+            m3_est.timings.flowsim_runs,
+            m3_est.timings.cache_hits
+        );
         points.push(SweepPoint {
             window_kb: w_kb,
             truth_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| gt.bucket_p99(b)).collect(),
-            m3_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| m3_est.bucket_p99(b)).collect(),
+            m3_bucket_p99: (0..NUM_OUTPUT_BUCKETS)
+                .map(|b| m3_est.bucket_p99(b))
+                .collect(),
             truth_secs: t_gt.as_secs_f64(),
             m3_secs: t_m3.as_secs_f64(),
         });
     }
     let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
-    for b in 0..NUM_OUTPUT_BUCKETS {
+    for (b, name) in names.iter().enumerate() {
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
@@ -65,7 +81,7 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Fig 13, bucket {}: p99 vs HPCC init window", names[b]),
+            &format!("Fig 13, bucket {}: p99 vs HPCC init window", name),
             &["Window", "packet sim", "m3"],
             &rows,
         );

@@ -21,6 +21,8 @@ fn main() {
     let k = n_paths();
     let etas = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95];
     let mut points = Vec::new();
+    // Shared scenario cache, as in fig13_window_sweep.
+    let mut cache = ScenarioCache::new(8192);
     for &eta in &etas {
         let config = SimConfig {
             cc: CcProtocol::Hpcc,
@@ -37,18 +39,21 @@ fn main() {
         eprintln!("[fig14] eta {eta}...");
         let (gt_out, t_gt) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
         let gt = ground_truth_estimate(&gt_out.records);
-        let (m3_est, t_m3) =
-            timed(|| estimator.estimate(&sc.ft.topo, &sc.flows, &sc.config, k, 4));
+        let (m3_est, t_m3) = timed(|| {
+            estimator.estimate_with_cache(&sc.ft.topo, &sc.flows, &sc.config, k, 4, &mut cache)
+        });
         points.push(SweepPoint {
             eta,
             truth_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| gt.bucket_p99(b)).collect(),
-            m3_bucket_p99: (0..NUM_OUTPUT_BUCKETS).map(|b| m3_est.bucket_p99(b)).collect(),
+            m3_bucket_p99: (0..NUM_OUTPUT_BUCKETS)
+                .map(|b| m3_est.bucket_p99(b))
+                .collect(),
             truth_secs: t_gt.as_secs_f64(),
             m3_secs: t_m3.as_secs_f64(),
         });
     }
     let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
-    for b in 0..NUM_OUTPUT_BUCKETS {
+    for (b, name) in names.iter().enumerate() {
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
@@ -60,7 +65,7 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Fig 14, bucket {}: p99 vs HPCC eta", names[b]),
+            &format!("Fig 14, bucket {}: p99 vs HPCC eta", name),
             &["eta", "packet sim", "m3"],
             &rows,
         );

@@ -37,7 +37,11 @@ fn main() {
     let sc = build_full_scenario(2, "B", "WebServer", 1.0, 0.5, cfg, n, 91);
     eprintln!("[fig15] ground truth...");
     let gt_out = run_simulation(&sc.ft.topo, sc.config, sc.flows.clone());
-    let truth: HashMap<u32, f64> = gt_out.records.iter().map(|r| (r.id, r.slowdown())).collect();
+    let truth: HashMap<u32, f64> = gt_out
+        .records
+        .iter()
+        .map(|r| (r.id, r.slowdown()))
+        .collect();
     eprintln!("[fig15] Parsimon...");
     let pars = parsimon_estimate(&sc.ft.topo, &sc.flows, &cfg);
     let pars_sldn: HashMap<u32, f64> = pars.iter().map(|r| (r.id, r.slowdown())).collect();
@@ -57,19 +61,20 @@ fn main() {
             .iter()
             .map(|&fi| sc.flows[fi as usize].id)
             .collect();
-        let truth_p99 = p99(fg_ids.iter().filter_map(|id| truth.get(id).copied()).collect());
+        let truth_p99 = p99(fg_ids
+            .iter()
+            .filter_map(|id| truth.get(id).copied())
+            .collect());
         // ns-3-path.
         let np = p99(data.run_ns3_path(cfg).iter().map(|s| s.1).collect());
         // m3 (per-path prediction; p99 of the flow-count-weighted output).
         let m3_dist = estimator.predict_path(&data, &cfg);
         let m3_p99 = NetworkEstimate::aggregate(&[m3_dist]).p99();
         // Parsimon restricted to this path's fg flows.
-        let pp = p99(
-            fg_ids
-                .iter()
-                .filter_map(|id| pars_sldn.get(id).copied())
-                .collect(),
-        );
+        let pp = p99(fg_ids
+            .iter()
+            .filter_map(|id| pars_sldn.get(id).copied())
+            .collect());
         rows_out.push(PathBreakdown {
             hops: data.num_hops(),
             n_fg: data.fg.len(),

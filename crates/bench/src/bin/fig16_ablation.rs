@@ -25,9 +25,7 @@ fn main() {
     let noctx = match m3_nn::checkpoint::load_file(&noctx_path) {
         Ok(n) => n,
         Err(e) => {
-            eprintln!(
-                "[fig16] no-context checkpoint missing ({e}); run the `train` binary first"
-            );
+            eprintln!("[fig16] no-context checkpoint missing ({e}); run the `train` binary first");
             std::process::exit(1);
         }
     };
@@ -90,7 +88,10 @@ fn main() {
     };
     for (label, sel) in groups {
         for (method, get) in [
-            ("flowSim", (|p: &AblationPoint| p.flowsim_err) as fn(&AblationPoint) -> f64),
+            (
+                "flowSim",
+                (|p: &AblationPoint| p.flowsim_err) as fn(&AblationPoint) -> f64,
+            ),
             ("m3 w/o context", |p| p.noctx_err),
             ("m3", |p| p.m3_err),
         ] {

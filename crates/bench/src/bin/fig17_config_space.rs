@@ -65,7 +65,10 @@ fn main() {
     };
     let mut rows = Vec::new();
     // (a) buffer size halves, (b) init window halves, (c) CC, (d) PFC.
-    for (label, lo, hi) in [("buffer 200-350KB", 200, 350), ("buffer 350-500KB", 350, 500)] {
+    for (label, lo, hi) in [
+        ("buffer 200-350KB", 200, 350),
+        ("buffer 350-500KB", 350, 500),
+    ] {
         let sel = points
             .iter()
             .filter(|p| p.buffer_kb >= lo && p.buffer_kb < hi)
@@ -90,7 +93,11 @@ fn main() {
         rows.extend(summarize(format!("cc {}", cc.name()), sel));
     }
     for (label, flag) in [("pfc off", false), ("pfc on", true)] {
-        let sel = points.iter().filter(|p| p.pfc == flag).map(|p| p.err).collect();
+        let sel = points
+            .iter()
+            .filter(|p| p.pfc == flag)
+            .map(|p| p.err)
+            .collect();
         rows.extend(summarize(label.into(), sel));
     }
     print_table(

@@ -38,7 +38,9 @@ fn main() {
 
     let mut size_cdfs = Vec::new();
     let mut mean_sizes = Vec::new();
-    let probe = [100u64, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000];
+    let probe = [
+        100u64, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000,
+    ];
     let mut rows = Vec::new();
     for name in ["WebServer", "CacheFollower", "Hadoop"] {
         let d = SizeDistribution::by_name(name).unwrap();

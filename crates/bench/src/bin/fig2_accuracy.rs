@@ -34,10 +34,22 @@ fn main() {
     let mut all: Vec<PathError> = Vec::new();
     for (i, (name, matrix, workload, oversub, load)) in mixes.iter().enumerate() {
         eprintln!("[fig2acc] {name}: ground truth...");
-        let sc = build_full_scenario(*oversub, matrix, workload, 1.0, *load, cfg, n, 100 + i as u64);
+        let sc = build_full_scenario(
+            *oversub,
+            matrix,
+            workload,
+            1.0,
+            *load,
+            cfg,
+            n,
+            100 + i as u64,
+        );
         let gt_out = run_simulation(&sc.ft.topo, sc.config, sc.flows.clone());
-        let sldn_by_id: HashMap<u32, f64> =
-            gt_out.records.iter().map(|r| (r.id, r.slowdown())).collect();
+        let sldn_by_id: HashMap<u32, f64> = gt_out
+            .records
+            .iter()
+            .map(|r| (r.id, r.slowdown()))
+            .collect();
         let index = PathIndex::build(&sc.ft.topo, &sc.flows);
         // Only paths with enough fg flows yield a meaningful per-path p99.
         let sampled: Vec<usize> = index

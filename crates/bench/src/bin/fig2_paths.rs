@@ -26,7 +26,16 @@ fn main() {
     let cfg = m3_netsim::prelude::SimConfig::default();
     let mut all = Vec::new();
     for (i, (name, matrix, workload, oversub, load)) in mixes.iter().enumerate() {
-        let sc = build_full_scenario(*oversub, matrix, workload, 1.0, *load, cfg, n, 100 + i as u64);
+        let sc = build_full_scenario(
+            *oversub,
+            matrix,
+            workload,
+            1.0,
+            *load,
+            cfg,
+            n,
+            100 + i as u64,
+        );
         let index = PathIndex::build(&sc.ft.topo, &sc.flows);
         let sampled = index.sample_paths(k, 11);
         let mut hops = std::collections::BTreeMap::new();
@@ -38,8 +47,8 @@ fn main() {
             fg_counts.push(index.foreground_of(g).len() as f64);
             bg_counts.push(index.background_of(g, &sc.flows).len() as f64);
         }
-        fg_counts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        bg_counts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        fg_counts.sort_by(|a, b| a.total_cmp(b));
+        bg_counts.sort_by(|a, b| a.total_cmp(b));
         let pct = |v: &[f64]| -> Vec<(u8, f64)> {
             [10u8, 25, 50, 75, 90, 99]
                 .iter()
@@ -53,9 +62,15 @@ fn main() {
             bg_percentiles: pct(&bg_counts),
             populated_paths: index.num_paths(),
         };
-        println!("\n== Fig 2(b,d): {name} ({} flows, {} sampled paths) ==", n, k);
+        println!(
+            "\n== Fig 2(b,d): {name} ({} flows, {} sampled paths) ==",
+            n, k
+        );
         println!("populated paths: {}", stats.populated_paths);
-        println!("hop-count histogram (links per path): {:?}", stats.hops_hist);
+        println!(
+            "hop-count histogram (links per path): {:?}",
+            stats.hops_hist
+        );
         println!("fg flows/path percentiles: {:?}", stats.fg_percentiles);
         println!("bg flows/path percentiles: {:?}", stats.bg_percentiles);
         all.push(stats);

@@ -24,8 +24,10 @@ fn main() {
     let flows = n_flows() / 2;
     let mut rng = SmallRng::seed_from_u64(5);
     let mut populated = Vec::new();
-    let mut errors_by_k: Vec<(usize, Vec<f64>)> =
-        [10usize, 50, 100, 200, 500].iter().map(|&k| (k, Vec::new())).collect();
+    let mut errors_by_k: Vec<(usize, Vec<f64>)> = [10usize, 50, 100, 200, 500]
+        .iter()
+        .map(|&k| (k, Vec::new()))
+        .collect();
 
     for i in 0..n_scen {
         let p = sample_test_point(&mut rng, Some(CcProtocol::Dctcp));
@@ -75,7 +77,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut error_vs_k = Vec::new();
     for (k, mut errs) in errors_by_k {
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         let p50 = m3_netsim::stats::percentile(&errs, 50.0);
         let p90 = m3_netsim::stats::percentile(&errs, 90.0);
         let p99 = m3_netsim::stats::percentile(&errs, 99.0);

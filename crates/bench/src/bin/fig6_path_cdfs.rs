@@ -63,7 +63,7 @@ fn main() {
     let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for b in 0..NUM_OUTPUT_BUCKETS {
+    for (b, name) in names.iter().enumerate() {
         let truth = pct_vec(&truth_fg, b);
         let fsim = pct_vec(&flowsim_fg, b);
         let m3v = m3_dist.buckets[b].clone();
@@ -72,15 +72,23 @@ fn main() {
         }
         for p in [50usize, 90, 99] {
             rows.push(vec![
-                names[b].to_string(),
+                name.to_string(),
                 format!("p{p}"),
                 format!("{:.2}", truth[p - 1]),
-                if fsim.is_empty() { "-".into() } else { format!("{:.2}", fsim[p - 1]) },
-                if m3v.is_empty() { "-".into() } else { format!("{:.2}", m3v[p - 1]) },
+                if fsim.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.2}", fsim[p - 1])
+                },
+                if m3v.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.2}", m3v[p - 1])
+                },
             ]);
         }
         out.push(BucketCdf {
-            bucket: names[b].to_string(),
+            bucket: name.to_string(),
             truth,
             flowsim: fsim,
             m3: m3v,

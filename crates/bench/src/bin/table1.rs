@@ -37,7 +37,16 @@ fn main() {
     let mut out_rows = Vec::new();
     for (i, (name, matrix, workload, oversub, load)) in mixes.iter().enumerate() {
         eprintln!("[table1] {name} ({matrix}/{workload}/{oversub}:1 @ {load})");
-        let sc = build_full_scenario(*oversub, matrix, workload, 1.0, *load, cfg, n, 100 + i as u64);
+        let sc = build_full_scenario(
+            *oversub,
+            matrix,
+            workload,
+            1.0,
+            *load,
+            cfg,
+            n,
+            100 + i as u64,
+        );
         let (gt_out, t_ns3) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
         let gt = ground_truth_estimate(&gt_out.records);
         let (pars, t_pars) = timed(|| parsimon_estimate(&sc.ft.topo, &sc.flows, &sc.config));
@@ -89,6 +98,10 @@ fn main() {
         .map(|r| relative_error(r.parsimon_p99, r.ns3_p99).abs())
         .sum::<f64>()
         / rows.len() as f64;
-    println!("\nns-3-path avg |p99 error|: {:.1}%   Parsimon avg |p99 error|: {:.1}%", avg_np_err * 100.0, avg_pars_err * 100.0);
+    println!(
+        "\nns-3-path avg |p99 error|: {:.1}%   Parsimon avg |p99 error|: {:.1}%",
+        avg_np_err * 100.0,
+        avg_pars_err * 100.0
+    );
     write_result("table1", &rows);
 }

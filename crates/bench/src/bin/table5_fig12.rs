@@ -60,9 +60,8 @@ fn main() {
         let gt = ground_truth_estimate(&gt_out.records);
         eprintln!("[table5] Parsimon...");
         let (pars, t_pars) = timed(|| parsimon_estimate(&ft.topo, &w.flows, &config));
-        let pars_est = NetworkEstimate::aggregate(&[PathDistribution::from_samples(
-            &slowdown_samples(&pars),
-        )]);
+        let pars_est =
+            NetworkEstimate::aggregate(&[PathDistribution::from_samples(&slowdown_samples(&pars))]);
         eprintln!("[table5] m3...");
         let (m3_est, t_m3) = timed(|| estimator.estimate(&ft.topo, &w.flows, &config, k, 9));
 
@@ -119,7 +118,14 @@ fn main() {
     }
     print_table(
         &format!("Table 5: large-scale (6144 hosts, {n} flows)"),
-        &["Init window", "Method", "p99 sldn", "err", "time", "speedup"],
+        &[
+            "Init window",
+            "Method",
+            "p99 sldn",
+            "err",
+            "time",
+            "speedup",
+        ],
         &rows,
     );
     for r in &results {

@@ -13,7 +13,6 @@
 
 use m3_bench::{env_usize, fmt_dur, timed, write_result};
 use m3_core::prelude::*;
-use m3_nn::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -64,7 +63,11 @@ fn main() {
             })
             .collect::<Vec<_>>()
     });
-    eprintln!("[train] dataset ready in {} ({} examples)", fmt_dur(gen_time), dataset.len());
+    eprintln!(
+        "[train] dataset ready in {} ({} examples)",
+        fmt_dur(gen_time),
+        dataset.len()
+    );
 
     let ((net, report), train_time) = timed(|| train(&cfg, &dataset));
     eprintln!(

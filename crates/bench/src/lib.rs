@@ -216,6 +216,9 @@ pub struct SweepRecord {
     pub m3_secs: f64,
     pub parsimon_p99: f64,
     pub parsimon_secs: f64,
+    /// Per-stage breakdown of the m3 estimate (absent in old caches).
+    #[serde(default)]
+    pub m3_stage_timings: StageTimings,
 }
 
 impl SweepRecord {
@@ -230,7 +233,13 @@ impl SweepRecord {
 /// Run (or reuse from cache) the §5.2 DCTCP sensitivity sweep: N random
 /// Table 3 scenarios, each estimated by ground truth, m3, and Parsimon.
 /// Results are cached under results/sweep_cache.json keyed by scale.
-pub fn dctcp_sweep(estimator: &M3Estimator, n_scen: usize, flows: usize, paths: usize, seed: u64) -> Vec<SweepRecord> {
+pub fn dctcp_sweep(
+    estimator: &M3Estimator,
+    n_scen: usize,
+    flows: usize,
+    paths: usize,
+    seed: u64,
+) -> Vec<SweepRecord> {
     use m3_parsimon::parsimon_estimate;
     use m3_workload::prelude::*;
     use rand::rngs::SmallRng;
@@ -248,7 +257,10 @@ pub fn dctcp_sweep(estimator: &M3Estimator, n_scen: usize, flows: usize, paths: 
     if let Ok(bytes) = std::fs::read(cache_path) {
         if let Ok(c) = serde_json::from_slice::<Cache>(&bytes) {
             if (c.n_scen, c.flows, c.paths, c.seed) == (n_scen, flows, paths, seed) {
-                eprintln!("[m3-bench] reusing cached sweep ({} scenarios)", c.records.len());
+                eprintln!(
+                    "[m3-bench] reusing cached sweep ({} scenarios)",
+                    c.records.len()
+                );
                 return c.records;
             }
         }
@@ -256,6 +268,9 @@ pub fn dctcp_sweep(estimator: &M3Estimator, n_scen: usize, flows: usize, paths: 
 
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut records = Vec::with_capacity(n_scen);
+    // Scenario cache shared across the sweep: repeated path scenarios
+    // (and re-runs of the sweep in the same process) skip flowSim + NN.
+    let mut scenario_cache = ScenarioCache::new(8192);
     for i in 0..n_scen {
         let p = sample_test_point(&mut rng, Some(CcProtocol::Dctcp));
         let sc = build_full_scenario(
@@ -271,7 +286,14 @@ pub fn dctcp_sweep(estimator: &M3Estimator, n_scen: usize, flows: usize, paths: 
         let (gt_out, gt_time) = timed(|| run_simulation(&sc.ft.topo, sc.config, sc.flows.clone()));
         let gt = ground_truth_estimate(&gt_out.records);
         let (m3_est, m3_time) = timed(|| {
-            estimator.estimate(&sc.ft.topo, &sc.flows, &sc.config, paths, seed ^ i as u64)
+            estimator.estimate_with_cache(
+                &sc.ft.topo,
+                &sc.flows,
+                &sc.config,
+                paths,
+                seed ^ i as u64,
+                &mut scenario_cache,
+            )
         });
         let (pars, pars_time) = timed(|| parsimon_estimate(&sc.ft.topo, &sc.flows, &sc.config));
         let pars_est = {
@@ -299,6 +321,7 @@ pub fn dctcp_sweep(estimator: &M3Estimator, n_scen: usize, flows: usize, paths: 
             m3_secs: m3_time.as_secs_f64(),
             parsimon_p99: pars_est.p99(),
             parsimon_secs: pars_time.as_secs_f64(),
+            m3_stage_timings: m3_est.timings.clone(),
         };
         eprintln!(
             "[sweep {i:3}/{n_scen}] {} gt={:.2} m3={:.2} ({:+.1}%) pars={:.2} ({:+.1}%)",

@@ -39,7 +39,7 @@ impl PathDistribution {
                 if v.is_empty() {
                     return Vec::new();
                 }
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(|a, b| a.total_cmp(b));
                 (1..=NUM_PERCENTILES)
                     .map(|p| percentile(&v, p as f64))
                     .collect()
@@ -72,6 +72,40 @@ impl PathDistribution {
     }
 }
 
+/// Per-stage wall-clock seconds and work counters of the `estimate` call
+/// that produced a [`NetworkEstimate`]. All-zero when the estimate was not
+/// produced by the timed pipeline (e.g. ground truth). The bench binaries
+/// serialize these into their BENCH_*.json records to track where time
+/// goes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Path decomposition, sampling, and scenario materialization.
+    pub decompose_s: f64,
+    /// flowSim fluid simulation of unique scenarios.
+    pub flowsim_s: f64,
+    /// Feature-map extraction and encoding.
+    pub features_s: f64,
+    /// Neural-network forward pass (batched over unique scenarios).
+    pub forward_s: f64,
+    /// Final pooling into the network-wide distribution.
+    pub aggregate_s: f64,
+    /// Paths sampled for this estimate.
+    pub sampled_paths: usize,
+    /// Distinct scenarios after content-hash deduplication.
+    pub unique_scenarios: usize,
+    /// flowSim simulations actually executed (dedupe + cache skip the rest).
+    pub flowsim_runs: usize,
+    /// Scenarios answered from the cross-run scenario cache.
+    pub cache_hits: usize,
+}
+
+impl StageTimings {
+    /// Total accounted wall-clock time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.decompose_s + self.flowsim_s + self.features_s + self.forward_s + self.aggregate_s
+    }
+}
+
 /// The aggregated network-wide estimate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkEstimate {
@@ -79,6 +113,11 @@ pub struct NetworkEstimate {
     pub bucket_samples: Vec<Vec<f64>>,
     /// Total foreground flows per bucket across sampled paths.
     pub bucket_counts: [usize; NUM_OUTPUT_BUCKETS],
+    /// Stage timings of the producing pipeline (zeroed otherwise). Not part
+    /// of the estimate's value: two estimates are equivalent iff their
+    /// samples and counts match, regardless of timings.
+    #[serde(default)]
+    pub timings: StageTimings,
 }
 
 impl NetworkEstimate {
@@ -94,11 +133,12 @@ impl NetworkEstimate {
             }
         }
         for v in bucket_samples.iter_mut() {
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.total_cmp(b));
         }
         NetworkEstimate {
             bucket_samples,
             bucket_counts,
+            timings: StageTimings::default(),
         }
     }
 
@@ -129,7 +169,7 @@ impl NetworkEstimate {
             let w = self.bucket_counts[b] as f64 / n as f64;
             weighted.extend(self.bucket_samples[b].iter().map(|&v| (v, w)));
         }
-        weighted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
         let total_w: f64 = weighted.iter().map(|(_, w)| w).sum();
         let target = p.clamp(0.0, 100.0) / 100.0 * total_w;
         let mut acc = 0.0;

@@ -1,0 +1,283 @@
+//! Cross-run scenario cache: content fingerprints for path scenarios and
+//! an in-memory LRU keyed by (scenario fingerprint, model fingerprint).
+//!
+//! A prediction for one sampled path depends on exactly three things: the
+//! materialized [`PathScenarioData`] (which determines the flowSim result
+//! and therefore the feature maps), the spec vector (which folds in the
+//! candidate [`SimConfig`](m3_netsim::config::SimConfig)), and the model
+//! parameters. [`scenario_fingerprint`] hashes the first two plus the
+//! context-ablation flag; the model contributes its own
+//! [`fingerprint`](m3_nn::prelude::M3Net::fingerprint). Matching keys
+//! therefore imply bit-identical predictions, so repeated `estimate` calls
+//! — the counterfactual-query loop and the fig-sweep binaries — skip both
+//! flowSim and the network for scenarios they have already answered.
+
+use crate::aggregate::PathDistribution;
+use crate::pathsim::PathScenarioData;
+use std::collections::HashMap;
+
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms and runs
+/// (unlike `DefaultHasher`, which is randomly keyed per process).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content hash of everything one path prediction depends on besides the
+/// model parameters: link bandwidths/delays, every flow's behavior-relevant
+/// fields (sizes, arrivals, hop spans, NIC caps, latencies, ideal FCTs),
+/// the foreground base RTT and bottleneck, the encoded spec vector, and
+/// the context-ablation flag. Flow `global_idx` is deliberately excluded —
+/// it does not enter flowSim or the feature maps, so scenarios that differ
+/// only in workload indices dedupe to one forward pass.
+pub fn scenario_fingerprint(data: &PathScenarioData, spec: &[f32], use_context: bool) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(data.link_bw.len() as u64);
+    for &bw in &data.link_bw {
+        h.write_u64(bw);
+    }
+    for &d in &data.link_delay {
+        h.write_u64(d);
+    }
+    let write_flows = |h: &mut Fnv, flows: &[crate::pathsim::PathFlow]| {
+        h.write_u64(flows.len() as u64);
+        for f in flows {
+            h.write_u64(f.size);
+            h.write_u64(f.arrival);
+            h.write_u64(f.first_hop as u64);
+            h.write_u64(f.last_hop as u64);
+            h.write_u64(f.nic_cap);
+            h.write_u64(f.latency);
+            h.write_u64(f.ideal_fct);
+        }
+    };
+    write_flows(&mut h, &data.fg);
+    write_flows(&mut h, &data.bg);
+    h.write_u64(data.fg_base_rtt);
+    h.write_u64(data.fg_bottleneck);
+    h.write_u64(spec.len() as u64);
+    for &v in spec {
+        h.write_u32(v.to_bits());
+    }
+    h.write_u8(use_context as u8);
+    h.finish()
+}
+
+struct Entry {
+    dist: PathDistribution,
+    last_used: u64,
+}
+
+/// In-memory LRU cache of per-path predictions keyed by
+/// (scenario fingerprint, model fingerprint).
+///
+/// Recency is tracked with a monotonic tick; eviction scans for the
+/// smallest tick, which is O(len) but runs only on insertion into a full
+/// cache — negligible next to the flowSim run a miss implies. Ticks are
+/// unique, so eviction order is deterministic.
+pub struct ScenarioCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<(u64, u64), Entry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScenarioCache {
+    /// A cache holding at most `capacity` path distributions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ScenarioCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a prediction, marking it most-recently-used on hit.
+    pub fn get(&mut self, scenario: u64, model: u64) -> Option<PathDistribution> {
+        self.tick += 1;
+        match self.map.get_mut(&(scenario, model)) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(e.dist.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a prediction, evicting the least-recently-used entry if full.
+    pub fn insert(&mut self, scenario: u64, model: u64, dist: PathDistribution) {
+        self.tick += 1;
+        let key = (scenario, model);
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        let tick = self.tick;
+        self.map
+            .entry(key)
+            .and_modify(|e| {
+                e.dist = dist.clone();
+                e.last_used = tick;
+            })
+            .or_insert(Entry {
+                dist,
+                last_used: tick,
+            });
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (NaN before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::NUM_OUTPUT_BUCKETS;
+
+    fn dist(tag: f64) -> PathDistribution {
+        PathDistribution {
+            buckets: vec![vec![tag]; NUM_OUTPUT_BUCKETS],
+            counts: [1; NUM_OUTPUT_BUCKETS],
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = ScenarioCache::new(8);
+        assert!(c.get(1, 1).is_none());
+        c.insert(1, 1, dist(2.0));
+        let d = c.get(1, 1).expect("hit");
+        assert_eq!(d.buckets[0], vec![2.0]);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_fingerprint_partitions_keys() {
+        let mut c = ScenarioCache::new(8);
+        c.insert(7, 100, dist(1.0));
+        assert!(c.get(7, 200).is_none(), "other model must miss");
+        assert!(c.get(7, 100).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ScenarioCache::new(2);
+        c.insert(1, 0, dist(1.0));
+        c.insert(2, 0, dist(2.0));
+        c.get(1, 0); // refresh 1 -> victim is 2
+        c.insert(3, 0, dist(3.0));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2, 0).is_none(), "entry 2 was LRU");
+        assert!(c.get(1, 0).is_some());
+        assert!(c.get(3, 0).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = ScenarioCache::new(2);
+        c.insert(1, 0, dist(1.0));
+        c.insert(1, 0, dist(9.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1, 0).unwrap().buckets[0], vec![9.0]);
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_content() {
+        use crate::pathsim::{PathFlow, PathScenarioData};
+        let flow = PathFlow {
+            global_idx: 0,
+            size: 1000,
+            arrival: 5,
+            first_hop: 0,
+            last_hop: 1,
+            nic_cap: 10_000_000_000,
+            latency: 2000,
+            ideal_fct: 3000,
+        };
+        let base = PathScenarioData {
+            link_bw: vec![10_000_000_000; 2],
+            link_delay: vec![1000; 2],
+            fg: vec![flow.clone()],
+            bg: vec![],
+            fg_base_rtt: 8000,
+            fg_bottleneck: 10_000_000_000,
+        };
+        let spec = vec![0.5f32; 4];
+        let a = scenario_fingerprint(&base, &spec, true);
+        assert_eq!(a, scenario_fingerprint(&base, &spec, true), "stable");
+        assert_ne!(a, scenario_fingerprint(&base, &spec, false), "ablation");
+        assert_ne!(
+            a,
+            scenario_fingerprint(&base, &[0.6f32, 0.5, 0.5, 0.5], true),
+            "spec (config) change"
+        );
+        let mut bigger = base.clone();
+        bigger.fg[0].size = 2000;
+        assert_ne!(a, scenario_fingerprint(&bigger, &spec, true), "flow size");
+        // global_idx is excluded on purpose: same content, different
+        // workload index, same key.
+        let mut renumbered = base.clone();
+        renumbered.fg[0].global_idx = 42;
+        assert_eq!(a, scenario_fingerprint(&renumbered, &spec, true));
+        // fg/bg boundary matters even with identical flat flow lists.
+        let mut moved = base.clone();
+        moved.bg = std::mem::take(&mut moved.fg);
+        assert_ne!(a, scenario_fingerprint(&moved, &spec, true));
+    }
+}

@@ -229,8 +229,9 @@ mod tests {
                 "background flow must share a directed port"
             );
             // Background is not foreground.
-            assert!(!(f.path == idx.rep_flow(g, &flows).path
-                && f.src == idx.rep_flow(g, &flows).src));
+            assert!(
+                !(f.path == idx.rep_flow(g, &flows).path && f.src == idx.rep_flow(g, &flows).src)
+            );
         }
     }
 
@@ -244,8 +245,22 @@ mod tests {
         let l1 = topo.add_link(a, s, 10 * GBPS, USEC);
         let l2 = topo.add_link(s, b, 10 * GBPS, USEC);
         let flows = vec![
-            FlowSpec { id: 0, src: a, dst: b, size: 1000, arrival: 0, path: vec![l1, l2] },
-            FlowSpec { id: 1, src: b, dst: a, size: 1000, arrival: 0, path: vec![l2, l1] },
+            FlowSpec {
+                id: 0,
+                src: a,
+                dst: b,
+                size: 1000,
+                arrival: 0,
+                path: vec![l1, l2],
+            },
+            FlowSpec {
+                id: 1,
+                src: b,
+                dst: a,
+                size: 1000,
+                arrival: 0,
+                path: vec![l2, l1],
+            },
         ];
         let idx = PathIndex::build(&topo, &flows);
         assert_eq!(idx.num_paths(), 2);

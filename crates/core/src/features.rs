@@ -73,7 +73,7 @@ impl FeatureMap {
             if v.is_empty() {
                 continue;
             }
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(|a, b| a.total_cmp(b));
             for p in 0..NUM_PERCENTILES {
                 data[b * NUM_PERCENTILES + p] = percentile(&v, (p + 1) as f64) as f32;
             }
@@ -207,13 +207,14 @@ mod log_tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let samples = vec![(100u64, 1.0), (100, 7.389056), (5_000, 2.718281)];
+        let e = std::f64::consts::E;
+        let samples = vec![(100u64, 1.0), (100, e * e), (5_000, e)];
         let m = FeatureMap::feature(&samples);
         let enc = m.encode_log();
-        // Bucket 0, p100 = ln(7.389) = 2.
+        // Bucket 0, p100 = ln(e^2) = 2.
         assert!((enc[99] - 2.0).abs() < 1e-3);
         let dec = decode_log(&enc);
-        assert!((dec[99] as f64 - 7.389056).abs() < 1e-2);
+        assert!((dec[99] as f64 - e * e).abs() < 1e-2);
     }
 
     #[test]

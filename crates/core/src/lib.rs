@@ -41,6 +41,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod cache;
 pub mod decompose;
 pub mod features;
 pub mod optimizer;
@@ -50,19 +51,22 @@ pub mod spec;
 pub mod trainer;
 
 pub mod prelude {
-    pub use crate::aggregate::{NetworkEstimate, PathDistribution, NUM_OUTPUT_BUCKETS};
+    pub use crate::aggregate::{
+        NetworkEstimate, PathDistribution, StageTimings, NUM_OUTPUT_BUCKETS,
+    };
+    pub use crate::cache::{scenario_fingerprint, ScenarioCache};
     pub use crate::decompose::{flow_ports, PathGroup, PathIndex};
     pub use crate::features::{
         feature_bucket, output_bucket, FeatureMap, FEAT_DIM, OUTPUT_BUCKETS, OUT_DIM, SIZE_BUCKETS,
+    };
+    pub use crate::optimizer::{
+        bucket_p99_objective, golden_section_search, sweep_knob, Knob, PreparedWorkload,
+        SweepPoint, SweepResult,
     };
     pub use crate::pathsim::{FlowsimResult, PathFlow, PathScenarioData};
     pub use crate::pipeline::{
         flowsim_estimate, global_flowsim_estimate, ground_truth_estimate, ns3_path_estimate,
         M3Estimator,
-    };
-    pub use crate::optimizer::{
-        bucket_p99_objective, golden_section_search, sweep_knob, Knob, PreparedWorkload,
-        SweepPoint, SweepResult,
     };
     pub use crate::spec::{path_base_rtt, spec_vector, SPEC_DIM};
     pub use crate::trainer::{

@@ -67,21 +67,26 @@ impl PreparedWorkload {
         PreparedWorkload { paths, k_paths }
     }
 
-    /// Estimate under a candidate configuration: inference only.
+    /// Estimate under a candidate configuration: inference only, as one
+    /// batched forward pass over all prepared paths.
     pub fn estimate(&self, estimator: &M3Estimator, config: &SimConfig) -> NetworkEstimate {
-        let dists: Vec<PathDistribution> = self
+        let inputs: Vec<SampleInput> = self
             .paths
-            .par_iter()
-            .map(|p| {
-                let spec = spec_vector(config, p.base_rtt, p.bottleneck);
-                let sample = SampleInput {
-                    fg: p.fg_enc.clone(),
-                    bg: p.bg_enc.clone(),
-                    spec,
-                    use_context: estimator.use_context,
-                };
-                let out = crate::features::decode_log(&estimator.net.predict(&sample));
-                PathDistribution::from_model_output(&out, p.counts)
+            .iter()
+            .map(|p| SampleInput {
+                fg: p.fg_enc.clone(),
+                bg: p.bg_enc.clone(),
+                spec: spec_vector(config, p.base_rtt, p.bottleneck),
+                use_context: estimator.use_context,
+            })
+            .collect();
+        let outputs = estimator.net.predict_batch(&inputs);
+        let dists: Vec<PathDistribution> = outputs
+            .iter()
+            .zip(&self.paths)
+            .map(|(out, p)| {
+                let decoded = crate::features::decode_log(out);
+                PathDistribution::from_model_output(&decoded, p.counts)
             })
             .collect();
         NetworkEstimate::aggregate(&dists)
@@ -179,7 +184,7 @@ pub fn sweep_knob(
         .collect();
     let best = points
         .iter()
-        .min_by(|a, b| a.objective.partial_cmp(&b.objective).unwrap())
+        .min_by(|a, b| a.objective.total_cmp(&b.objective))
         .cloned()
         .unwrap();
     SweepResult { knob, points, best }
@@ -235,7 +240,7 @@ pub fn golden_section_search(
     }
     let best = points
         .iter()
-        .min_by(|x, y| x.objective.partial_cmp(&y.objective).unwrap())
+        .min_by(|x, y| x.objective.total_cmp(&y.objective))
         .cloned()
         .unwrap();
     SweepResult { knob, points, best }
@@ -303,14 +308,9 @@ mod tests {
     fn sweep_finds_minimum_of_candidates() {
         let (est, prepared, cfg) = setup();
         let candidates = [5_000.0, 10_000.0, 20_000.0, 30_000.0];
-        let r = sweep_knob(
-            &est,
-            &prepared,
-            &cfg,
-            Knob::InitWindow,
-            &candidates,
-            |e| e.p99(),
-        );
+        let r = sweep_knob(&est, &prepared, &cfg, Knob::InitWindow, &candidates, |e| {
+            e.p99()
+        });
         assert_eq!(r.points.len(), 4);
         let min = r
             .points

@@ -158,8 +158,8 @@ impl PathScenarioData {
                 fg.push((r.size, r.slowdown()));
             } else {
                 let f = &self.bg[i - n_fg];
-                for hop in f.first_hop..=f.last_hop {
-                    bg_per_hop[hop].push((r.size, r.slowdown()));
+                for hop in &mut bg_per_hop[f.first_hop..=f.last_hop] {
+                    hop.push((r.size, r.slowdown()));
                 }
             }
         }
@@ -351,7 +351,11 @@ mod tests {
         // Foreground path in the reconstruction has the same bandwidths and
         // delays as the original.
         let fg_flow = nflows.iter().zip(&is_fg).find(|(_, &f)| f).unwrap().0;
-        let bws: Vec<Bps> = fg_flow.path.iter().map(|&l| topo.link(l).bandwidth).collect();
+        let bws: Vec<Bps> = fg_flow
+            .path
+            .iter()
+            .map(|&l| topo.link(l).bandwidth)
+            .collect();
         assert_eq!(bws, data.link_bw);
         let ideal_orig = data.fg[fg_flow.id as usize].ideal_fct;
         let ideal_recon = topo.ideal_fct(&fg_flow.path, fg_flow.size, cfg.mtu);

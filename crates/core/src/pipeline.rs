@@ -9,7 +9,8 @@
 //! * [`ground_truth_estimate`] — the exact network-wide distribution from a
 //!   full packet-level simulation.
 
-use crate::aggregate::{NetworkEstimate, PathDistribution, NUM_OUTPUT_BUCKETS};
+use crate::aggregate::{NetworkEstimate, PathDistribution, StageTimings, NUM_OUTPUT_BUCKETS};
+use crate::cache::{scenario_fingerprint, ScenarioCache};
 use crate::decompose::PathIndex;
 use crate::features::output_bucket;
 use crate::pathsim::PathScenarioData;
@@ -17,6 +18,8 @@ use crate::spec::spec_vector;
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// Output-bucket counts of a foreground flow set.
 fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
@@ -59,7 +62,8 @@ impl M3Estimator {
     }
 
     /// Full pipeline: decompose the workload, sample `k_paths` paths, run
-    /// flowSim + ML per path in parallel, aggregate.
+    /// flowSim on the deduplicated scenarios in parallel, answer them all
+    /// with one batched forward pass, aggregate.
     pub fn estimate(
         &self,
         topo: &Topology,
@@ -68,16 +72,142 @@ impl M3Estimator {
         k_paths: usize,
         seed: u64,
     ) -> NetworkEstimate {
+        self.estimate_inner(topo, flows, config, k_paths, seed, None)
+    }
+
+    /// [`estimate`](Self::estimate) backed by a cross-run [`ScenarioCache`]:
+    /// scenarios whose (content, spec, model) fingerprints were answered in
+    /// an earlier call skip both flowSim and the network. The result is
+    /// bit-identical to an uncached run — only `timings` differ.
+    pub fn estimate_with_cache(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+        cache: &mut ScenarioCache,
+    ) -> NetworkEstimate {
+        self.estimate_inner(topo, flows, config, k_paths, seed, Some(cache))
+    }
+
+    fn estimate_inner(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+        mut cache: Option<&mut ScenarioCache>,
+    ) -> NetworkEstimate {
+        let mut timings = StageTimings::default();
+
+        // Stage 1: decompose, sample, materialize scenarios in parallel.
+        let t0 = Instant::now();
         let index = PathIndex::build(topo, flows);
         let sampled = index.sample_paths(k_paths, seed);
-        let dists: Vec<PathDistribution> = sampled
+        let datas: Vec<PathScenarioData> = sampled
             .par_iter()
-            .map(|&g| {
-                let data = PathScenarioData::from_group(topo, flows, &index, g, config);
-                self.predict_path(&data, config)
+            .map(|&g| PathScenarioData::from_group(topo, flows, &index, g, config))
+            .collect();
+        let specs: Vec<Vec<f32>> = datas
+            .iter()
+            .map(|d| spec_vector(config, d.fg_base_rtt, d.fg_bottleneck))
+            .collect();
+        timings.decompose_s = t0.elapsed().as_secs_f64();
+        timings.sampled_paths = datas.len();
+
+        // Dedupe by content hash: sampling with replacement and symmetric
+        // topologies both produce repeated scenarios, which need only one
+        // flowSim run and one forward-pass row each. `slot_of[i]` maps
+        // sampled path i to its unique-scenario slot (first-occurrence
+        // order, so everything downstream stays deterministic).
+        let keys: Vec<u64> = datas
+            .iter()
+            .zip(&specs)
+            .map(|(d, s)| scenario_fingerprint(d, s, self.use_context))
+            .collect();
+        let mut slot_by_key: HashMap<u64, usize> = HashMap::new();
+        let mut uniq: Vec<usize> = Vec::new(); // slot -> first index into datas
+        let mut slot_of: Vec<usize> = Vec::with_capacity(datas.len());
+        for (i, &k) in keys.iter().enumerate() {
+            let slot = *slot_by_key.entry(k).or_insert_with(|| {
+                uniq.push(i);
+                uniq.len() - 1
+            });
+            slot_of.push(slot);
+        }
+        timings.unique_scenarios = uniq.len();
+
+        // Cache probe. The model fingerprint is only computed when a cache
+        // is present — it hashes every parameter, which is not free.
+        let model_fp = cache.as_ref().map(|_| self.net.fingerprint());
+        let mut resolved: Vec<Option<PathDistribution>> = vec![None; uniq.len()];
+        if let Some(c) = cache.as_deref_mut() {
+            let fp = model_fp.expect("fingerprint computed when cache present");
+            for (slot, &i) in uniq.iter().enumerate() {
+                resolved[slot] = c.get(keys[i], fp);
+            }
+        }
+        timings.cache_hits = resolved.iter().filter(|r| r.is_some()).count();
+        let todo: Vec<usize> = (0..uniq.len()).filter(|&s| resolved[s].is_none()).collect();
+
+        // Stage 2: flowSim the unresolved unique scenarios in parallel.
+        let t0 = Instant::now();
+        let sims: Vec<crate::pathsim::FlowsimResult> = todo
+            .par_iter()
+            .map(|&s| datas[uniq[s]].run_flowsim())
+            .collect();
+        timings.flowsim_s = t0.elapsed().as_secs_f64();
+        timings.flowsim_runs = todo.len();
+
+        // Stage 3: feature maps + encoding in parallel.
+        let t0 = Instant::now();
+        let order: Vec<usize> = (0..todo.len()).collect();
+        let inputs: Vec<SampleInput> = order
+            .par_iter()
+            .map(|&j| {
+                let i = uniq[todo[j]];
+                let (fg_map, bg_maps) = datas[i].features(&sims[j]);
+                SampleInput {
+                    fg: fg_map.encode_log(),
+                    bg: bg_maps.iter().map(|m| m.encode_log()).collect(),
+                    spec: specs[i].clone(),
+                    use_context: self.use_context,
+                }
             })
             .collect();
-        NetworkEstimate::aggregate(&dists)
+        timings.features_s = t0.elapsed().as_secs_f64();
+
+        // Stage 4: one batched forward pass over all unresolved scenarios.
+        let t0 = Instant::now();
+        let outputs = self.net.predict_batch(&inputs);
+        for (j, out) in outputs.iter().enumerate() {
+            let i = uniq[todo[j]];
+            let decoded = crate::features::decode_log(out);
+            let dist = PathDistribution::from_model_output(&decoded, fg_counts(&datas[i]));
+            resolved[todo[j]] = Some(dist);
+        }
+        if let Some(c) = cache {
+            let fp = model_fp.expect("fingerprint computed when cache present");
+            for &s in &todo {
+                let dist = resolved[s].clone().expect("just computed");
+                c.insert(keys[uniq[s]], fp, dist);
+            }
+        }
+        timings.forward_s = t0.elapsed().as_secs_f64();
+
+        // Stage 5: fan the unique distributions back out to the sampled
+        // paths (duplicates keep their pooling weight) and aggregate.
+        let t0 = Instant::now();
+        let dists: Vec<PathDistribution> = slot_of
+            .iter()
+            .map(|&s| resolved[s].clone().expect("every slot resolved"))
+            .collect();
+        let mut est = NetworkEstimate::aggregate(&dists);
+        timings.aggregate_s = t0.elapsed().as_secs_f64();
+        est.timings = timings;
+        est
     }
 }
 
@@ -133,11 +263,12 @@ pub fn ground_truth_estimate(records: &[FctRecord]) -> NetworkEstimate {
         bucket_counts[b] += 1;
     }
     for v in bucket_samples.iter_mut() {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
     }
     NetworkEstimate {
         bucket_samples,
         bucket_counts,
+        timings: StageTimings::default(),
     }
 }
 
@@ -158,7 +289,11 @@ mod tests {
             max_load: 0.4,
             seed: 17,
         };
-        (ft.clone(), generate(&ft, &routing, &sc).flows, SimConfig::default())
+        (
+            ft.clone(),
+            generate(&ft, &routing, &sc).flows,
+            SimConfig::default(),
+        )
     }
 
     fn untrained_estimator() -> M3Estimator {
@@ -218,13 +353,107 @@ mod tests {
         assert_eq!(gt.bucket_counts.iter().sum::<usize>(), out.records.len());
     }
 
+    /// Bitwise equality of the value-carrying fields (timings excluded).
+    fn assert_estimates_bit_identical(a: &NetworkEstimate, b: &NetworkEstimate) {
+        assert_eq!(a.bucket_counts, b.bucket_counts);
+        assert_eq!(a.bucket_samples.len(), b.bucket_samples.len());
+        for (x, y) in a.bucket_samples.iter().zip(&b.bucket_samples) {
+            let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb);
+        }
+    }
+
     #[test]
     fn estimate_deterministic() {
         let (ft, flows, cfg) = small_workload(800);
         let est = untrained_estimator();
-        let a = est.estimate(&ft.topo, &flows, &cfg, 10, 5).p99();
-        let b = est.estimate(&ft.topo, &flows, &cfg, 10, 5).p99();
-        assert_eq!(a, b);
+        let a = est.estimate(&ft.topo, &flows, &cfg, 10, 5);
+        let b = est.estimate(&ft.topo, &flows, &cfg, 10, 5);
+        assert_estimates_bit_identical(&a, &b);
+    }
+
+    #[test]
+    fn batched_estimate_matches_per_path_pipeline() {
+        // The dedupe + batched-forward path must reproduce the naive
+        // per-path predict loop bit for bit.
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let index = PathIndex::build(&ft.topo, &flows);
+        let sampled = index.sample_paths(10, 5);
+        let dists: Vec<PathDistribution> = sampled
+            .iter()
+            .map(|&g| {
+                let data = PathScenarioData::from_group(&ft.topo, &flows, &index, g, &cfg);
+                est.predict_path(&data, &cfg)
+            })
+            .collect();
+        let legacy = NetworkEstimate::aggregate(&dists);
+        let batched = est.estimate(&ft.topo, &flows, &cfg, 10, 5);
+        assert_estimates_bit_identical(&legacy, &batched);
+    }
+
+    #[test]
+    fn warm_cache_skips_flowsim_and_is_identical() {
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let mut cache = crate::cache::ScenarioCache::new(256);
+
+        let uncached = est.estimate(&ft.topo, &flows, &cfg, 10, 5);
+        let cold = est.estimate_with_cache(&ft.topo, &flows, &cfg, 10, 5, &mut cache);
+        assert!(cold.timings.flowsim_runs > 0, "cold run must simulate");
+        assert_eq!(cold.timings.cache_hits, 0);
+        assert_estimates_bit_identical(&uncached, &cold);
+
+        let warm = est.estimate_with_cache(&ft.topo, &flows, &cfg, 10, 5, &mut cache);
+        assert_eq!(warm.timings.flowsim_runs, 0, "warm run must skip flowSim");
+        assert_eq!(warm.timings.cache_hits, warm.timings.unique_scenarios);
+        assert_estimates_bit_identical(&cold, &warm);
+
+        assert_eq!(warm.timings.sampled_paths, 10);
+        assert!(warm.timings.unique_scenarios <= warm.timings.sampled_paths);
+    }
+
+    #[test]
+    fn cache_misses_when_config_or_model_changes() {
+        let (ft, flows, cfg) = small_workload(600);
+        let est = untrained_estimator();
+        let mut cache = crate::cache::ScenarioCache::new(256);
+        est.estimate_with_cache(&ft.topo, &flows, &cfg, 6, 5, &mut cache);
+
+        // A different candidate config changes the spec vector -> all miss.
+        let mut cfg2 = cfg;
+        cfg2.init_window *= 2;
+        let other_cfg = est.estimate_with_cache(&ft.topo, &flows, &cfg2, 6, 5, &mut cache);
+        assert_eq!(other_cfg.timings.cache_hits, 0, "config change must miss");
+
+        // A different model changes the model fingerprint -> all miss.
+        let est2 = {
+            let cfg_m = ModelConfig {
+                embed: 16,
+                heads: 2,
+                layers: 1,
+                ff_hidden: 16,
+                mlp_hidden: 32,
+                ..ModelConfig::repro_default(SPEC_DIM)
+            };
+            M3Estimator::new(M3Net::new(cfg_m, 4))
+        };
+        let other_model = est2.estimate_with_cache(&ft.topo, &flows, &cfg, 6, 5, &mut cache);
+        assert_eq!(other_model.timings.cache_hits, 0, "model change must miss");
+    }
+
+    #[test]
+    fn timings_are_populated_and_consistent() {
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let e = est.estimate(&ft.topo, &flows, &cfg, 10, 5);
+        let t = &e.timings;
+        assert_eq!(t.sampled_paths, 10);
+        assert!(t.unique_scenarios >= 1 && t.unique_scenarios <= 10);
+        assert_eq!(t.flowsim_runs, t.unique_scenarios, "no cache: all simulate");
+        assert_eq!(t.cache_hits, 0);
+        assert!(t.total_s() > 0.0 && t.total_s().is_finite());
     }
 }
 
@@ -273,11 +502,12 @@ pub fn global_flowsim_estimate(
         bucket_counts[b] += 1;
     }
     for v in bucket_samples.iter_mut() {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
     }
     NetworkEstimate {
         bucket_samples,
         bucket_counts,
+        timings: StageTimings::default(),
     }
 }
 

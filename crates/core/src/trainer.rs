@@ -107,7 +107,12 @@ pub fn scenario_features(
 }
 
 /// Generate one training example from a Table 2 point.
-pub fn make_example(point: &TrainingPoint, fg: usize, bg: usize, use_context: bool) -> TrainExample {
+pub fn make_example(
+    point: &TrainingPoint,
+    fg: usize,
+    bg: usize,
+    use_context: bool,
+) -> TrainExample {
     let spec = point.to_scenario_spec(fg, bg);
     let ps = PathScenario::generate(&spec);
     let (input, flowsim_fg) = scenario_features(&ps, &point.config, use_context);
@@ -302,7 +307,7 @@ mod tests {
             last < first,
             "training loss should decrease: {first} -> {last}"
         );
-        assert_eq!(report.n_val, (9usize / 10).max(1));
+        assert_eq!(report.n_val, 1); // 9 examples, 10% val split, min 1
     }
 
     #[test]

@@ -37,10 +37,13 @@ impl PartialOrd for Target {
 }
 impl Ord for Target {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap by (service, id) via reversal at use sites.
+        // Min-heap by (service, id) via reversal at use sites. total_cmp
+        // keeps this a strict weak ordering even if a NaN service sneaks
+        // in (partial_cmp(..).unwrap_or(Equal) made NaN compare equal to
+        // everything while the id tiebreak still ordered it, which is
+        // intransitive and undefined behavior for BinaryHeap ordering).
         self.service
-            .partial_cmp(&other.service)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.service)
             .then_with(|| self.id.cmp(&other.id))
     }
 }
@@ -78,11 +81,11 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap semantics inside BinaryHeap.
+        // Reverse for min-heap semantics inside BinaryHeap; total_cmp for
+        // NaN-safe strict weak ordering.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.group.cmp(&self.group))
             .then_with(|| other.gen.cmp(&self.gen))
     }
@@ -254,8 +257,8 @@ fn waterfill(link_caps: &[f64], groups: &mut [Group], residual: &mut [f64], nflo
             continue;
         }
         unfixed.push(gi);
-        for l in g.first..=g.last {
-            nflows[l] += g.n;
+        for nf in &mut nflows[g.first..=g.last] {
+            *nf += g.n;
         }
     }
     while !unfixed.is_empty() {
@@ -447,7 +450,14 @@ mod tests {
             let (first, last) = (first.min(last), first.max(last));
             flows.push(with_ideal(
                 &topo,
-                flow(i, 500 + (i as u64 * 97) % 50_000, (i as u64) * 300, first, last, 10e9),
+                flow(
+                    i,
+                    500 + (i as u64 * 97) % 50_000,
+                    (i as u64) * 300,
+                    first,
+                    last,
+                    10e9,
+                ),
             ));
         }
         let recs = simulate_fluid(&topo, &flows);

@@ -46,9 +46,9 @@ impl PartialOrd for Target {
 }
 impl Ord for Target {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp: NaN-safe strict weak ordering (see fluid.rs).
         self.service
-            .partial_cmp(&other.service)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.service)
             .then_with(|| self.id.cmp(&other.id))
     }
 }
@@ -80,8 +80,7 @@ impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.group.cmp(&self.group))
             .then_with(|| other.gen.cmp(&self.gen))
     }
@@ -89,10 +88,7 @@ impl Ord for Candidate {
 
 /// Run the general fluid simulation. `link_bps[i]` is the capacity of link
 /// `i`; every flow's `links` entries must index into it.
-pub fn simulate_fluid_general(
-    link_bps: &[f64],
-    flows: &[GeneralFluidFlow],
-) -> Vec<FluidFctRecord> {
+pub fn simulate_fluid_general(link_bps: &[f64], flows: &[GeneralFluidFlow]) -> Vec<FluidFctRecord> {
     assert!(!link_bps.is_empty());
     for f in flows {
         assert!(!f.links.is_empty(), "flow {} has no links", f.id);

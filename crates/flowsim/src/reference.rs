@@ -142,7 +142,15 @@ mod tests {
     use crate::fluid::simulate_fluid;
     use crate::types::fluid_ideal_fct;
 
-    fn make_flow(id: u32, size: u64, arrival: Nanos, first: u16, last: u16, cap: f64, topo: &FluidTopology) -> FluidFlow {
+    fn make_flow(
+        id: u32,
+        size: u64,
+        arrival: Nanos,
+        first: u16,
+        last: u16,
+        cap: f64,
+        topo: &FluidTopology,
+    ) -> FluidFlow {
         let mut f = FluidFlow {
             id,
             size,
@@ -163,7 +171,9 @@ mod tests {
         let mut flows = Vec::new();
         let mut state = 12345u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for i in 0..300u32 {

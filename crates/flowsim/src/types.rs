@@ -61,13 +61,21 @@ impl FluidFlow {
     }
 
     pub fn validate(&self, topo: &FluidTopology) {
-        assert!(self.first_link <= self.last_link, "flow {}: inverted segment", self.id);
+        assert!(
+            self.first_link <= self.last_link,
+            "flow {}: inverted segment",
+            self.id
+        );
         assert!(
             (self.last_link as usize) < topo.num_links(),
             "flow {}: segment outside topology",
             self.id
         );
-        assert!(self.rate_cap_bps > 0.0, "flow {}: nonpositive rate cap", self.id);
+        assert!(
+            self.rate_cap_bps > 0.0,
+            "flow {}: nonpositive rate cap",
+            self.id
+        );
     }
 }
 

@@ -92,6 +92,11 @@ pub struct AckEvent<'a> {
 }
 
 /// Congestion-control state machine for one flow.
+///
+/// HPCC carries per-hop INT state and dwarfs the other variants; flows
+/// store this enum inline and are long-lived, so boxing the large variant
+/// would add a pointer chase per packet for no memory win that matters.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum CcState {
     Dctcp(Dctcp),
@@ -564,7 +569,13 @@ mod tests {
         let r0 = s.rate;
         // `now` must be at least one base RTT in: decreases are rate-limited.
         s.on_ack(
-            &ack(100 * USEC, 1000, false, e.params.timely_t_high + 100 * USEC, 1000),
+            &ack(
+                100 * USEC,
+                1000,
+                false,
+                e.params.timely_t_high + 100 * USEC,
+                1000,
+            ),
             &e,
         );
         assert!(s.rate < r0);
@@ -584,7 +595,10 @@ mod tests {
         let e = env();
         let mut s = Timely::new(&e);
         for i in 0..1000 {
-            s.on_ack(&ack(i * 1000, 1000, false, e.params.timely_t_low / 2, i * 1000), &e);
+            s.on_ack(
+                &ack(i * 1000, 1000, false, e.params.timely_t_low / 2, i * 1000),
+                &e,
+            );
         }
         assert!(s.rate <= e.nic_bps as f64);
     }
@@ -617,7 +631,10 @@ mod tests {
         s.on_ack(&ack(100 * USEC, 1000, true, e.base_rtt, 1000), &e);
         let cut = s.rate;
         // Several timer periods later, fast recovery should close the gap.
-        s.on_ack(&ack(100 * USEC + 4 * DCQCN_TIMER, 1000, false, e.base_rtt, 2000), &e);
+        s.on_ack(
+            &ack(100 * USEC + 4 * DCQCN_TIMER, 1000, false, e.base_rtt, 2000),
+            &e,
+        );
         assert!(s.rate > cut);
         assert!(s.rate <= s.target + 1.0);
     }

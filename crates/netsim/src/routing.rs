@@ -21,10 +21,7 @@ impl Routing {
     /// Compute next-hop tables toward every switch that has at least one
     /// attached host (plus any switches in `extra_dsts`).
     pub fn new(topo: &Topology) -> Self {
-        let mut dst_switches: Vec<NodeId> = topo
-            .hosts()
-            .map(|h| topo.access_switch(h).0)
-            .collect();
+        let mut dst_switches: Vec<NodeId> = topo.hosts().map(|h| topo.access_switch(h).0).collect();
         dst_switches.sort_unstable();
         dst_switches.dedup();
 
@@ -85,7 +82,13 @@ impl Routing {
     /// The static route of a flow: the full link sequence from `src` host to
     /// `dst` host, choosing among ECMP candidates with a per-(flow, node)
     /// hash. Deterministic for a given flow id.
-    pub fn flow_path(&self, topo: &Topology, flow_id: u64, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+    pub fn flow_path(
+        &self,
+        topo: &Topology,
+        flow_id: u64,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<LinkId> {
         assert_ne!(src, dst, "flow endpoints must differ");
         let (dst_switch, dst_access) = topo.access_switch(dst);
         let mut path = Vec::with_capacity(8);

@@ -39,7 +39,7 @@ fn port_link(p: PortIdx) -> LinkId {
 
 #[inline]
 fn port_forward(p: PortIdx) -> bool {
-    p % 2 == 0
+    p.is_multiple_of(2)
 }
 
 /// A packet on the wire. Data packets flow src -> dst along the path; ACKs
@@ -258,7 +258,9 @@ impl<'a> Simulator<'a> {
             topo,
             config,
             flows,
-            ports: (0..topo.link_count() * 2).map(|_| Port::default()).collect(),
+            ports: (0..topo.link_count() * 2)
+                .map(|_| Port::default())
+                .collect(),
             events: BinaryHeap::new(),
             event_seq: 0,
             now: 0,
@@ -442,8 +444,7 @@ impl<'a> Simulator<'a> {
                     if port.qbytes >= kmax {
                         pkt.ecn = true;
                     } else if port.qbytes > kmin {
-                        let prob =
-                            (port.qbytes - kmin) as f64 / (kmax - kmin).max(1) as f64;
+                        let prob = (port.qbytes - kmin) as f64 / (kmax - kmin).max(1) as f64;
                         if self.rng.gen::<f64>() < prob {
                             pkt.ecn = true;
                         }
@@ -483,11 +484,7 @@ impl<'a> Simulator<'a> {
         let port = &mut self.ports[p as usize];
         debug_assert!(!port.busy && !port.paused);
         // Strict priority: serve the lowest-index non-empty class first.
-        let Some(mut pkt) = port
-            .queues
-            .iter_mut()
-            .find_map(|q| q.pop_front())
-        else {
+        let Some(mut pkt) = port.queues.iter_mut().find_map(|q| q.pop_front()) else {
             return;
         };
         port.qbytes -= pkt.size as u64;
@@ -747,7 +744,14 @@ mod tests {
         (topo, a, b, l2)
     }
 
-    fn flow(topo: &Topology, id: FlowId, src: NodeId, dst: NodeId, size: Bytes, at: Nanos) -> FlowSpec {
+    fn flow(
+        topo: &Topology,
+        id: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        size: Bytes,
+        at: Nanos,
+    ) -> FlowSpec {
         // Direct path: both hosts hang off the single switch.
         let (sw_s, l_s) = topo.access_switch(src);
         let (sw_d, l_d) = topo.access_switch(dst);
@@ -826,7 +830,10 @@ mod tests {
         let out = run_simulation(&topo, SimConfig::default(), vec![f1, f2]);
         let s1 = out.records[0].slowdown();
         let s2 = out.records[1].slowdown();
-        assert!((s1 - s2).abs() < 0.05, "isolated flows should match: {s1} vs {s2}");
+        assert!(
+            (s1 - s2).abs() < 0.05,
+            "isolated flows should match: {s1} vs {s2}"
+        );
     }
 
     #[test]
@@ -872,10 +879,20 @@ mod tests {
             let out = run_simulation(&topo, cfg, flows);
             assert_eq!(out.records.len(), 40, "{} lost flows", cc.name());
             for r in &out.records {
-                assert!(r.slowdown() >= 0.99, "{}: slowdown {}", cc.name(), r.slowdown());
+                assert!(
+                    r.slowdown() >= 0.99,
+                    "{}: slowdown {}",
+                    cc.name(),
+                    r.slowdown()
+                );
                 // TIMELY's additive recovery is slow under 40-way overload;
                 // several-hundred-x tails are expected there, divergence is not.
-                assert!(r.slowdown() < 500.0, "{}: runaway slowdown {}", cc.name(), r.slowdown());
+                assert!(
+                    r.slowdown() < 500.0,
+                    "{}: runaway slowdown {}",
+                    cc.name(),
+                    r.slowdown()
+                );
             }
         }
     }
@@ -903,9 +920,7 @@ mod tests {
             vec![flow(&topo, 0, a, b, 100 * KB, 0)],
         );
         // Same flow with nine competitors.
-        let mut flows: Vec<FlowSpec> = (0..10)
-            .map(|i| flow(&topo, i, a, b, 100 * KB, 0))
-            .collect();
+        let mut flows: Vec<FlowSpec> = (0..10).map(|i| flow(&topo, i, a, b, 100 * KB, 0)).collect();
         flows[0].id = 0;
         let busy = run_simulation(&topo, SimConfig::default(), flows);
         let s_solo = solo.records[0].slowdown();
@@ -943,7 +958,11 @@ mod tests {
             ..SimConfig::default()
         };
         let out = run_simulation(&topo, cfg, flows);
-        assert_eq!(out.records.len(), 8, "all flows must complete despite drops");
+        assert_eq!(
+            out.records.len(),
+            8,
+            "all flows must complete despite drops"
+        );
         assert!(out.drops > 0, "scenario should actually drop packets");
     }
 
@@ -1029,7 +1048,7 @@ mod tests {
         let out = run_simulation(&topo, SimConfig::default(), flows);
         assert_eq!(out.records.len(), 16);
         let mut sldn: Vec<f64> = out.records.iter().map(|r| r.slowdown()).collect();
-        sldn.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sldn.sort_by(|x, y| x.total_cmp(y));
         assert!(sldn[15] > 4.0, "incast tail should be heavily slowed");
     }
 }

@@ -10,7 +10,10 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let p = p.clamp(0.0, 100.0);
     if sorted.len() == 1 {
         return sorted[0];
@@ -58,7 +61,7 @@ pub struct Ecdf {
 impl Ecdf {
     pub fn new(mut values: Vec<f64>) -> Self {
         values.retain(|v| v.is_finite());
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted: values }
     }
 
@@ -123,9 +126,9 @@ impl ErrorSummary {
     /// retain sign for boxplots.
     pub fn from_signed(errors: &[f64]) -> Self {
         let mut signed: Vec<f64> = errors.iter().copied().filter(|e| e.is_finite()).collect();
-        signed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        signed.sort_by(|a, b| a.total_cmp(b));
         let mut mags: Vec<f64> = signed.iter().map(|e| e.abs()).collect();
-        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        mags.sort_by(|a, b| a.total_cmp(b));
         ErrorSummary {
             mean_abs: if mags.is_empty() {
                 f64::NAN

@@ -207,7 +207,10 @@ impl Topology {
     /// plus the serialization of the whole flow on the slowest link, plus the
     /// serialization of one packet on every other link (pipelining).
     pub fn ideal_fct(&self, path: &[LinkId], size: Bytes, mtu: Bytes) -> Nanos {
-        assert!(!path.is_empty(), "flow path must traverse at least one link");
+        assert!(
+            !path.is_empty(),
+            "flow path must traverse at least one link"
+        );
         let size = size.max(1);
         let n_pkts = size.div_ceil(mtu);
         let last_pkt = size - (n_pkts - 1) * mtu; // bytes in final packet
@@ -375,7 +378,12 @@ impl ParkingLot {
     /// The foreground path is fg_src -> s_0 -> ... -> s_n -> fg_dst, so it
     /// traverses `n_hops + 2` links in total, matching the paper's "2/4/6
     /// hop" scenarios when counting only switch-to-switch links.
-    pub fn build(n_hops: usize, link_bandwidth: Bps, host_bandwidth: Bps, hop_delay: Nanos) -> Self {
+    pub fn build(
+        n_hops: usize,
+        link_bandwidth: Bps,
+        host_bandwidth: Bps,
+        hop_delay: Nanos,
+    ) -> Self {
         assert!(n_hops >= 1, "parking lot needs at least one path link");
         let mut topo = Topology::new();
         let switches: Vec<NodeId> = (0..=n_hops).map(|_| topo.add_switch()).collect();
@@ -400,9 +408,15 @@ impl ParkingLot {
     /// the given NIC capacity; used as the source or sink of one background
     /// flow so background flows never contend artificially with each other
     /// off-path (§3.2).
-    pub fn attach_background_host(&mut self, at: usize, nic_bandwidth: Bps, delay: Nanos) -> NodeId {
+    pub fn attach_background_host(
+        &mut self,
+        at: usize,
+        nic_bandwidth: Bps,
+        delay: Nanos,
+    ) -> NodeId {
         let h = self.topo.add_host();
-        self.topo.add_link(h, self.switches[at], nic_bandwidth, delay);
+        self.topo
+            .add_link(h, self.switches[at], nic_bandwidth, delay);
         h
     }
 

@@ -128,7 +128,11 @@ fn late_flow_reaches_fair_share() {
     );
     // And the incumbent must not be starved by the newcomer either.
     let early = out.records.iter().find(|r| r.id == 0).unwrap();
-    assert!(early.slowdown() < 3.0, "incumbent slowdown {}", early.slowdown());
+    assert!(
+        early.slowdown() < 3.0,
+        "incumbent slowdown {}",
+        early.slowdown()
+    );
 }
 
 #[test]
@@ -280,7 +284,12 @@ fn multi_hop_fat_tree_traffic_completes_under_all_protocols() {
         );
         assert_eq!(out.records.len(), 300, "{}: flows lost", cc.name());
         for r in &out.records {
-            assert!(r.slowdown() >= 0.99, "{}: slowdown {}", cc.name(), r.slowdown());
+            assert!(
+                r.slowdown() >= 0.99,
+                "{}: slowdown {}",
+                cc.name(),
+                r.slowdown()
+            );
         }
     }
 }

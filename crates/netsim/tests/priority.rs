@@ -62,7 +62,7 @@ fn high_priority_probes_bypass_elephants() {
     let baseline = probe_p99(None);
     // Probes in class 0, elephants demoted to class 1.
     let mut prios = vec![1u8; 4];
-    prios.extend(std::iter::repeat(0u8).take(20));
+    prios.extend(std::iter::repeat_n(0u8, 20));
     let prioritized = probe_p99(Some(prios));
     assert!(
         prioritized < baseline * 0.7,
@@ -89,7 +89,7 @@ fn low_priority_still_completes() {
     // tiny fraction of bytes.
     let (topo, flows) = scenario();
     let mut prios = vec![1u8; 4];
-    prios.extend(std::iter::repeat(0u8).take(20));
+    prios.extend(std::iter::repeat_n(0u8, 20));
     let mut sim = Simulator::new(&topo, SimConfig::default(), flows);
     sim.set_priorities(&prios);
     let out = sim.run();

@@ -263,7 +263,12 @@ impl M3Net {
     }
 
     /// Forward + L1 loss; returns (prediction, loss) nodes.
-    pub fn loss<'t>(&self, tape: &mut Tape<'t>, sample: &SampleInput, target: &[f32]) -> (Var, Var) {
+    pub fn loss<'t>(
+        &self,
+        tape: &mut Tape<'t>,
+        sample: &SampleInput,
+        target: &[f32],
+    ) -> (Var, Var) {
         assert_eq!(target.len(), self.cfg.out_dim, "target width");
         let pred = self.forward(tape, sample);
         let t = tape.input(Tensor::row_vector(target.to_vec()));
@@ -278,16 +283,132 @@ impl M3Net {
         tape.value(pred).data.clone()
     }
 
+    /// The transformer context of one sample as a plain `[embed]` vector.
+    fn context_vector(&self, sample: &SampleInput) -> Vec<f32> {
+        let mut tape = Tape::new(&self.store);
+        let ctx = self.context(&mut tape, sample);
+        tape.value(ctx).data.clone()
+    }
+
+    /// Batched inference: one output vector per sample, bit-for-bit equal
+    /// to calling [`M3Net::predict`] on each sample individually.
+    ///
+    /// The per-hop background sequences have different lengths, so the
+    /// transformer contexts are computed per sample (in parallel); the
+    /// sample rows `[fg ∥ context ∥ spec]` are then stacked into one
+    /// `[k, mlp_in]` matrix and pushed through a single batched MLP
+    /// forward. Equivalence holds because every matmul/bias/ReLU output row
+    /// depends only on its own input row, evaluated in the same order as
+    /// the single-sample path (see `Tensor::stack_rows`).
+    pub fn predict_batch(&self, samples: &[SampleInput]) -> Vec<Vec<f32>> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        for s in samples {
+            assert_eq!(s.fg.len(), self.cfg.feat_dim, "foreground map width");
+            assert_eq!(s.spec.len(), self.cfg.spec_dim, "spec vector width");
+        }
+        let contexts: Vec<Vec<f32>> = samples.par_iter().map(|s| self.context_vector(s)).collect();
+
+        let mlp_in = self.cfg.feat_dim + self.cfg.embed + self.cfg.spec_dim;
+        let mut joined = Tensor::zeros(samples.len(), mlp_in);
+        for (i, (s, ctx)) in samples.iter().zip(&contexts).enumerate() {
+            let row = &mut joined.data[i * mlp_in..(i + 1) * mlp_in];
+            row[..self.cfg.feat_dim].copy_from_slice(&s.fg);
+            row[self.cfg.feat_dim..self.cfg.feat_dim + self.cfg.embed].copy_from_slice(ctx);
+            row[self.cfg.feat_dim + self.cfg.embed..].copy_from_slice(&s.spec);
+        }
+
+        let w1 = self.store.get(self.mlp_w1);
+        let b1 = self.store.get(self.mlp_b1);
+        let w2 = self.store.get(self.mlp_w2);
+        let b2 = self.store.get(self.mlp_b2);
+        let mut h = Tensor::matmul(&joined, w1);
+        for r in 0..h.rows {
+            for c in 0..h.cols {
+                *h.at_mut(r, c) += b1.at(0, c);
+            }
+        }
+        for v in h.data.iter_mut() {
+            *v = v.max(0.0);
+        }
+        let mut out = Tensor::matmul(&h, w2);
+        for r in 0..out.rows {
+            for c in 0..out.cols {
+                *out.at_mut(r, c) += b2.at(0, c);
+            }
+        }
+        (0..out.rows).map(|r| out.row(r).data).collect()
+    }
+
+    /// Content fingerprint of the model: hashes the architecture and every
+    /// parameter value. Two nets with equal fingerprints produce identical
+    /// predictions, so the fingerprint is a sound cache key component.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.cfg.feat_dim as u64);
+        h.write_u64(self.cfg.spec_dim as u64);
+        h.write_u64(self.cfg.out_dim as u64);
+        h.write_u64(self.cfg.embed as u64);
+        h.write_u64(self.cfg.heads as u64);
+        h.write_u64(self.cfg.layers as u64);
+        h.write_u64(self.cfg.block as u64);
+        h.write_u64(self.cfg.ff_hidden as u64);
+        h.write_u64(self.cfg.mlp_hidden as u64);
+        for p in self.store.iter() {
+            for b in p.name.bytes() {
+                h.write_u8(b);
+            }
+            h.write_u64(p.value.rows as u64);
+            h.write_u64(p.value.cols as u64);
+            for &v in &p.value.data {
+                h.write_u32(v.to_bits());
+            }
+        }
+        h.finish()
+    }
+
     pub fn num_params(&self) -> usize {
         self.store.num_scalars()
     }
 }
 
+/// FNV-1a 64-bit: tiny, dependency-free, stable across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    fn write_u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Compute summed gradients and mean loss over a batch, in parallel across
-/// samples (each rayon worker owns its own tape; gradients are reduced).
+/// samples (each rayon worker owns its own tape).
+///
+/// Determinism: per-sample gradients are collected *indexed* (in batch
+/// order) and then combined by a fixed-shape pairwise tree reduction whose
+/// structure depends only on the batch size — never on thread scheduling —
+/// so the floating-point accumulation order, and therefore every trained
+/// parameter, is bit-for-bit reproducible across runs and thread counts.
 pub fn batch_gradients(net: &M3Net, batch: &[(SampleInput, Vec<f32>)]) -> (Vec<Tensor>, f64) {
     assert!(!batch.is_empty());
-    let (grads, loss_sum) = batch
+    let mut partial: Vec<(Vec<Tensor>, f64)> = batch
         .par_iter()
         .map(|(sample, target)| {
             let mut grads = net.store.zero_grads();
@@ -296,20 +417,30 @@ pub fn batch_gradients(net: &M3Net, batch: &[(SampleInput, Vec<f32>)]) -> (Vec<T
             tape.backward(loss, &mut grads);
             (grads, tape.value(loss).data[0] as f64)
         })
-        .reduce(
-            || (net.store.zero_grads(), 0.0),
-            |(mut ga, la), (gb, lb)| {
-                for (a, b) in ga.iter_mut().zip(&gb) {
-                    for (x, &y) in a.data.iter_mut().zip(&b.data) {
-                        *x += y;
-                    }
+        .collect();
+
+    // Fixed-order tree reduction: round r combines slot i with slot
+    // i + stride for every even multiple i of stride.
+    let mut stride = 1;
+    while stride < partial.len() {
+        let mut i = 0;
+        while i + stride < partial.len() {
+            let (gb, lb) = std::mem::replace(&mut partial[i + stride], (Vec::new(), 0.0));
+            let (ga, la) = &mut partial[i];
+            for (a, b) in ga.iter_mut().zip(&gb) {
+                for (x, &y) in a.data.iter_mut().zip(&b.data) {
+                    *x += y;
                 }
-                (ga, la + lb)
-            },
-        );
+            }
+            *la += lb;
+            i += stride * 2;
+        }
+        stride *= 2;
+    }
+    let (mut grads, loss_sum) = partial.swap_remove(0);
+
     // Average over the batch.
     let n = batch.len() as f32;
-    let mut grads = grads;
     for g in grads.iter_mut() {
         for v in g.data.iter_mut() {
             *v /= n;
@@ -400,7 +531,9 @@ mod tests {
             .map(|i| {
                 (
                     sample(2 + i % 3, &cfg),
-                    (0..cfg.out_dim).map(|j| (j as f32 + i as f32) * 0.1).collect(),
+                    (0..cfg.out_dim)
+                        .map(|j| (j as f32 + i as f32) * 0.1)
+                        .collect(),
                 )
             })
             .collect();
@@ -416,6 +549,63 @@ mod tests {
             last < first_loss * 0.5,
             "loss should halve: {first_loss} -> {last}"
         );
+    }
+
+    #[test]
+    fn predict_batch_bit_identical_to_predict() {
+        let cfg = tiny_cfg();
+        let net = M3Net::new(cfg.clone(), 9);
+        // Mixed hop counts (including 0: zero context) and an ablation row.
+        let mut samples: Vec<SampleInput> = [0usize, 1, 3, 6, 2, 4]
+            .iter()
+            .map(|&h| sample(h, &cfg))
+            .collect();
+        samples[4].use_context = false;
+        let batched = net.predict_batch(&samples);
+        assert_eq!(batched.len(), samples.len());
+        for (i, s) in samples.iter().enumerate() {
+            let single = net.predict(s);
+            let got: Vec<u32> = batched[i].iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "sample {i}");
+        }
+        assert!(net.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_gradients_deterministic_across_runs() {
+        let cfg = tiny_cfg();
+        let net = M3Net::new(cfg.clone(), 5);
+        // Odd batch size exercises the unpaired-tail path of the tree.
+        let batch: Vec<(SampleInput, Vec<f32>)> = (0..7)
+            .map(|i| {
+                (
+                    sample(1 + i % 4, &cfg),
+                    (0..cfg.out_dim).map(|j| (j + i) as f32 * 0.1).collect(),
+                )
+            })
+            .collect();
+        let (ga, la) = batch_gradients(&net, &batch);
+        let (gb, lb) = batch_gradients(&net, &batch);
+        assert_eq!(la.to_bits(), lb.to_bits());
+        for (a, b) in ga.iter().zip(&gb) {
+            let ab: Vec<u32> = a.data.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_parameters_and_config() {
+        let cfg = tiny_cfg();
+        let a = M3Net::new(cfg.clone(), 42);
+        let b = M3Net::new(cfg.clone(), 42);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = M3Net::new(cfg.clone(), 43);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = M3Net::new(cfg, 42);
+        d.store.get_mut(crate::params::ParamId(0)).data[0] += 1.0;
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

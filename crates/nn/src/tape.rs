@@ -134,7 +134,11 @@ impl<'p> Tape<'p> {
 
     pub fn relu(&mut self, a: Var) -> Var {
         let av = self.value(a);
-        let v = Tensor::from_vec(av.rows, av.cols, av.data.iter().map(|x| x.max(0.0)).collect());
+        let v = Tensor::from_vec(
+            av.rows,
+            av.cols,
+            av.data.iter().map(|x| x.max(0.0)).collect(),
+        );
         self.push(Op::Relu(a), v)
     }
 
@@ -157,13 +161,14 @@ impl<'p> Tape<'p> {
             let row = &av.data[i * n..(i + 1) * n];
             let max = row[..=i].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
-            for j in 0..=i {
-                let e = (row[j] - max).exp();
-                v.data[i * n + j] = e;
+            let out = &mut v.data[i * n..i * n + i + 1];
+            for (o, &x) in out.iter_mut().zip(&row[..=i]) {
+                let e = (x - max).exp();
+                *o = e;
                 denom += e;
             }
-            for j in 0..=i {
-                v.data[i * n + j] /= denom;
+            for o in out.iter_mut() {
+                *o /= denom;
             }
         }
         self.push(Op::CausalSoftmax(a), v)
@@ -178,8 +183,8 @@ impl<'p> Tape<'p> {
             let row = &av.data[r * av.cols..(r + 1) * av.cols];
             let ms = row.iter().map(|x| x * x).sum::<f32>() / av.cols as f32;
             let inv = 1.0 / (ms + RMS_EPS).sqrt();
-            for c in 0..av.cols {
-                v.data[r * av.cols + c] = row[c] * inv * gv.at(0, c);
+            for (c, &x) in row.iter().enumerate() {
+                v.data[r * av.cols + c] = x * inv * gv.at(0, c);
             }
         }
         self.push(Op::RmsNorm(a, gain), v)
@@ -354,8 +359,8 @@ impl<'p> Tape<'p> {
                         // s = sum_i g_i * gain_i * x_i
                         let s: f32 = (0..cols).map(|c| gr[c] * gv.data[c] * x[c]).sum();
                         for c in 0..cols {
-                            dx.data[r * cols + c] += gr[c] * gv.data[c] * inv
-                                - x[c] * inv * inv * inv * s / cols as f32;
+                            dx.data[r * cols + c] +=
+                                gr[c] * gv.data[c] * inv - x[c] * inv * inv * inv * s / cols as f32;
                             dgain.data[c] += gr[c] * x[c] * inv;
                         }
                     }
@@ -596,7 +601,11 @@ mod tests {
     fn causal_softmax_masks_future() {
         let store = ParamStore::new();
         let mut tape = Tape::new(&store);
-        let x = tape.input(Tensor::from_vec(3, 3, vec![1., 9., 9., 1., 2., 9., 1., 2., 3.]));
+        let x = tape.input(Tensor::from_vec(
+            3,
+            3,
+            vec![1., 9., 9., 1., 2., 9., 1., 2., 3.],
+        ));
         let y = tape.causal_softmax(x);
         let v = tape.value(y);
         // Upper triangle zero; rows sum to 1.

@@ -82,6 +82,35 @@ impl Tensor {
         out
     }
 
+    /// Stack row vectors (each `[1, cols]`) into one `[n, cols]` matrix.
+    ///
+    /// This is the batching primitive: because [`Tensor::matmul_into`]
+    /// computes each output row from the matching input row alone, with a
+    /// fixed k-accumulation order, `matmul(stack_rows(xs), w)` is
+    /// bit-for-bit identical to stacking the per-row `matmul(x, w)`
+    /// results.
+    pub fn stack_rows(rows: &[&Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "stack_rows: empty input");
+        let cols = rows[0].cols;
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.rows, 1, "stack_rows expects row vectors");
+            assert_eq!(r.cols, cols, "stack_rows width mismatch");
+            data.extend_from_slice(&r.data);
+        }
+        Tensor::from_vec(rows.len(), cols, data)
+    }
+
+    /// Copy of one row as a `[1, cols]` tensor.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert!(r < self.rows, "row out of range");
+        Tensor::from_vec(
+            1,
+            self.cols,
+            self.data[r * self.cols..(r + 1) * self.cols].to_vec(),
+        )
+    }
+
     /// C = A * B^T ([n,k] x [m,k]^T -> [n,m]), accumulating into `out`.
     pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         assert_eq!(a.cols, b.cols, "matmul_nt inner dims");
@@ -147,6 +176,26 @@ mod tests {
         Tensor::matmul_tn_into(&a, &b, &mut c);
         // a^T = [[1,2,3],[4,5,6]]
         assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn batched_matmul_rows_bit_identical() {
+        // The property predict_batch relies on: stacking rows and doing one
+        // matmul gives exactly the same bits as one matmul per row.
+        let w = Tensor::from_vec(3, 4, (0..12).map(|i| ((i as f32) * 0.71).sin()).collect());
+        let rows: Vec<Tensor> = (0..5)
+            .map(|r| {
+                Tensor::row_vector((0..3).map(|c| ((r * 3 + c) as f32 * 0.33).cos()).collect())
+            })
+            .collect();
+        let stacked = Tensor::stack_rows(&rows.iter().collect::<Vec<_>>());
+        let batched = Tensor::matmul(&stacked, &w);
+        for (r, row) in rows.iter().enumerate() {
+            let single = Tensor::matmul(row, &w);
+            let got: Vec<u32> = batched.row(r).data.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = single.data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "row {r}");
+        }
     }
 
     #[test]

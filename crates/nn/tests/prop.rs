@@ -110,6 +110,51 @@ proptest! {
         prop_assert_eq!(a.len(), cfg.out_dim);
     }
 
+    /// Batched inference equals the per-sample path bit for bit, for any
+    /// batch size, mix of hop counts, and context ablation flags.
+    #[test]
+    fn predict_batch_matches_sequential_predict(
+        hop_counts in prop::collection::vec(0usize..7, 0..9),
+        fills in prop::collection::vec(-2.0f32..2.0, 1..8),
+        no_ctx_stride in 1usize..4,
+    ) {
+        let cfg = ModelConfig {
+            feat_dim: 12,
+            spec_dim: 4,
+            out_dim: 6,
+            embed: 8,
+            heads: 2,
+            layers: 1,
+            block: 8,
+            ff_hidden: 8,
+            mlp_hidden: 8,
+        };
+        let net = M3Net::new(cfg.clone(), 5);
+        let samples: Vec<SampleInput> = hop_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &hops)| {
+                let fill = fills[i % fills.len()];
+                SampleInput {
+                    fg: (0..cfg.feat_dim).map(|j| fill + j as f32 * 0.01).collect(),
+                    bg: (0..hops)
+                        .map(|h| vec![fill * 0.5 - h as f32 * 0.02; cfg.feat_dim])
+                        .collect(),
+                    spec: vec![fill.abs().min(1.0); cfg.spec_dim],
+                    use_context: i % no_ctx_stride != 0,
+                }
+            })
+            .collect();
+        let batched = net.predict_batch(&samples);
+        prop_assert_eq!(batched.len(), samples.len());
+        for (s, out) in samples.iter().zip(&batched) {
+            let single = net.predict(s);
+            let a: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
     /// Checkpoint roundtrips preserve every prediction bit-exactly.
     #[test]
     fn checkpoint_preserves_predictions(seed in 0u64..50, fill in -1.0f32..1.0) {

@@ -368,7 +368,11 @@ pub fn parsimon_estimate_clustered(
     // Choose representatives.
     let mut rep_of: HashMap<(u64, u64, u64, u64), usize> = HashMap::new();
     let mut members: Vec<(usize, usize)> = Vec::new(); // (channel idx, rep idx)
-    for (ci, (link, cr)) in channels.iter().map(|&((l, f), ref c)| ((l, f), c)).enumerate() {
+    for (ci, (link, cr)) in channels
+        .iter()
+        .map(|&((l, f), ref c)| ((l, f), c))
+        .enumerate()
+    {
         let sig = signature(link.0, cr);
         let rep = *rep_of.entry(sig).or_insert(ci);
         members.push((ci, rep));

@@ -46,9 +46,7 @@ impl ArrivalProcess {
                 let mu = mean_ns.ln() - sigma * sigma / 2.0;
                 LogNormal::new(mu, *sigma).unwrap().sample(rng)
             }
-            ArrivalProcess::Poisson { mean_ns } => {
-                Exp::new(1.0 / mean_ns).unwrap().sample(rng)
-            }
+            ArrivalProcess::Poisson { mean_ns } => Exp::new(1.0 / mean_ns).unwrap().sample(rng),
         };
         (gap.round() as u64).max(1)
     }
@@ -98,7 +96,10 @@ mod tests {
         };
         let cv1 = cv(1.0, &mut rng);
         let cv2 = cv(2.0, &mut rng);
-        assert!(cv2 > 1.5 * cv1, "cv(sigma=2)={cv2} should exceed cv(sigma=1)={cv1}");
+        assert!(
+            cv2 > 1.5 * cv1,
+            "cv(sigma=2)={cv2} should exceed cv(sigma=1)={cv1}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct GeneratedWorkload {
 /// Generate a routed, load-calibrated workload on a fat tree.
 pub fn generate(ft: &FatTree, routing: &Routing, sc: &Scenario) -> GeneratedWorkload {
     assert!(sc.n_flows > 0);
-    assert!(sc.max_load > 0.0 && sc.max_load < 1.0, "max_load must be in (0,1)");
+    assert!(
+        sc.max_load > 0.0 && sc.max_load < 1.0,
+        "max_load must be in (0,1)"
+    );
     let matrix = TrafficMatrix::by_name(&sc.matrix_name, ft.spec.total_racks())
         .unwrap_or_else(|| panic!("unknown traffic matrix {:?}", sc.matrix_name));
     let mut rng = SmallRng::seed_from_u64(sc.seed);
@@ -75,8 +78,13 @@ pub fn generate(ft: &FatTree, routing: &Routing, sc: &Scenario) -> GeneratedWork
     let (hottest, seconds_per_gap) = link_bytes
         .iter()
         .enumerate()
-        .map(|(i, &b)| (i, b as f64 * 8.0 / ft.topo.link(LinkId(i as u32)).bandwidth as f64))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(i, &b)| {
+            (
+                i,
+                b as f64 * 8.0 / ft.topo.link(LinkId(i as u32)).bandwidth as f64,
+            )
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("topology has links");
     // `seconds_per_gap` is the busy time (s) the hottest link needs per
     // workload; spread over n_flows gaps at utilization max_load:
@@ -108,16 +116,13 @@ pub fn offered_load(topo: &Topology, flows: &[FlowSpec]) -> Vec<f64> {
             bytes[l.index()] += f.size;
         }
     }
-    let span = flows
-        .iter()
-        .map(|f| f.arrival)
-        .max()
-        .unwrap_or(1)
-        .max(1) as f64;
+    let span = flows.iter().map(|f| f.arrival).max().unwrap_or(1).max(1) as f64;
     bytes
         .iter()
         .enumerate()
-        .map(|(i, &b)| b as f64 * 8.0 / (topo.link(LinkId(i as u32)).bandwidth as f64 * span / 1e9) / 1e9 * 1e9)
+        .map(|(i, &b)| {
+            b as f64 * 8.0 / (topo.link(LinkId(i as u32)).bandwidth as f64 * span / 1e9) / 1e9 * 1e9
+        })
         .collect()
 }
 
@@ -184,16 +189,18 @@ mod tests {
         sc.n_flows = 20_000;
         let w = generate(&ft, &routing, &sc);
         // Matrix A is cluster-local: most flows stay within a 4-rack cluster.
-        let rack_of = |h: NodeId| -> usize {
-            ft.hosts.iter().position(|r| r.contains(&h)).unwrap()
-        };
+        let rack_of =
+            |h: NodeId| -> usize { ft.hosts.iter().position(|r| r.contains(&h)).unwrap() };
         let local = w
             .flows
             .iter()
             .filter(|f| rack_of(f.src) / 4 == rack_of(f.dst) / 4)
             .count();
         let frac = local as f64 / w.flows.len() as f64;
-        assert!(frac > 0.5, "cluster-local fraction {frac} too low for matrix A");
+        assert!(
+            frac > 0.5,
+            "cluster-local fraction {frac} too low for matrix A"
+        );
     }
 
     #[test]

@@ -30,11 +30,11 @@ pub mod prelude {
     pub use crate::matrix::TrafficMatrix;
     pub use crate::path::{PathScenario, PathScenarioSpec};
     pub use crate::sizes::{CdfTable, SizeDistribution, MIN_FLOW_SIZE};
-    pub use crate::trace::{
-        flows_to_trace, materialize_trace, read_trace, write_trace, TraceError, TraceRecord,
-    };
     pub use crate::spaces::{
         sample_config, sample_config_for, sample_test_point, sample_training_point, TestPoint,
         TrainingPoint,
+    };
+    pub use crate::trace::{
+        flows_to_trace, materialize_trace, read_trace, write_trace, TraceError, TraceRecord,
     };
 }

@@ -134,7 +134,7 @@ impl TrafficMatrix {
     /// 1% of rack pairs. Used to sanity-check that A < C in skew.
     pub fn top_percent_share(&self, percent: f64) -> f64 {
         let mut w = self.weights.clone();
-        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        w.sort_by(|a, b| b.total_cmp(a));
         let total: f64 = w.iter().sum();
         let k = ((w.len() as f64 * percent / 100.0).ceil() as usize).max(1);
         w[..k].iter().sum::<f64>() / total

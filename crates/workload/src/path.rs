@@ -199,16 +199,16 @@ impl PathScenario {
                 let cap = if fg {
                     f64::INFINITY
                 } else {
-                    self.topo.host_nic_bandwidth(f.src).min(self.topo.host_nic_bandwidth(f.dst))
-                        as f64
+                    self.topo
+                        .host_nic_bandwidth(f.src)
+                        .min(self.topo.host_nic_bandwidth(f.dst)) as f64
                 };
                 let ideal_fct = self.topo.ideal_fct(&f.path, f.size, mtu);
                 // Latency = ideal minus bottleneck serialization: folds
                 // propagation and per-hop pipelining into a constant, so an
                 // unloaded fluid flow has slowdown exactly 1 (Appendix A's
                 // end-to-end latency factor).
-                let bottleneck =
-                    (self.topo.bottleneck_bandwidth(&f.path) as f64).min(cap);
+                let bottleneck = (self.topo.bottleneck_bandwidth(&f.path) as f64).min(cap);
                 let ser = (f.size.max(1) as f64 * 8e9 / bottleneck).ceil() as Nanos;
                 FluidFlow {
                     id: f.id,

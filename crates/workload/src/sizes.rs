@@ -29,7 +29,9 @@ impl CdfTable {
     pub fn new(points: Vec<(u64, f64)>) -> Self {
         assert!(points.len() >= 2, "need at least two CDF points");
         assert!(
-            points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+            points
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
             "CDF points must be strictly increasing"
         );
         let last = points.last().unwrap();

@@ -52,7 +52,10 @@ pub struct TrainingPoint {
 
 /// Sample one Table 2 training point. `n_hops` cycles through {2, 4, 6}.
 pub fn sample_training_point<R: Rng + ?Sized>(rng: &mut R, n_hops: usize) -> TrainingPoint {
-    assert!(matches!(n_hops, 2 | 4 | 6), "paper trains on 2/4/6-hop paths");
+    assert!(
+        matches!(n_hops, 2 | 4 | 6),
+        "paper trains on 2/4/6-hop paths"
+    );
     let theta = rng.gen_range(5_000.0..=50_000.0);
     let sizes = match rng.gen_range(0..4) {
         0 => SizeDistribution::Pareto { theta },

@@ -105,7 +105,11 @@ pub fn materialize_trace(
     for (i, r) in records.iter().enumerate() {
         let src = *hosts.get(r.src).ok_or_else(|| TraceError::Invalid {
             line: i + 1,
-            message: format!("src host index {} out of range ({} hosts)", r.src, hosts.len()),
+            message: format!(
+                "src host index {} out of range ({} hosts)",
+                r.src,
+                hosts.len()
+            ),
         })?;
         let dst = *hosts.get(r.dst).ok_or_else(|| TraceError::Invalid {
             line: i + 1,
@@ -189,8 +193,20 @@ mod tests {
         let routing = Routing::new(&ft.topo);
         let hosts = ft.all_hosts();
         let recs = vec![
-            TraceRecord { id: 0, src: 0, dst: 200, size: 1000, arrival: 900 },
-            TraceRecord { id: 1, src: 5, dst: 100, size: 2000, arrival: 100 },
+            TraceRecord {
+                id: 0,
+                src: 0,
+                dst: 200,
+                size: 1000,
+                arrival: 900,
+            },
+            TraceRecord {
+                id: 1,
+                src: 5,
+                dst: 100,
+                size: 2000,
+                arrival: 100,
+            },
         ];
         let flows = materialize_trace(&recs, &ft.topo, &hosts, &routing).unwrap();
         assert_eq!(flows.len(), 2);
@@ -214,7 +230,13 @@ mod tests {
         let ft = FatTree::build(FatTreeSpec::small(2));
         let routing = Routing::new(&ft.topo);
         let hosts = ft.all_hosts();
-        let recs = vec![TraceRecord { id: 0, src: 9999, dst: 1, size: 1, arrival: 0 }];
+        let recs = vec![TraceRecord {
+            id: 0,
+            src: 9999,
+            dst: 1,
+            size: 1,
+            arrival: 0,
+        }];
         assert!(materialize_trace(&recs, &ft.topo, &hosts, &routing).is_err());
     }
 }

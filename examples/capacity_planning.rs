@@ -42,9 +42,7 @@ fn main() {
         let gt_time = t.elapsed();
         let pars = {
             let recs = parsimon_estimate(&ft.topo, &w.flows, &config);
-            NetworkEstimate::aggregate(&[PathDistribution::from_samples(&slowdown_samples(
-                &recs,
-            ))])
+            NetworkEstimate::aggregate(&[PathDistribution::from_samples(&slowdown_samples(&recs))])
         };
         let fsim = flowsim_estimate(&ft.topo, &w.flows, &config, 80, 2);
         println!(

@@ -77,10 +77,10 @@ fn main() {
     );
     let names = ["(0,1KB]", "(1KB,10KB]", "(10KB,50KB]", "(50KB,inf)"];
     println!("\nper-size-bucket p99 slowdown (truth vs m3)");
-    for b in 0..NUM_OUTPUT_BUCKETS {
+    for (b, name) in names.iter().enumerate() {
         println!(
             "  {:12} {:>7.2} {:>7.2}",
-            names[b],
+            name,
             gt.bucket_p99(b),
             estimate.bucket_p99(b)
         );

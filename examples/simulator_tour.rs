@@ -27,7 +27,7 @@ fn build_incast(fan_in: u32, size: Bytes) -> (Topology, Vec<FlowSpec>) {
     (topo, flows)
 }
 
-fn p(sorted: &mut Vec<f64>, q: f64) -> f64 {
+fn p(sorted: &mut [f64], q: f64) -> f64 {
     percentile_unsorted(sorted, q)
 }
 

@@ -44,7 +44,10 @@ fn main() {
 
     let t = std::time::Instant::now();
     let prepared = PreparedWorkload::prepare(&ft.topo, &w.flows, &base, 80, 3);
-    println!("prepared 80 paths once in {:?} (flowSim features are config-independent)", t.elapsed());
+    println!(
+        "prepared 80 paths once in {:?} (flowSim features are config-independent)",
+        t.elapsed()
+    );
 
     // Objective: p99 slowdown of the smallest flow class (0, 1KB].
     let t = std::time::Instant::now();

@@ -132,8 +132,12 @@ fn materialize(spec: &Spec) -> Materialized {
         TopoSpec::FatTreeLarge => FatTree::build(FatTreeSpec::large()),
     };
     let routing = Routing::new(&ft.topo);
-    let sizes = SizeDistribution::by_name(&spec.workload.sizes)
-        .unwrap_or_else(|| die(&format!("unknown size distribution {:?}", spec.workload.sizes)));
+    let sizes = SizeDistribution::by_name(&spec.workload.sizes).unwrap_or_else(|| {
+        die(&format!(
+            "unknown size distribution {:?}",
+            spec.workload.sizes
+        ))
+    });
     let w = generate(
         &ft,
         &routing,
@@ -260,14 +264,26 @@ fn run_sweep(spec: &Spec, knob_name: &str, values: &str) {
     let result = sweep_knob(&estimator, &prepared, &m.config, knob, &candidates, |e| {
         e.p99()
     });
-    println!("swept {} candidates in {:?}:", candidates.len(), t.elapsed());
+    println!(
+        "swept {} candidates in {:?}:",
+        candidates.len(),
+        t.elapsed()
+    );
     for p in &result.points {
         println!(
             "  {knob_name} = {:>12.1}: overall p99 {:>7.2}, buckets [{:.2}, {:.2}, {:.2}, {:.2}]",
-            p.value, p.overall_p99, p.bucket_p99[0], p.bucket_p99[1], p.bucket_p99[2], p.bucket_p99[3]
+            p.value,
+            p.overall_p99,
+            p.bucket_p99[0],
+            p.bucket_p99[1],
+            p.bucket_p99[2],
+            p.bucket_p99[3]
         );
     }
-    println!("best: {knob_name} = {:.1} (p99 {:.2})", result.best.value, result.best.overall_p99);
+    println!(
+        "best: {knob_name} = {:.1} (p99 {:.2})",
+        result.best.value, result.best.overall_p99
+    );
 }
 
 fn main() {
@@ -277,9 +293,11 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&example_spec()).unwrap());
         }
         Some("estimate") => {
-            let path = args.get(2).unwrap_or_else(|| die("usage: m3 estimate <spec.json>"));
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+            let path = args
+                .get(2)
+                .unwrap_or_else(|| die("usage: m3 estimate <spec.json>"));
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
             let spec: Spec =
                 serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
             run_estimate(&spec);

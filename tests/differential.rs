@@ -156,7 +156,7 @@ fn parsimon_matches_truth_on_isolated_bottleneck() {
 fn ecn_keeps_queues_below_timely_queues() {
     // DCTCP (ECN at K=12KB) should hold a shorter p99 small-flow tail than
     // TIMELY's high T_high threshold under the same moderate incast.
-    let mut build = || {
+    let build = || {
         let mut topo = Topology::new();
         let s = topo.add_switch();
         let dst = topo.add_host();
@@ -182,7 +182,7 @@ fn ecn_keeps_queues_below_timely_queues() {
                 id: 8 + i,
                 src: h,
                 dst,
-                size: 1 * KB,
+                size: KB,
                 arrival: 100 * USEC + i as u64 * 20 * USEC,
                 path: vec![l, dst_l],
             });

@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`: a tiny wall-clock benchmark harness
+//! with the `criterion_group!`/`criterion_main!` macros, benchmark groups,
+//! and `Bencher::iter`. Reports mean / min / max per benchmark to stdout.
+//!
+//! Timing method: one warmup call, then enough iterations to fill a small
+//! time budget (at least 3, at most 1000). No statistics beyond min / mean /
+//! max — the workspace's own BENCH_*.json writers consume the same numbers
+//! through [`Criterion::last_mean_ns`].
+
+use std::time::{Duration, Instant};
+
+/// Per-process name filter from `cargo bench -- <filter>` style args.
+fn cli_filter() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && !a.is_empty())
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+    last_mean_ns: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: cli_filter(),
+            last_mean_ns: f64::NAN,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let owned = name.to_string();
+        self.run_one(&owned, 20, f);
+        self
+    }
+
+    /// Mean time of the most recently run benchmark, in nanoseconds.
+    pub fn last_mean_ns(&self) -> f64 {
+        self.last_mean_ns
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        if b.samples_ns.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples_ns.iter().cloned().fold(0.0, f64::max);
+        let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+        self.last_mean_ns = mean;
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.parent.run_one(&name, self.sample_size, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.parent
+            .run_one(&name, self.sample_size, |b| f(b, input));
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup (also primes caches / lazy statics).
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let warm = warm_start.elapsed();
+
+        // Pick an iteration count that fits a ~1s budget given the warmup
+        // estimate, clamped to [3, 10 * sample_size].
+        let budget = Duration::from_millis(1000);
+        let per_iter = warm.max(Duration::from_nanos(20));
+        let iters = (budget.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(3, 10 * self.sample_size as u128) as usize;
+
+        self.samples_ns.clear();
+        for _ in 0..iters {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            filter: None,
+            last_mean_ns: f64::NAN,
+        };
+        c.bench_function("smoke", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert!(c.last_mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: None,
+            last_mean_ns: f64::NAN,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,41 @@
+//! Sequence utilities: the `SliceRandom::shuffle` subset.
+
+use crate::Rng;
+
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle, identical to upstream's algorithm.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..64).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut SmallRng::seed_from_u64(5));
+        b.shuffle(&mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+        assert_ne!(a, sorted, "seed 5 should not produce identity");
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `rand_distr`: the `Exp`, `Normal`, `LogNormal` and
+//! `Pareto` distributions this workspace samples, all via inverse-transform
+//! or Box–Muller so the output depends only on the rng's uniform stream.
+
+use rand::{Rng, RngCore, StandardSample};
+
+/// Parameter error returned by every constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn uniform_open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // In (0, 1]: safe for ln().
+    1.0 - <f64 as StandardSample>::sample_standard(rng)
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp: lambda must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -uniform_open01(rng).ln() / self.lambda
+    }
+}
+
+/// Normal distribution (Box–Muller; one variate per sample keeps the
+/// consumed uniform count fixed, which keeps seeded streams reproducible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev >= 0.0 && mean.is_finite() && std_dev.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error("Normal: std_dev must be finite and >= 0"))
+        }
+    }
+
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1 = uniform_open01(rng);
+        let u2: f64 = StandardSample::sample_standard(rng);
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Normal::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma).map_err(|_| Error("LogNormal: invalid sigma"))?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Pareto distribution with minimum `scale` and tail index `shape`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale > 0.0 && shape > 0.0 && scale.is_finite() && shape.is_finite() {
+            Ok(Pareto { scale, shape })
+        } else {
+            Err(Error("Pareto: scale and shape must be finite and > 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale / uniform_open01(rng).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &impl Distribution<f64>, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(7);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let m = mean_of(&Exp::new(0.5).unwrap(), 200_000);
+        assert!((m - 2.0).abs() < 0.05, "exp mean {m}");
+    }
+
+    #[test]
+    fn normal_mean_close() {
+        let m = mean_of(&Normal::new(3.0, 2.0).unwrap(), 200_000);
+        assert!((m - 3.0).abs() < 0.05, "normal mean {m}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut xs: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!(
+            (median - 1f64.exp()).abs() < 0.1,
+            "lognormal median {median}"
+        );
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(5.0, 1.8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+    }
+}

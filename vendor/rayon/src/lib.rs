@@ -1,0 +1,174 @@
+//! Offline stand-in for `rayon`, implementing the `par_iter()` subset this
+//! workspace uses on top of `std::thread::scope`.
+//!
+//! Design notes:
+//!
+//! * `map` is eager: it splits the items into contiguous chunks (one per
+//!   available core), runs the closure on scoped threads, and re-joins the
+//!   chunk outputs *in index order*. Results are therefore always ordered,
+//!   like upstream's indexed parallel iterators.
+//! * `reduce`, `sum` and `collect` run on the already-computed items in
+//!   index order. Unlike upstream — whose `reduce` combines partial results
+//!   in a nondeterministic tree shape — every fold here is a fixed
+//!   left-to-right fold, so floating-point accumulation is bit-for-bit
+//!   reproducible across runs and thread counts.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter};
+}
+
+/// An "already materialized" parallel iterator over items of type `I`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// Entry point: `.par_iter()` on anything iterable by shared reference
+/// (slices, `Vec`, `BTreeSet`, ...). Yields `&T` items like upstream.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized + Sync + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send + 'data,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<I: Send> ParIter<I> {
+    /// Parallel map; output order matches input order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Index-ordered collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Deterministic left-to-right sum.
+    pub fn sum<S: std::iter::Sum<I>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Deterministic left-to-right reduce (identity first).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I
+    where
+        ID: Fn() -> I,
+        OP: Fn(I, I) -> I,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if n <= 1 || workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let f = &f;
+    let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::{BTreeSet, HashMap};
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential_bitwise() {
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64).sin() * 1e-3).collect();
+        let par: f64 = v.par_iter().map(|&x| x * x).sum();
+        let seq: f64 = v.iter().map(|&x| x * x).sum();
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn collect_into_hashmap_from_btreeset() {
+        let s: BTreeSet<usize> = (0..100).collect();
+        let m: HashMap<usize, usize> = s.par_iter().map(|&k| (k, k * k)).collect();
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&7], 49);
+    }
+
+    #[test]
+    fn reduce_is_left_fold() {
+        let v: Vec<Vec<u32>> = vec![vec![1], vec![2], vec![3]];
+        let out = v
+            .par_iter()
+            .map(|c| c.clone())
+            .reduce(Vec::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = vec![];
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Offline stand-in for `serde`, built around an in-memory JSON value tree.
+//!
+//! Upstream serde abstracts over data formats with visitor-based
+//! `Serializer`/`Deserializer` traits; this workspace only ever serializes
+//! to and from JSON (via the vendored `serde_json`), so the shim collapses
+//! the whole stack to two object-safe-free traits:
+//!
+//! * [`Serialize`] — convert `&self` into a [`Value`] tree;
+//! * [`Deserialize`] — rebuild `Self` from a [`Value`] tree.
+//!
+//! The `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! vendored `serde_derive`) generate impls that follow upstream's JSON data
+//! model: structs as objects, unit enum variants as strings, struct/newtype
+//! variants as single-key objects, `#[serde(tag = "...")]` as internal
+//! tagging, plus the `default`, `default = "path"` and
+//! `rename_all = "snake_case"` attributes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Map, Number, Value};
+
+/// Deserialization error: a message plus an optional field/path context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefix the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError {
+            msg: format!("{field}: {}", self.msg),
+        }
+    }
+}
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Hook for absent object fields. `Option<T>` overrides this to yield
+    /// `None`, mirroring upstream's implicit-optional behavior; everything
+    /// else reports a missing field.
+    fn missing_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{name}`")))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty => $var:ident),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(clippy::unnecessary_cast)]
+                Value::Number(Number::$var(*self as _))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => n.to_int::<$t>(),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(
+    u8 => U, u16 => U, u32 => U, u64 => U, usize => U,
+    i8 => I, i16 => I, i32 => I, i64 => I, isize => I
+);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::new(format!(
+                        concat!("expected ", stringify!($t), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!("expected char, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            Value::Array(items) => Err(DeError::new(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            ))),
+            other => Err(DeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $( + { let _ = $n; 1 } )+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::new(format!(
+                        "expected tuple of length {}, got {}", LEN, items.len()
+                    ))),
+                    other => Err(DeError::new(format!(
+                        "expected array, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Some(3u32).to_value(), Value::Number(Number::U(3)));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            <Option<u32> as Deserialize>::missing_field("x").unwrap(),
+            None
+        );
+        assert!(<u32 as Deserialize>::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        // A JSON integer must deserialize into f64 fields and vice versa
+        // when the float is integral.
+        assert_eq!(f64::from_value(&Value::Number(Number::U(7))).unwrap(), 7.0);
+        assert_eq!(u64::from_value(&Value::Number(Number::F(7.0))).unwrap(), 7);
+        assert!(u64::from_value(&Value::Number(Number::F(7.5))).is_err());
+        assert!(u64::from_value(&Value::Number(Number::I(-3))).is_err());
+        assert_eq!(i64::from_value(&Value::Number(Number::I(-3))).unwrap(), -3);
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let v = vec![1u64, 2, 3].to_value();
+        assert_eq!(Vec::<u64>::from_value(&v).unwrap(), vec![1, 2, 3]);
+        let t = ("x".to_string(), 4usize, 5usize).to_value();
+        let back: (String, usize, usize) = Deserialize::from_value(&t).unwrap();
+        assert_eq!(back, ("x".to_string(), 4, 5));
+        let arr = [1usize, 2, 3, 4].to_value();
+        let back: [usize; 4] = Deserialize::from_value(&arr).unwrap();
+        assert_eq!(back, [1, 2, 3, 4]);
+    }
+}

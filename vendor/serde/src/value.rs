@@ -1,0 +1,150 @@
+//! The JSON value tree shared by `serde` and `serde_json`.
+
+use crate::DeError;
+
+/// A JSON value. `Number` keeps unsigned, signed and floating values
+/// distinct so `u64` seeds survive round-trips without precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(x) => x as f64,
+            Number::I(x) => x as f64,
+            Number::F(x) => x,
+        }
+    }
+
+    /// Lossless conversion into any primitive integer: floats are accepted
+    /// only when integral, signedness mismatches are rejected.
+    pub fn to_int<T: TryFrom<i128>>(&self) -> Result<T, DeError> {
+        let wide: i128 = match *self {
+            Number::U(x) => x as i128,
+            Number::I(x) => x as i128,
+            Number::F(x) => {
+                if x.fract() != 0.0 || !x.is_finite() || x.abs() >= 2f64.powi(63) {
+                    return Err(DeError::new(format!("expected integer, got float {x}")));
+                }
+                x as i128
+            }
+        };
+        T::try_from(wide).map_err(|_| DeError::new(format!("integer {wide} out of range")))
+    }
+}
+
+/// Insertion-ordered string-keyed map (JSON object).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert, replacing any existing entry with the same key in place.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// First entry, for single-key externally-tagged enum objects.
+    pub fn first(&self) -> Option<(&str, &Value)> {
+        self.entries.first().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        m.insert("a", Value::Null);
+        m.insert("a", Value::Bool(true));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        for k in ["z", "a", "m"] {
+            m.insert(k, Value::Null);
+        }
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn number_to_int_bounds() {
+        assert_eq!(Number::U(u64::MAX).to_int::<u64>().unwrap(), u64::MAX);
+        assert!(Number::U(u64::MAX).to_int::<i64>().is_err());
+        assert!(Number::F(1.5).to_int::<u8>().is_err());
+        assert_eq!(Number::F(-2.0).to_int::<i32>().unwrap(), -2);
+    }
+}

@@ -1,0 +1,522 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the
+//! build is hermetic), covering the shapes this workspace uses:
+//!
+//! * structs with named fields, newtype (single-field tuple) structs;
+//! * enums with unit, newtype and struct variants, externally tagged by
+//!   default, internally tagged with `#[serde(tag = "...")]`;
+//! * attributes `#[serde(default)]`, `#[serde(default = "path")]` on
+//!   fields and `#[serde(tag = "...", rename_all = "snake_case")]` on
+//!   containers.
+//!
+//! Generated impls target the value-tree traits in the vendored `serde`
+//! (`to_value` / `from_value`), and the JSON layout matches upstream
+//! serde_json conventions so hand-written spec files keep working.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    ident: String,
+    key: String,
+    default: DefaultAttr,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    shape: Shape,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+fn strip_raw(ident: &str) -> String {
+    ident.strip_prefix("r#").unwrap_or(ident).to_string()
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parsed `#[serde(...)]` attribute items: (name, optional string value).
+fn serde_attr_items(tokens: &[TokenTree]) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if i + 2 < tokens.len() {
+                    if let (TokenTree::Punct(p), TokenTree::Literal(l)) =
+                        (&tokens[i + 1], &tokens[i + 2])
+                    {
+                        if p.as_char() == '=' {
+                            out.push((name, Some(unquote(&l.to_string()))));
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                out.push((name, None));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Consume leading attributes at `*i`, returning serde attr items.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, Option<String>)> {
+    let mut items = Vec::new();
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                            items.extend(serde_attr_items(&args));
+                        }
+                    }
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    items
+}
+
+/// Skip visibility (`pub`, `pub(crate)`, ...) at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type at `*i`, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let ident = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        i += 1; // ','
+        let mut default = DefaultAttr::None;
+        for (name, val) in attrs {
+            if name == "default" {
+                default = match val {
+                    Some(path) => DefaultAttr::Path(path),
+                    None => DefaultAttr::Std,
+                };
+            }
+        }
+        fields.push(Field {
+            key: strip_raw(&ident),
+            ident,
+            default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _attrs = take_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ident = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { ident, shape });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&tokens, &mut i);
+    let mut tag = None;
+    let mut rename_all_snake = false;
+    for (name, val) in &attrs {
+        match name.as_str() {
+            "tag" => tag = val.clone(),
+            "rename_all" => rename_all_snake = val.as_deref() == Some("snake_case"),
+            _ => {}
+        }
+    }
+    skip_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    // Generic parameters are not supported (nothing in the workspace
+    // derives serde on a generic type); skip to the body group.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() != Delimiter::Bracket => break g.clone(),
+            Some(_) => i += 1,
+            None => panic!("serde derive: missing body for `{name}`"),
+        }
+    };
+    let shape = match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::NamedStruct(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::NewtypeStruct,
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())),
+        (kw, _) => panic!("serde derive: unsupported item kind `{kw}` for `{name}`"),
+    };
+    Container {
+        name,
+        shape,
+        tag,
+        rename_all_snake,
+    }
+}
+
+impl Container {
+    fn variant_key(&self, ident: &str) -> String {
+        if self.rename_all_snake {
+            snake_case(ident)
+        } else {
+            ident.to_string()
+        }
+    }
+}
+
+fn gen_struct_fields_ser(fields: &[Field], map: &str, access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "{map}.insert(\"{key}\", ::serde::Serialize::to_value({access}{ident}));\n",
+            key = f.key,
+            ident = f.ident,
+        ));
+    }
+    out
+}
+
+fn gen_struct_fields_de(fields: &[Field], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = match &f.default {
+            DefaultAttr::None => {
+                format!("::serde::Deserialize::missing_field(\"{}\")?", f.key)
+            }
+            DefaultAttr::Std => "::core::default::Default::default()".to_string(),
+            DefaultAttr::Path(path) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{ident}: match {obj}.get(\"{key}\") {{\n\
+             ::core::option::Option::Some(__fv) => \
+             ::serde::Deserialize::from_value(__fv).map_err(|e| e.in_field(\"{key}\"))?,\n\
+             ::core::option::Option::None => {missing},\n\
+             }},\n",
+            ident = f.ident,
+            key = f.key,
+        ));
+    }
+    out
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::NamedStruct(fields) => {
+            format!(
+                "let mut __m = ::serde::Map::new();\n{}::serde::Value::Object(__m)",
+                gen_struct_fields_ser(fields, "__m", "&self.")
+            )
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = c.variant_key(&v.ident);
+                let arm = match (&v.shape, &c.tag) {
+                    (VariantShape::Unit, None) => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{key}\".to_string()),\n",
+                        v = v.ident
+                    ),
+                    (VariantShape::Unit, Some(tag)) => format!(
+                        "{name}::{v} => {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(\"{tag}\", ::serde::Value::String(\"{key}\".to_string()));\n\
+                         ::serde::Value::Object(__m)\n}}\n",
+                        v = v.ident
+                    ),
+                    (VariantShape::Newtype, None) => format!(
+                        "{name}::{v}(__x) => {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(\"{key}\", ::serde::Serialize::to_value(__x));\n\
+                         ::serde::Value::Object(__m)\n}}\n",
+                        v = v.ident
+                    ),
+                    (VariantShape::Newtype, Some(_)) => panic!(
+                        "serde derive: newtype variant `{}` not supported with tag",
+                        v.ident
+                    ),
+                    (VariantShape::Struct(fields), None) => {
+                        let pats: Vec<&str> = fields.iter().map(|f| f.ident.as_str()).collect();
+                        format!(
+                            "{name}::{v} {{ {pats} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n{sets}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{key}\", ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.ident,
+                            pats = pats.join(", "),
+                            sets = gen_struct_fields_ser(fields, "__inner", ""),
+                        )
+                    }
+                    (VariantShape::Struct(fields), Some(tag)) => {
+                        let pats: Vec<&str> = fields.iter().map(|f| f.ident.as_str()).collect();
+                        format!(
+                            "{name}::{v} {{ {pats} }} => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{tag}\", ::serde::Value::String(\"{key}\".to_string()));\n{sets}\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.ident,
+                            pats = pats.join(", "),
+                            sets = gen_struct_fields_ser(fields, "__m", ""),
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::NamedStruct(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::DeError::new(\"expected object for `{name}`\"))?;\n\
+             ::core::result::Result::Ok({name} {{\n{fields}}})",
+            fields = gen_struct_fields_de(fields, "__obj"),
+        ),
+        Shape::NewtypeStruct => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Enum(variants) => match &c.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let key = c.variant_key(&v.ident);
+                    let arm = match &v.shape {
+                        VariantShape::Unit => format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.ident
+                        ),
+                        VariantShape::Struct(fields) => format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v} {{\n{fields}}}),\n",
+                            v = v.ident,
+                            fields = gen_struct_fields_de(fields, "__obj"),
+                        ),
+                        VariantShape::Newtype => panic!(
+                            "serde derive: newtype variant `{}` not supported with tag",
+                            v.ident
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected object for `{name}`\"))?;\n\
+                     let __tag = __obj.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| \
+                     ::serde::DeError::new(\"missing tag `{tag}` for `{name}`\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::core::result::Result::Err(::serde::DeError::new(\
+                     format!(\"unknown `{name}` variant `{{__other}}`\"))),\n}}"
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut obj_arms = String::new();
+                for v in variants {
+                    let key = c.variant_key(&v.ident);
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                            v = v.ident
+                        )),
+                        VariantShape::Newtype => obj_arms.push_str(&format!(
+                            "\"{key}\" => ::core::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n",
+                            v = v.ident
+                        )),
+                        VariantShape::Struct(fields) => obj_arms.push_str(&format!(
+                            "\"{key}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected object for `{name}::{v}`\"))?;\n\
+                             ::core::result::Result::Ok({name}::{v} {{\n{fields}}})\n}}\n",
+                            v = v.ident,
+                            fields = gen_struct_fields_de(fields, "__obj"),
+                        )),
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::core::result::Result::Err(::serde::DeError::new(\
+                     format!(\"unknown `{name}` variant `{{__other}}`\"))),\n}},\n\
+                     ::serde::Value::Object(__m) => {{\n\
+                     let (__k, __inner) = __m.first().ok_or_else(|| \
+                     ::serde::DeError::new(\"empty object for `{name}`\"))?;\n\
+                     match __k {{\n{obj_arms}\
+                     __other => ::core::result::Result::Err(::serde::DeError::new(\
+                     format!(\"unknown `{name}` variant `{{__other}}`\"))),\n}}\n}}\n\
+                     __other => ::core::result::Result::Err(::serde::DeError::new(\
+                     format!(\"expected string or object for `{name}`, got {{}}\", __other.kind()))),\n}}"
+                )
+            }
+        },
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
