@@ -6,6 +6,7 @@
 //! the per-bucket distributions are then combined into one network-wide
 //! distribution with weights proportional to bucket flow counts.
 
+use crate::error::{FaultKind, Stage};
 use crate::features::{output_bucket, OUTPUT_BUCKETS};
 use m3_netsim::stats::{percentile, NUM_PERCENTILES};
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,79 @@ impl PathDistribution {
             .collect();
         PathDistribution { buckets, counts }
     }
+
+    /// Integrity check for distributions coming out of storage (the
+    /// scenario cache today, disk tomorrow): the bucket/count structure
+    /// must be consistent and every value finite. All legitimately
+    /// constructed distributions pass; a corrupted one is evicted and
+    /// recomputed rather than aggregated into an estimate.
+    pub fn is_sane(&self) -> bool {
+        if self.buckets.len() != NUM_OUTPUT_BUCKETS {
+            return false;
+        }
+        for b in 0..NUM_OUTPUT_BUCKETS {
+            let row = &self.buckets[b];
+            if (self.counts[b] == 0) != row.is_empty() {
+                return false;
+            }
+            if !row.iter().all(|v| v.is_finite()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One recorded fault absorbed (or observed) while producing an estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationEvent {
+    /// Pipeline stage where the fault surfaced.
+    pub stage: Stage,
+    /// Classification of the fault.
+    pub fault: FaultKind,
+    /// Index of the affected path sample (slot in the k sampled paths);
+    /// `usize::MAX` for faults not tied to one sample.
+    pub scenario: usize,
+    /// Path samples whose result was affected by this event (0 when the
+    /// fault was fully repaired, e.g. an evicted-and-recomputed cache
+    /// entry).
+    pub samples_affected: usize,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+/// Account of everything that went wrong (and was absorbed) during an
+/// estimate. A clean run has `total_samples` set and everything else zero
+/// or empty, and compares equal to `DegradationReport::default()` except
+/// for `total_samples` — use [`is_clean`](Self::is_clean) to test.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Path samples the estimate was asked to cover.
+    pub total_samples: usize,
+    /// Samples that fell back to the uncorrected flowSim distribution
+    /// (forward-stage faults: the flowSim result was usable).
+    pub degraded_samples: usize,
+    /// Samples dropped entirely (flowSim-stage faults: no distribution
+    /// exists to fall back on).
+    pub dropped_samples: usize,
+    /// Individual fault events, in ascending scenario order.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// True iff no sample was degraded or dropped and no fault observed.
+    pub fn is_clean(&self) -> bool {
+        self.degraded_samples == 0 && self.dropped_samples == 0 && self.events.is_empty()
+    }
+
+    /// Fraction of samples that did not get the full m3 treatment
+    /// (degraded or dropped). 0.0 when there are no samples.
+    pub fn degraded_frac(&self) -> f64 {
+        if self.total_samples == 0 {
+            return 0.0;
+        }
+        (self.degraded_samples + self.dropped_samples) as f64 / self.total_samples as f64
+    }
 }
 
 /// Per-stage wall-clock seconds and work counters of the `estimate` call
@@ -118,6 +192,10 @@ pub struct NetworkEstimate {
     /// samples and counts match, regardless of timings.
     #[serde(default)]
     pub timings: StageTimings,
+    /// Faults absorbed while producing this estimate (empty for clean
+    /// runs and for estimators that never degrade, e.g. ground truth).
+    #[serde(default)]
+    pub degradation: DegradationReport,
 }
 
 impl NetworkEstimate {
@@ -139,6 +217,7 @@ impl NetworkEstimate {
             bucket_samples,
             bucket_counts,
             timings: StageTimings::default(),
+            degradation: DegradationReport::default(),
         }
     }
 

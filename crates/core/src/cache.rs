@@ -17,27 +17,28 @@ use crate::pathsim::PathScenarioData;
 use std::collections::HashMap;
 
 /// FNV-1a 64-bit: tiny, dependency-free, stable across platforms and runs
-/// (unlike `DefaultHasher`, which is randomly keyed per process).
-struct Fnv(u64);
+/// (unlike `DefaultHasher`, which is randomly keyed per process). Also used
+/// by [`crate::faultinject`] for deterministic per-slot fault decisions.
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
-    fn write_u8(&mut self, b: u8) {
+    pub(crate) fn write_u8(&mut self, b: u8) {
         self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
-    fn write_u32(&mut self, v: u32) {
+    pub(crate) fn write_u32(&mut self, v: u32) {
         for b in v.to_le_bytes() {
             self.write_u8(b);
         }
     }
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.write_u8(b);
         }
     }
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -179,6 +180,12 @@ impl ScenarioCache {
         self.hits as f64 / (self.hits + self.misses) as f64
     }
 
+    /// Evict a specific entry, e.g. one that failed an integrity check.
+    /// Returns true if the entry was present.
+    pub fn remove(&mut self, scenario: u64, model: u64) -> bool {
+        self.map.remove(&(scenario, model)).is_some()
+    }
+
     pub fn clear(&mut self) {
         self.map.clear();
     }
@@ -235,6 +242,39 @@ mod tests {
         c.insert(1, 0, dist(9.0));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(1, 0).unwrap().buckets[0], vec![9.0]);
+    }
+
+    #[test]
+    fn remove_evicts_only_the_named_entry() {
+        let mut c = ScenarioCache::new(8);
+        c.insert(1, 0, dist(1.0));
+        c.insert(2, 0, dist(2.0));
+        assert!(c.remove(1, 0));
+        assert!(!c.remove(1, 0), "second removal is a no-op");
+        assert!(c.get(1, 0).is_none());
+        assert!(c.get(2, 0).is_some(), "other entries untouched");
+    }
+
+    #[test]
+    fn poisoned_entry_fails_sanity_and_can_be_evicted() {
+        // A corrupt distribution (NaN percentile) must be detectable via
+        // is_sane() so the estimator can evict and recompute it.
+        let mut c = ScenarioCache::new(8);
+        let mut bad = dist(1.0);
+        bad.buckets[0][0] = f64::NAN;
+        assert!(!bad.is_sane());
+        c.insert(5, 9, bad);
+        let fetched = c.get(5, 9).expect("poisoned entry is stored verbatim");
+        assert!(!fetched.is_sane());
+        assert!(c.remove(5, 9));
+        assert!(c.get(5, 9).is_none(), "evicted, forcing recomputation");
+
+        // Inconsistent count/bucket pairing is also insane.
+        let mut skew = dist(1.0);
+        skew.counts[0] = 0; // bucket 0 still has a sample
+        assert!(!skew.is_sane());
+        // A legitimate distribution is sane.
+        assert!(dist(3.0).is_sane());
     }
 
     #[test]

@@ -111,7 +111,12 @@ impl PathIndex {
                 Some(*acc)
             })
             .collect();
-        let total = *cumulative.last().expect("no populated paths");
+        // No populated paths (or gen_range would reject an empty range):
+        // return no samples and let the caller report the empty workload.
+        let total = cumulative.last().copied().unwrap_or(0);
+        if total == 0 {
+            return Vec::new();
+        }
         (0..k)
             .map(|_| {
                 let u = rng.gen_range(0..total);

@@ -1,0 +1,193 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] is a seeded, pure function from (fault kind, slot index)
+//! to "inject here?". The pipeline consults it at each stage boundary when
+//! one is supplied via
+//! [`EstimateOptions`](crate::pipeline::EstimateOptions), forcing the
+//! exact failure modes the fault-tolerance layer must absorb: flowSim NaN
+//! inputs, budget exhaustion, stage panics, poisoned forward-pass outputs,
+//! and corrupted checkpoint bytes. Because decisions are hash-derived from
+//! the seed, a failing scenario replays bit-identically.
+//!
+//! This module is compiled into the library (not `#[cfg(test)]`) so that
+//! integration suites and bench binaries can drive it, but no fault is ever
+//! injected unless a plan is explicitly passed in: the fault-free path has
+//! zero overhead beyond an `Option` check.
+
+use crate::cache::Fnv;
+use serde::{Deserialize, Serialize};
+
+/// The failure modes the injector can force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectedFault {
+    /// Poison one flowSim input (NaN rate cap) so the fluid engine rejects
+    /// it as a typed `InvalidInput` error.
+    FlowsimNan,
+    /// Run the slot's flowSim under a one-event budget so it trips
+    /// `EventBudgetExceeded`.
+    FlowsimBudget,
+    /// Panic inside the slot's flowSim stage (exercises panic isolation).
+    FlowsimPanic,
+    /// Overwrite one forward-pass output row with NaN (exercises the
+    /// non-finite output check and per-sample fallback).
+    ForwardPoison,
+    /// Flip bytes in a serialized checkpoint (exercises load validation).
+    CheckpointCorrupt,
+}
+
+impl InjectedFault {
+    fn tag(self) -> u8 {
+        match self {
+            InjectedFault::FlowsimNan => 1,
+            InjectedFault::FlowsimBudget => 2,
+            InjectedFault::FlowsimPanic => 3,
+            InjectedFault::ForwardPoison => 4,
+            InjectedFault::CheckpointCorrupt => 5,
+        }
+    }
+
+    pub const ALL: [InjectedFault; 5] = [
+        InjectedFault::FlowsimNan,
+        InjectedFault::FlowsimBudget,
+        InjectedFault::FlowsimPanic,
+        InjectedFault::ForwardPoison,
+        InjectedFault::CheckpointCorrupt,
+    ];
+}
+
+/// A seeded set of injection rules: for each fault kind, the fraction of
+/// slots it fires on. Decisions are deterministic in (seed, kind, slot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(InjectedFault, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a rule: inject `kind` on roughly `frac` of slots (clamped to
+    /// [0, 1]; 1.0 means every slot, 0.0 means none). Later rules for the
+    /// same kind replace earlier ones.
+    pub fn with(mut self, kind: InjectedFault, frac: f64) -> Self {
+        let frac = frac.clamp(0.0, 1.0);
+        self.rules.retain(|(k, _)| *k != kind);
+        self.rules.push((kind, frac));
+        self
+    }
+
+    /// Does this plan inject `kind` at `slot`? Pure and deterministic:
+    /// the same (seed, kind, slot) always answers the same.
+    pub fn hits(&self, kind: InjectedFault, slot: usize) -> bool {
+        let frac = match self.rules.iter().find(|(k, _)| *k == kind) {
+            Some(&(_, f)) => f,
+            None => return false,
+        };
+        if frac <= 0.0 {
+            return false;
+        }
+        let mut h = Fnv::new();
+        h.write_u64(self.seed);
+        h.write_u8(kind.tag());
+        h.write_u64(slot as u64);
+        // Compare in u128 so frac = 1.0 (threshold u64::MAX) always hits.
+        (h.finish() as u128) <= (frac * u64::MAX as f64) as u128
+    }
+
+    /// Slots in `0..n` the plan injects `kind` at.
+    pub fn slots_hit(&self, kind: InjectedFault, n: usize) -> Vec<usize> {
+        (0..n).filter(|&s| self.hits(kind, s)).collect()
+    }
+
+    /// Deterministically corrupt a byte buffer in place (for checkpoint
+    /// corruption tests): flips one bit in each of `n_sites` positions
+    /// derived from the seed, skipping the first `preserve` bytes so tests
+    /// can target the payload rather than the magic/version prefix.
+    pub fn corrupt_bytes(&self, bytes: &mut [u8], preserve: usize, n_sites: usize) {
+        if bytes.len() <= preserve {
+            return;
+        }
+        let span = bytes.len() - preserve;
+        for site in 0..n_sites {
+            let mut h = Fnv::new();
+            h.write_u64(self.seed);
+            h.write_u8(InjectedFault::CheckpointCorrupt.tag());
+            h.write_u64(site as u64);
+            let pos = preserve + (h.finish() as usize % span);
+            let bit = (h.finish() >> 61) as u32 % 8;
+            bytes[pos] ^= 1 << bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_hits() {
+        let p = FaultPlan::new(7);
+        for k in InjectedFault::ALL {
+            assert!(p.slots_hit(k, 100).is_empty());
+        }
+    }
+
+    #[test]
+    fn frac_one_hits_everywhere_and_zero_nowhere() {
+        let p = FaultPlan::new(7)
+            .with(InjectedFault::FlowsimNan, 1.0)
+            .with(InjectedFault::ForwardPoison, 0.0);
+        assert_eq!(p.slots_hit(InjectedFault::FlowsimNan, 50).len(), 50);
+        assert!(p.slots_hit(InjectedFault::ForwardPoison, 50).is_empty());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(1).with(InjectedFault::FlowsimPanic, 0.5);
+        let b = FaultPlan::new(1).with(InjectedFault::FlowsimPanic, 0.5);
+        let c = FaultPlan::new(2).with(InjectedFault::FlowsimPanic, 0.5);
+        let hits_a = a.slots_hit(InjectedFault::FlowsimPanic, 200);
+        assert_eq!(hits_a, b.slots_hit(InjectedFault::FlowsimPanic, 200));
+        assert_ne!(hits_a, c.slots_hit(InjectedFault::FlowsimPanic, 200));
+        // ~50% of 200 slots, loosely.
+        assert!(hits_a.len() > 60 && hits_a.len() < 140, "{}", hits_a.len());
+    }
+
+    #[test]
+    fn kinds_are_independent_streams() {
+        let p = FaultPlan::new(3)
+            .with(InjectedFault::FlowsimNan, 0.5)
+            .with(InjectedFault::FlowsimBudget, 0.5);
+        assert_ne!(
+            p.slots_hit(InjectedFault::FlowsimNan, 200),
+            p.slots_hit(InjectedFault::FlowsimBudget, 200)
+        );
+    }
+
+    #[test]
+    fn with_replaces_existing_rule() {
+        let p = FaultPlan::new(3)
+            .with(InjectedFault::FlowsimNan, 1.0)
+            .with(InjectedFault::FlowsimNan, 0.0);
+        assert!(p.slots_hit(InjectedFault::FlowsimNan, 20).is_empty());
+    }
+
+    #[test]
+    fn corrupt_bytes_changes_payload_not_prefix() {
+        let clean: Vec<u8> = (0..64u8).collect();
+        let mut dirty = clean.clone();
+        FaultPlan::new(9).corrupt_bytes(&mut dirty, 8, 3);
+        assert_eq!(&dirty[..8], &clean[..8], "prefix preserved");
+        assert_ne!(dirty, clean, "payload corrupted");
+        // Deterministic: same seed, same corruption.
+        let mut again = clean.clone();
+        FaultPlan::new(9).corrupt_bytes(&mut again, 8, 3);
+        assert_eq!(dirty, again);
+    }
+}

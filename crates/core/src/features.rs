@@ -37,14 +37,22 @@ pub const OUT_DIM: usize = OUTPUT_BUCKETS.len() * NUM_PERCENTILES;
 /// slowdown (which is >= 1).
 pub const EMPTY_BUCKET_VALUE: f32 = 0.0;
 
-/// Index of the feature bucket for a flow size.
+/// Index of the feature bucket for a flow size. The last bound is
+/// `u64::MAX`, so the fallback is unreachable but keeps this total.
 pub fn feature_bucket(size: u64) -> usize {
-    SIZE_BUCKETS.iter().position(|&ub| size <= ub).unwrap()
+    SIZE_BUCKETS
+        .iter()
+        .position(|&ub| size <= ub)
+        .unwrap_or(SIZE_BUCKETS.len() - 1)
 }
 
-/// Index of the output bucket for a flow size.
+/// Index of the output bucket for a flow size (total; see
+/// [`feature_bucket`]).
 pub fn output_bucket(size: u64) -> usize {
-    OUTPUT_BUCKETS.iter().position(|&ub| size <= ub).unwrap()
+    OUTPUT_BUCKETS
+        .iter()
+        .position(|&ub| size <= ub)
+        .unwrap_or(OUTPUT_BUCKETS.len() - 1)
 }
 
 /// A slowdown distribution summarized per size bucket at 100 percentiles.
@@ -63,7 +71,10 @@ impl FeatureMap {
         let nb = bucket_bounds.len();
         let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); nb];
         for &(size, sldn) in samples {
-            let b = bucket_bounds.iter().position(|&ub| size <= ub).unwrap();
+            let b = bucket_bounds
+                .iter()
+                .position(|&ub| size <= ub)
+                .unwrap_or(nb - 1);
             per_bucket[b].push(sldn);
         }
         let mut data = vec![EMPTY_BUCKET_VALUE; nb * NUM_PERCENTILES];

@@ -40,9 +40,16 @@
 //! println!("network-wide p99 slowdown: {:.2}", result.p99());
 //! ```
 
+// Robustness policy: non-test library code must not unwrap/expect — errors
+// either propagate as typed Results or use an explicitly justified panic.
+// scripts/check.sh runs clippy with -D warnings, making these hard errors.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod aggregate;
 pub mod cache;
 pub mod decompose;
+pub mod error;
+pub mod faultinject;
 pub mod features;
 pub mod optimizer;
 pub mod pathsim;
@@ -52,10 +59,13 @@ pub mod trainer;
 
 pub mod prelude {
     pub use crate::aggregate::{
-        NetworkEstimate, PathDistribution, StageTimings, NUM_OUTPUT_BUCKETS,
+        DegradationEvent, DegradationReport, NetworkEstimate, PathDistribution, StageTimings,
+        NUM_OUTPUT_BUCKETS,
     };
     pub use crate::cache::{scenario_fingerprint, ScenarioCache};
     pub use crate::decompose::{flow_ports, PathGroup, PathIndex};
+    pub use crate::error::{validate_workload, FaultKind, M3Error, SpecValidation, Stage};
+    pub use crate::faultinject::{FaultPlan, InjectedFault};
     pub use crate::features::{
         feature_bucket, output_bucket, FeatureMap, FEAT_DIM, OUTPUT_BUCKETS, OUT_DIM, SIZE_BUCKETS,
     };
@@ -66,11 +76,12 @@ pub mod prelude {
     pub use crate::pathsim::{FlowsimResult, PathFlow, PathScenarioData};
     pub use crate::pipeline::{
         flowsim_estimate, global_flowsim_estimate, ground_truth_estimate, ns3_path_estimate,
-        M3Estimator,
+        DegradationPolicy, EstimateOptions, M3Estimator, StageBudget,
     };
     pub use crate::spec::{path_base_rtt, spec_vector, SPEC_DIM};
     pub use crate::trainer::{
         build_dataset, evaluate, make_example, scenario_features, stage_seed, train,
-        training_point_with_hops, training_points, TrainConfig, TrainExample, TrainReport,
+        training_point_with_hops, training_points, try_train, TrainConfig, TrainExample,
+        TrainReport,
     };
 }

@@ -182,11 +182,13 @@ pub fn sweep_knob(
             }
         })
         .collect();
-    let best = points
+    let best = match points
         .iter()
         .min_by(|a, b| a.objective.total_cmp(&b.objective))
-        .cloned()
-        .unwrap();
+    {
+        Some(p) => p.clone(),
+        None => unreachable!("sweep evaluates at least one point"),
+    };
     SweepResult { knob, points, best }
 }
 
@@ -238,11 +240,13 @@ pub fn golden_section_search(
             points.push(fd.clone());
         }
     }
-    let best = points
+    let best = match points
         .iter()
         .min_by(|x, y| x.objective.total_cmp(&y.objective))
-        .cloned()
-        .unwrap();
+    {
+        Some(p) => p.clone(),
+        None => unreachable!("search evaluates at least two points"),
+    };
     SweepResult { knob, points, best }
 }
 

@@ -145,14 +145,32 @@ impl PathScenarioData {
     }
 
     /// Run flowSim and split the samples into foreground and per-hop
-    /// background sets.
+    /// background sets. Panics on invalid input or an exhausted default
+    /// budget; the pipeline uses [`try_run_flowsim`](Self::try_run_flowsim).
     pub fn run_flowsim(&self) -> FlowsimResult {
+        match self.try_run_flowsim(&FluidBudget::UNLIMITED) {
+            Ok(r) => r,
+            Err(e) => panic!("flowSim failed: {e}"),
+        }
+    }
+
+    /// Fallible flowSim under a resource budget: invalid flows, non-finite
+    /// event times, and budget exhaustion come back as typed
+    /// [`FluidError`]s instead of panics.
+    pub fn try_run_flowsim(&self, budget: &FluidBudget) -> Result<FlowsimResult, FluidError> {
         let (topo, flows) = self.to_fluid();
-        let records = simulate_fluid(&topo, &flows);
+        let records = try_simulate_fluid(&topo, &flows, budget)?;
+        Ok(self.split_records(&records))
+    }
+
+    /// Split raw fluid records into the foreground sample set and one
+    /// background set per hop (a background flow contributes to every hop
+    /// it crosses).
+    pub(crate) fn split_records(&self, records: &[FluidFctRecord]) -> FlowsimResult {
         let n_fg = self.fg.len();
         let mut fg = Vec::with_capacity(n_fg);
         let mut bg_per_hop: Vec<Vec<(u64, f64)>> = vec![Vec::new(); self.num_hops()];
-        for r in &records {
+        for r in records {
             let i = r.id as usize;
             if i < n_fg {
                 fg.push((r.size, r.slowdown()));

@@ -9,16 +9,23 @@
 //! * [`ground_truth_estimate`] — the exact network-wide distribution from a
 //!   full packet-level simulation.
 
-use crate::aggregate::{NetworkEstimate, PathDistribution, StageTimings, NUM_OUTPUT_BUCKETS};
+use crate::aggregate::{
+    DegradationEvent, DegradationReport, NetworkEstimate, PathDistribution, StageTimings,
+    NUM_OUTPUT_BUCKETS,
+};
 use crate::cache::{scenario_fingerprint, ScenarioCache};
 use crate::decompose::PathIndex;
+use crate::error::{validate_workload, FaultKind, M3Error, SpecValidation, Stage};
+use crate::faultinject::InjectedFault;
 use crate::features::output_bucket;
-use crate::pathsim::PathScenarioData;
+use crate::pathsim::{FlowsimResult, PathScenarioData};
 use crate::spec::spec_vector;
+use m3_flowsim::prelude::{try_simulate_fluid, FluidBudget, FluidError};
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Output-bucket counts of a foreground flow set.
@@ -28,6 +35,72 @@ fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
         counts[output_bucket(f.size)] += 1;
     }
     counts
+}
+
+/// What the estimator does when a pipeline stage faults on a path sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradationPolicy {
+    /// The first fault aborts the whole estimate with a typed [`M3Error`].
+    FailFast,
+    /// Absorb per-sample faults: a forward-stage fault falls back to the
+    /// sample's uncorrected flowSim distribution, a flowSim-stage fault
+    /// drops the sample (there is nothing to fall back on). Every fallback
+    /// is recorded in the estimate's [`DegradationReport`]. If more than
+    /// `max_degraded_frac` of the samples lose the full m3 treatment, the
+    /// estimate aborts with [`M3Error::DegradationLimitExceeded`].
+    Degrade { max_degraded_frac: f64 },
+}
+
+impl Default for DegradationPolicy {
+    /// Absorb isolated faults, but refuse to answer when more than a
+    /// quarter of the samples degraded.
+    fn default() -> Self {
+        DegradationPolicy::Degrade {
+            max_degraded_frac: 0.25,
+        }
+    }
+}
+
+/// Per-stage resource ceilings for one estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageBudget {
+    /// Budget for each per-path flowSim run. The default (100 M events, no
+    /// wall-clock limit) is orders of magnitude above any real path
+    /// scenario, so fault-free runs never trip it.
+    pub flowsim: FluidBudget,
+}
+
+/// Knobs of the fallible estimate entry points. `Default` reproduces the
+/// classic pipeline bit for bit on fault-free inputs.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateOptions {
+    pub policy: DegradationPolicy,
+    pub budget: StageBudget,
+    /// Deterministic fault injection for robustness tests and benches;
+    /// `None` (the default) injects nothing and adds no overhead.
+    pub fault_plan: Option<crate::faultinject::FaultPlan>,
+}
+
+/// Classify a fluid-simulator error for degradation accounting.
+fn fluid_fault_kind(e: &FluidError) -> FaultKind {
+    match e {
+        FluidError::InvalidInput { .. } => FaultKind::InvalidInput,
+        FluidError::NonFiniteEventTime { .. } | FluidError::Stalled { .. } => FaultKind::NonFinite,
+        FluidError::EventBudgetExceeded { .. } | FluidError::WallClockExceeded { .. } => {
+            FaultKind::BudgetExceeded
+        }
+    }
+}
+
+/// Best-effort string form of a caught panic payload.
+fn panic_detail(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// The m3 estimator: a trained network plus inference options.
@@ -63,7 +136,9 @@ impl M3Estimator {
 
     /// Full pipeline: decompose the workload, sample `k_paths` paths, run
     /// flowSim on the deduplicated scenarios in parallel, answer them all
-    /// with one batched forward pass, aggregate.
+    /// with one batched forward pass, aggregate. Panics on any
+    /// [`M3Error`]; use [`try_estimate`](Self::try_estimate) to handle
+    /// faults as values.
     pub fn estimate(
         &self,
         topo: &Topology,
@@ -72,7 +147,17 @@ impl M3Estimator {
         k_paths: usize,
         seed: u64,
     ) -> NetworkEstimate {
-        self.estimate_inner(topo, flows, config, k_paths, seed, None)
+        match self.try_estimate(
+            topo,
+            flows,
+            config,
+            k_paths,
+            seed,
+            &EstimateOptions::default(),
+        ) {
+            Ok(e) => e,
+            Err(e) => panic!("estimate failed: {e}"),
+        }
     }
 
     /// [`estimate`](Self::estimate) backed by a cross-run [`ScenarioCache`]:
@@ -88,9 +173,89 @@ impl M3Estimator {
         seed: u64,
         cache: &mut ScenarioCache,
     ) -> NetworkEstimate {
-        self.estimate_inner(topo, flows, config, k_paths, seed, Some(cache))
+        match self.try_estimate_with_cache(
+            topo,
+            flows,
+            config,
+            k_paths,
+            seed,
+            cache,
+            &EstimateOptions::default(),
+        ) {
+            Ok(e) => e,
+            Err(e) => panic!("estimate failed: {e}"),
+        }
     }
 
+    /// Fallible estimate: validates the inputs up front, meters every
+    /// flowSim run against `options.budget`, isolates per-sample panics,
+    /// and — under a [`DegradationPolicy::Degrade`] policy — absorbs
+    /// per-sample faults into the estimate's [`DegradationReport`] instead
+    /// of failing. With default options and fault-free inputs the result
+    /// is bit-identical to [`estimate`](Self::estimate).
+    pub fn try_estimate(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+        options: &EstimateOptions,
+    ) -> Result<NetworkEstimate, M3Error> {
+        self.estimate_inner(topo, flows, config, k_paths, seed, None, options)
+    }
+
+    /// [`try_estimate`](Self::try_estimate) backed by a [`ScenarioCache`].
+    /// Cached entries are integrity-checked before use: a corrupt entry is
+    /// evicted and recomputed (recorded in the report, zero samples
+    /// affected), never aggregated. Degraded fallback distributions are
+    /// never inserted into the cache.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_estimate_with_cache(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+        cache: &mut ScenarioCache,
+        options: &EstimateOptions,
+    ) -> Result<NetworkEstimate, M3Error> {
+        self.estimate_inner(topo, flows, config, k_paths, seed, Some(cache), options)
+    }
+
+    /// One slot's flowSim run, with injected faults applied. Runs inside
+    /// `catch_unwind`, so a panic here (injected or real) is isolated to
+    /// the slot.
+    fn run_flowsim_slot(
+        &self,
+        data: &PathScenarioData,
+        slot: usize,
+        options: &EstimateOptions,
+    ) -> Result<FlowsimResult, (FaultKind, String)> {
+        let plan = options.fault_plan.as_ref();
+        if plan.is_some_and(|p| p.hits(InjectedFault::FlowsimPanic, slot)) {
+            panic!("injected flowSim panic at slot {slot}");
+        }
+        let budget = if plan.is_some_and(|p| p.hits(InjectedFault::FlowsimBudget, slot)) {
+            FluidBudget::events(1)
+        } else {
+            options.budget.flowsim
+        };
+        let classify = |e: FluidError| (fluid_fault_kind(&e), e.to_string());
+        if plan.is_some_and(|p| p.hits(InjectedFault::FlowsimNan, slot)) {
+            // Poison one input flow the way a corrupt workload would.
+            let (ftopo, mut fflows) = data.to_fluid();
+            if let Some(f0) = fflows.first_mut() {
+                f0.rate_cap_bps = f64::NAN;
+            }
+            let records = try_simulate_fluid(&ftopo, &fflows, &budget).map_err(classify)?;
+            return Ok(data.split_records(&records));
+        }
+        data.try_run_flowsim(&budget).map_err(classify)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn estimate_inner(
         &self,
         topo: &Topology,
@@ -99,13 +264,32 @@ impl M3Estimator {
         k_paths: usize,
         seed: u64,
         mut cache: Option<&mut ScenarioCache>,
-    ) -> NetworkEstimate {
+        options: &EstimateOptions,
+    ) -> Result<NetworkEstimate, M3Error> {
         let mut timings = StageTimings::default();
+        let mut report = DegradationReport::default();
+        let fail_fast = matches!(options.policy, DegradationPolicy::FailFast);
+
+        // Stage 0: validate every input before spending any work.
+        config.validate_spec()?;
+        validate_workload(topo, flows)?;
+        if k_paths == 0 {
+            return Err(M3Error::InvalidSpec {
+                stage: Stage::Validate,
+                reason: "k_paths must be at least 1".into(),
+            });
+        }
 
         // Stage 1: decompose, sample, materialize scenarios in parallel.
         let t0 = Instant::now();
         let index = PathIndex::build(topo, flows);
         let sampled = index.sample_paths(k_paths, seed);
+        if sampled.is_empty() {
+            return Err(M3Error::InvalidSpec {
+                stage: Stage::Decompose,
+                reason: "workload has no populated paths to sample".into(),
+            });
+        }
         let datas: Vec<PathScenarioData> = sampled
             .par_iter()
             .map(|&g| PathScenarioData::from_group(topo, flows, &index, g, config))
@@ -116,6 +300,7 @@ impl M3Estimator {
             .collect();
         timings.decompose_s = t0.elapsed().as_secs_f64();
         timings.sampled_paths = datas.len();
+        report.total_samples = datas.len();
 
         // Dedupe by content hash: sampling with replacement and symmetric
         // topologies both produce repeated scenarios, which need only one
@@ -138,37 +323,95 @@ impl M3Estimator {
             slot_of.push(slot);
         }
         timings.unique_scenarios = uniq.len();
+        // Sampled paths represented by each unique slot (degradation of a
+        // slot affects this many of the k samples).
+        let mut multiplicity = vec![0usize; uniq.len()];
+        for &s in &slot_of {
+            multiplicity[s] += 1;
+        }
 
         // Cache probe. The model fingerprint is only computed when a cache
-        // is present — it hashes every parameter, which is not free.
+        // is present — it hashes every parameter, which is not free. Hits
+        // are integrity-checked: a corrupt entry is evicted and recomputed
+        // (exact repair, so it neither counts against the degradation
+        // budget nor aborts a fail-fast run).
         let model_fp = cache.as_ref().map(|_| self.net.fingerprint());
         let mut resolved: Vec<Option<PathDistribution>> = vec![None; uniq.len()];
-        if let Some(c) = cache.as_deref_mut() {
-            let fp = model_fp.expect("fingerprint computed when cache present");
+        if let (Some(c), Some(fp)) = (cache.as_deref_mut(), model_fp) {
             for (slot, &i) in uniq.iter().enumerate() {
-                resolved[slot] = c.get(keys[i], fp);
+                match c.get(keys[i], fp) {
+                    Some(d) if d.is_sane() => resolved[slot] = Some(d),
+                    Some(_) => {
+                        c.remove(keys[i], fp);
+                        report.events.push(DegradationEvent {
+                            stage: Stage::Cache,
+                            fault: FaultKind::Corruption,
+                            scenario: slot,
+                            samples_affected: 0,
+                            detail: "cached distribution failed integrity check; \
+                                     evicted and recomputed"
+                                .into(),
+                        });
+                    }
+                    None => {}
+                }
             }
         }
         timings.cache_hits = resolved.iter().filter(|r| r.is_some()).count();
         let todo: Vec<usize> = (0..uniq.len()).filter(|&s| resolved[s].is_none()).collect();
 
-        // Stage 2: flowSim the unresolved unique scenarios in parallel.
+        // Stage 2: flowSim the unresolved unique scenarios in parallel,
+        // each isolated (budget + panic barrier).
         let t0 = Instant::now();
-        let sims: Vec<crate::pathsim::FlowsimResult> = todo
+        let sims: Vec<Result<FlowsimResult, (FaultKind, String)>> = todo
             .par_iter()
-            .map(|&s| datas[uniq[s]].run_flowsim())
+            .map(|&s| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    self.run_flowsim_slot(&datas[uniq[s]], s, options)
+                }))
+                .unwrap_or_else(|p| Err((FaultKind::Panic, panic_detail(p))))
+            })
             .collect();
         timings.flowsim_s = t0.elapsed().as_secs_f64();
         timings.flowsim_runs = todo.len();
 
-        // Stage 3: feature maps + encoding in parallel.
+        // Classify flowSim faults. A faulted slot has no distribution to
+        // fall back on, so its samples are dropped from the aggregate.
+        for (j, r) in sims.iter().enumerate() {
+            if let Err((fault, detail)) = r {
+                if fail_fast {
+                    return Err(M3Error::StageFault {
+                        stage: Stage::FlowSim,
+                        fault: *fault,
+                        detail: detail.clone(),
+                    });
+                }
+                let s = todo[j];
+                report.dropped_samples += multiplicity[s];
+                report.events.push(DegradationEvent {
+                    stage: Stage::FlowSim,
+                    fault: *fault,
+                    scenario: s,
+                    samples_affected: multiplicity[s],
+                    detail: detail.clone(),
+                });
+            }
+        }
+
+        // Stage 3: feature maps + encoding for the surviving slots.
         let t0 = Instant::now();
-        let order: Vec<usize> = (0..todo.len()).collect();
-        let inputs: Vec<SampleInput> = order
+        let ok: Vec<usize> = (0..todo.len()).filter(|&j| sims[j].is_ok()).collect();
+        let sim_of = |j: usize| -> &FlowsimResult {
+            match &sims[j] {
+                Ok(s) => s,
+                Err(_) => unreachable!("only surviving slots are consulted"),
+            }
+        };
+        let inputs: Vec<SampleInput> = ok
             .par_iter()
             .map(|&j| {
                 let i = uniq[todo[j]];
-                let (fg_map, bg_maps) = datas[i].features(&sims[j]);
+                let (fg_map, bg_maps) = datas[i].features(sim_of(j));
                 SampleInput {
                     fg: fg_map.encode_log(),
                     bg: bg_maps.iter().map(|m| m.encode_log()).collect(),
@@ -179,35 +422,116 @@ impl M3Estimator {
             .collect();
         timings.features_s = t0.elapsed().as_secs_f64();
 
-        // Stage 4: one batched forward pass over all unresolved scenarios.
+        // Stage 4: one batched forward pass over the surviving scenarios,
+        // behind a panic barrier. Slots whose forward output is unusable
+        // (panic, injected poisoning, non-finite values) fall back to the
+        // uncorrected flowSim distribution; only fully-corrected results
+        // are cacheable.
         let t0 = Instant::now();
-        let outputs = self.net.predict_batch(&inputs);
-        for (j, out) in outputs.iter().enumerate() {
-            let i = uniq[todo[j]];
-            let decoded = crate::features::decode_log(out);
-            let dist = PathDistribution::from_model_output(&decoded, fg_counts(&datas[i]));
-            resolved[todo[j]] = Some(dist);
+        let plan = options.fault_plan.as_ref();
+        let mut cacheable: Vec<usize> = Vec::new();
+        match catch_unwind(AssertUnwindSafe(|| self.net.predict_batch(&inputs))) {
+            Err(p) => {
+                let detail = panic_detail(p);
+                if fail_fast {
+                    return Err(M3Error::StageFault {
+                        stage: Stage::Forward,
+                        fault: FaultKind::Panic,
+                        detail,
+                    });
+                }
+                for &j in &ok {
+                    let s = todo[j];
+                    resolved[s] = Some(PathDistribution::from_samples(&sim_of(j).fg));
+                    report.degraded_samples += multiplicity[s];
+                    report.events.push(DegradationEvent {
+                        stage: Stage::Forward,
+                        fault: FaultKind::Panic,
+                        scenario: s,
+                        samples_affected: multiplicity[s],
+                        detail: detail.clone(),
+                    });
+                }
+            }
+            Ok(outputs) => {
+                for (row, out) in outputs.iter().enumerate() {
+                    let j = ok[row];
+                    let s = todo[j];
+                    let poisoned = plan.is_some_and(|p| p.hits(InjectedFault::ForwardPoison, s));
+                    if !poisoned && out.iter().all(|v| v.is_finite()) {
+                        let decoded = crate::features::decode_log(out);
+                        let i = uniq[s];
+                        resolved[s] = Some(PathDistribution::from_model_output(
+                            &decoded,
+                            fg_counts(&datas[i]),
+                        ));
+                        cacheable.push(s);
+                    } else {
+                        let detail = if poisoned {
+                            format!("injected forward-pass poisoning at slot {s}")
+                        } else {
+                            "forward pass produced non-finite output".to_string()
+                        };
+                        if fail_fast {
+                            return Err(M3Error::StageFault {
+                                stage: Stage::Forward,
+                                fault: FaultKind::NonFinite,
+                                detail,
+                            });
+                        }
+                        resolved[s] = Some(PathDistribution::from_samples(&sim_of(j).fg));
+                        report.degraded_samples += multiplicity[s];
+                        report.events.push(DegradationEvent {
+                            stage: Stage::Forward,
+                            fault: FaultKind::NonFinite,
+                            scenario: s,
+                            samples_affected: multiplicity[s],
+                            detail,
+                        });
+                    }
+                }
+            }
         }
-        if let Some(c) = cache {
-            let fp = model_fp.expect("fingerprint computed when cache present");
-            for &s in &todo {
-                let dist = resolved[s].clone().expect("just computed");
-                c.insert(keys[uniq[s]], fp, dist);
+        if let (Some(c), Some(fp)) = (cache, model_fp) {
+            for &s in &cacheable {
+                if let Some(dist) = resolved[s].clone() {
+                    c.insert(keys[uniq[s]], fp, dist);
+                }
             }
         }
         timings.forward_s = t0.elapsed().as_secs_f64();
 
+        // Enforce the degradation ceiling before aggregating.
+        let affected = report.degraded_samples + report.dropped_samples;
+        if let DegradationPolicy::Degrade { max_degraded_frac } = options.policy {
+            if affected > 0 && affected as f64 / report.total_samples as f64 > max_degraded_frac {
+                return Err(M3Error::DegradationLimitExceeded {
+                    degraded: affected,
+                    total: report.total_samples,
+                    max_frac: max_degraded_frac,
+                });
+            }
+        }
+
         // Stage 5: fan the unique distributions back out to the sampled
-        // paths (duplicates keep their pooling weight) and aggregate.
+        // paths (duplicates keep their pooling weight; dropped slots are
+        // skipped) and aggregate.
         let t0 = Instant::now();
         let dists: Vec<PathDistribution> = slot_of
             .iter()
-            .map(|&s| resolved[s].clone().expect("every slot resolved"))
+            .filter_map(|&s| resolved[s].clone())
             .collect();
+        if dists.is_empty() {
+            return Err(M3Error::NoUsableSamples {
+                total: report.total_samples,
+            });
+        }
+        report.events.sort_by_key(|e| e.scenario);
         let mut est = NetworkEstimate::aggregate(&dists);
         timings.aggregate_s = t0.elapsed().as_secs_f64();
         est.timings = timings;
-        est
+        est.degradation = report;
+        Ok(est)
     }
 }
 
@@ -269,6 +593,7 @@ pub fn ground_truth_estimate(records: &[FctRecord]) -> NetworkEstimate {
         bucket_samples,
         bucket_counts,
         timings: StageTimings::default(),
+        degradation: DegradationReport::default(),
     }
 }
 
@@ -444,6 +769,56 @@ mod tests {
     }
 
     #[test]
+    fn try_estimate_default_options_matches_estimate_bit_for_bit() {
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let classic = est.estimate(&ft.topo, &flows, &cfg, 10, 5);
+        for policy in [
+            DegradationPolicy::default(),
+            DegradationPolicy::FailFast,
+            DegradationPolicy::Degrade {
+                max_degraded_frac: 0.0,
+            },
+        ] {
+            let opts = EstimateOptions {
+                policy,
+                ..EstimateOptions::default()
+            };
+            let robust = est
+                .try_estimate(&ft.topo, &flows, &cfg, 10, 5, &opts)
+                .expect("fault-free run succeeds under every policy");
+            assert_estimates_bit_identical(&classic, &robust);
+            assert!(robust.degradation.is_clean(), "{:?}", robust.degradation);
+            assert_eq!(robust.degradation.total_samples, 10);
+            assert_eq!(robust.degradation.degraded_frac(), 0.0);
+        }
+    }
+
+    #[test]
+    fn try_estimate_rejects_bad_inputs_with_typed_errors() {
+        let (ft, flows, cfg) = small_workload(300);
+        let est = untrained_estimator();
+        let opts = EstimateOptions::default();
+
+        let mut bad_cfg = cfg;
+        bad_cfg.mtu = 0;
+        assert!(matches!(
+            est.try_estimate(&ft.topo, &flows, &bad_cfg, 5, 1, &opts),
+            Err(M3Error::InvalidSpec { .. })
+        ));
+
+        assert!(matches!(
+            est.try_estimate(&ft.topo, &[], &cfg, 5, 1, &opts),
+            Err(M3Error::InvalidSpec { .. })
+        ));
+
+        assert!(matches!(
+            est.try_estimate(&ft.topo, &flows, &cfg, 0, 1, &opts),
+            Err(M3Error::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
     fn timings_are_populated_and_consistent() {
         let (ft, flows, cfg) = small_workload(800);
         let est = untrained_estimator();
@@ -508,6 +883,7 @@ pub fn global_flowsim_estimate(
         bucket_samples,
         bucket_counts,
         timings: StageTimings::default(),
+        degradation: DegradationReport::default(),
     }
 }
 

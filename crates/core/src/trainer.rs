@@ -51,6 +51,47 @@ impl Default for TrainConfig {
     }
 }
 
+impl crate::error::SpecValidation for TrainConfig {
+    fn validate_spec(&self) -> Result<(), crate::error::M3Error> {
+        let invalid = |reason: String| crate::error::M3Error::InvalidSpec {
+            stage: crate::error::Stage::Validate,
+            reason,
+        };
+        if self.n_scenarios < 2 {
+            return Err(invalid(format!(
+                "n_scenarios ({}) must be at least 2 (10% is held out)",
+                self.n_scenarios
+            )));
+        }
+        if self.fg_flows == 0 || self.bg_flows == 0 {
+            return Err(invalid("fg_flows and bg_flows must be positive".into()));
+        }
+        if self.epochs == 0 {
+            return Err(invalid("epochs must be at least 1".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(invalid("batch_size must be positive".into()));
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(invalid(format!(
+                "lr ({}) must be finite and positive",
+                self.lr
+            )));
+        }
+        if self.model.feat_dim != FEAT_DIM
+            || self.model.out_dim != OUT_DIM
+            || self.model.spec_dim != SPEC_DIM
+        {
+            return Err(invalid(format!(
+                "model I/O dims ({}, {}, {}) must match the m3 feature space \
+                 ({FEAT_DIM}, {SPEC_DIM}, {OUT_DIM})",
+                self.model.feat_dim, self.model.spec_dim, self.model.out_dim
+            )));
+        }
+        self.model.validate().map_err(invalid)
+    }
+}
+
 /// One training example: model input, target vector, and metadata for
 /// evaluation.
 #[derive(Debug, Clone)]
@@ -160,11 +201,30 @@ pub struct TrainReport {
 }
 
 /// Train a fresh model on a dataset; 10% held out for validation (§5.1).
+/// Panics on an invalid config or dataset; [`try_train`] returns the
+/// validation failure as a typed error instead.
 pub fn train(cfg: &TrainConfig, dataset: &[TrainExample]) -> (M3Net, TrainReport) {
-    assert!(dataset.len() >= 2, "dataset too small");
-    assert_eq!(cfg.model.feat_dim, FEAT_DIM);
-    assert_eq!(cfg.model.out_dim, OUT_DIM);
-    assert_eq!(cfg.model.spec_dim, SPEC_DIM);
+    match try_train(cfg, dataset) {
+        Ok(r) => r,
+        Err(e) => panic!("training failed: {e}"),
+    }
+}
+
+/// Fallible [`train`]: the config is validated via
+/// [`SpecValidation`](crate::error::SpecValidation) before any model is
+/// allocated.
+pub fn try_train(
+    cfg: &TrainConfig,
+    dataset: &[TrainExample],
+) -> Result<(M3Net, TrainReport), crate::error::M3Error> {
+    use crate::error::SpecValidation;
+    cfg.validate_spec()?;
+    if dataset.len() < 2 {
+        return Err(crate::error::M3Error::InvalidSpec {
+            stage: crate::error::Stage::Validate,
+            reason: format!("dataset too small ({} examples, need >= 2)", dataset.len()),
+        });
+    }
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7472_6169);
     order.shuffle(&mut rng);
@@ -197,7 +257,7 @@ pub fn train(cfg: &TrainConfig, dataset: &[TrainExample]) -> (M3Net, TrainReport
         report.train_loss.push(epoch_loss / batches.max(1) as f64);
         report.val_loss.push(evaluate(&net, dataset, val_idx));
     }
-    (net, report)
+    Ok((net, report))
 }
 
 /// Mean L1 loss of a model over a subset of the dataset.

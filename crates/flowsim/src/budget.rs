@@ -1,0 +1,192 @@
+//! Resource budgets and typed errors for the fluid engines.
+//!
+//! The fluid simulators are event loops whose termination depends on every
+//! event time being finite and on the waterfill making progress. A NaN rate
+//! (or a numerically degenerate waterfill) in a release build would
+//! otherwise spin forever. [`FluidBudget`] bounds a run by event count and
+//! wall clock; [`FluidError`] is the typed failure surface consumed by the
+//! m3 pipeline's degradation machinery.
+
+use std::fmt;
+use std::time::Duration;
+
+/// How often the wall clock is sampled (every N outer-loop events); keeps
+/// the fault-free fast path free of syscalls.
+pub(crate) const WALL_CHECK_INTERVAL: u64 = 4096;
+
+/// Resource ceiling for one fluid simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidBudget {
+    /// Maximum outer event-loop iterations (arrivals, completions, and
+    /// recomputations). A parking-lot run needs roughly `2 x flows` events,
+    /// so the default leaves orders of magnitude of headroom.
+    pub max_events: u64,
+    /// Optional wall-clock ceiling, checked every few thousand events.
+    pub max_wall: Option<Duration>,
+}
+
+impl FluidBudget {
+    /// No limits at all (the legacy panicking entry points use this).
+    pub const UNLIMITED: FluidBudget = FluidBudget {
+        max_events: u64::MAX,
+        max_wall: None,
+    };
+
+    /// A budget bounded only by event count.
+    pub fn events(max_events: u64) -> Self {
+        FluidBudget {
+            max_events,
+            max_wall: None,
+        }
+    }
+
+    /// Add a wall-clock ceiling.
+    pub fn with_wall(mut self, limit: Duration) -> Self {
+        self.max_wall = Some(limit);
+        self
+    }
+}
+
+impl Default for FluidBudget {
+    /// Generous but bounded: far above any real path scenario, low enough
+    /// that a runaway loop terminates in seconds rather than never.
+    fn default() -> Self {
+        FluidBudget {
+            max_events: 100_000_000,
+            max_wall: None,
+        }
+    }
+}
+
+/// Typed failure of a fluid simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FluidError {
+    /// An input flow failed validation (bad segment, non-positive or NaN
+    /// rate cap, link index out of range).
+    InvalidInput { flow: u32, reason: String },
+    /// The next event time became non-finite while flows remain — the
+    /// release-mode promotion of the old `debug_assert!(t_next.is_finite())`.
+    NonFiniteEventTime { events: u64, t: f64 },
+    /// The waterfill failed to fix any group (numerically degenerate rates).
+    Stalled { events: u64 },
+    /// The event-count ceiling was hit.
+    EventBudgetExceeded { limit: u64 },
+    /// The wall-clock ceiling was hit.
+    WallClockExceeded { limit: Duration, events: u64 },
+}
+
+impl fmt::Display for FluidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluidError::InvalidInput { flow, reason } => {
+                write!(f, "invalid fluid input (flow {flow}): {reason}")
+            }
+            FluidError::NonFiniteEventTime { events, t } => {
+                write!(f, "non-finite event time {t} after {events} events")
+            }
+            FluidError::Stalled { events } => {
+                write!(f, "waterfill made no progress after {events} events")
+            }
+            FluidError::EventBudgetExceeded { limit } => {
+                write!(f, "event budget exceeded ({limit} events)")
+            }
+            FluidError::WallClockExceeded { limit, events } => {
+                write!(
+                    f,
+                    "wall-clock budget exceeded ({limit:?} after {events} events)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FluidError {}
+
+/// Shared per-run budget accounting for both fluid engines.
+pub(crate) struct BudgetMeter {
+    budget: FluidBudget,
+    events: u64,
+    start: Option<std::time::Instant>,
+}
+
+impl BudgetMeter {
+    pub(crate) fn new(budget: FluidBudget) -> Self {
+        BudgetMeter {
+            budget,
+            events: 0,
+            // Only sample the clock when a wall limit is actually set.
+            start: budget.max_wall.map(|_| std::time::Instant::now()),
+        }
+    }
+
+    pub(crate) fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Account one outer-loop event; errors when a ceiling is crossed.
+    pub(crate) fn tick(&mut self) -> Result<(), FluidError> {
+        self.events += 1;
+        if self.events > self.budget.max_events {
+            return Err(FluidError::EventBudgetExceeded {
+                limit: self.budget.max_events,
+            });
+        }
+        if self.events.is_multiple_of(WALL_CHECK_INTERVAL) {
+            if let (Some(limit), Some(start)) = (self.budget.max_wall, self.start) {
+                if start.elapsed() > limit {
+                    return Err(FluidError::WallClockExceeded {
+                        limit,
+                        events: self.events,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_and_trips() {
+        let mut m = BudgetMeter::new(FluidBudget::events(3));
+        assert!(m.tick().is_ok());
+        assert!(m.tick().is_ok());
+        assert!(m.tick().is_ok());
+        assert_eq!(m.tick(), Err(FluidError::EventBudgetExceeded { limit: 3 }));
+        assert_eq!(m.events(), 4);
+    }
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut m = BudgetMeter::new(FluidBudget::UNLIMITED);
+        for _ in 0..100_000 {
+            assert!(m.tick().is_ok());
+        }
+    }
+
+    #[test]
+    fn wall_clock_trips() {
+        let mut m = BudgetMeter::new(FluidBudget::UNLIMITED.with_wall(Duration::from_nanos(1)));
+        // Spin past one check interval; the elapsed nanosecond has passed.
+        let mut tripped = false;
+        for _ in 0..10 * WALL_CHECK_INTERVAL {
+            if m.tick().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "wall budget of 1ns must trip within a few ticks");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = FluidError::NonFiniteEventTime {
+            events: 7,
+            t: f64::NAN,
+        };
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

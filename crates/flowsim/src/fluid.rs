@@ -11,6 +11,7 @@
 //! of completion targets, so the whole simulation runs in O(F log F) heap
 //! operations plus O(groups^2) waterfill work per event.
 
+use crate::budget::{BudgetMeter, FluidBudget, FluidError};
 use crate::types::{FluidFctRecord, FluidFlow, FluidTopology, Nanos};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -96,10 +97,30 @@ impl Ord for Candidate {
 /// Flows need not be sorted; results are returned sorted by flow id. Every
 /// flow completes (the fluid model cannot lose traffic), so the output
 /// length always equals the input length.
+///
+/// Panics on invalid input; for a fallible, resource-bounded run use
+/// [`try_simulate_fluid`].
 pub fn simulate_fluid(topo: &FluidTopology, flows: &[FluidFlow]) -> Vec<FluidFctRecord> {
-    for f in flows {
-        f.validate(topo);
+    match try_simulate_fluid(topo, flows, &FluidBudget::UNLIMITED) {
+        Ok(records) => records,
+        Err(e) => panic!("flowSim failed: {e}"),
     }
+}
+
+/// Fallible flowSim: validates inputs, bounds the run by `budget`, and turns
+/// the engine's internal invariants (finite event times, waterfill progress)
+/// into typed errors instead of debug-only assertions. Identical results to
+/// [`simulate_fluid`] whenever that one succeeds.
+pub fn try_simulate_fluid(
+    topo: &FluidTopology,
+    flows: &[FluidFlow],
+    budget: &FluidBudget,
+) -> Result<Vec<FluidFctRecord>, FluidError> {
+    for f in flows {
+        f.check(topo)
+            .map_err(|reason| FluidError::InvalidInput { flow: f.id, reason })?;
+    }
+    let mut meter = BudgetMeter::new(*budget);
     let mut order: Vec<usize> = (0..flows.len()).collect();
     order.sort_by_key(|&i| (flows[i].arrival, flows[i].id));
 
@@ -120,6 +141,7 @@ pub fn simulate_fluid(topo: &FluidTopology, flows: &[FluidFlow]) -> Vec<FluidFct
     let mut nflows = vec![0usize; n_links];
 
     while next_flow < order.len() || active_flows > 0 {
+        meter.tick()?;
         // ---- choose the next event time ----
         let t_arrival = if next_flow < order.len() {
             flows[order[next_flow]].arrival as f64
@@ -137,7 +159,14 @@ pub fn simulate_fluid(topo: &FluidTopology, flows: &[FluidFlow]) -> Vec<FluidFct
             }
         };
         let t_next = t_arrival.min(t_completion);
-        debug_assert!(t_next.is_finite(), "no next event but flows remain");
+        // Release-mode guard (was a debug_assert): a NaN or infinite next
+        // event time with flows still active would spin this loop forever.
+        if !t_next.is_finite() {
+            return Err(FluidError::NonFiniteEventTime {
+                events: meter.events(),
+                t: t_next,
+            });
+        }
         debug_assert!(t_next >= now - 1e-6, "time went backwards");
         let dt = (t_next - now).max(0.0);
 
@@ -221,7 +250,11 @@ pub fn simulate_fluid(topo: &FluidTopology, flows: &[FluidFlow]) -> Vec<FluidFct
         }
 
         // ---- waterfill: recompute max-min rates over active groups ----
-        waterfill(&caps_bytes_ns, &mut groups, &mut residual, &mut nflows);
+        waterfill(&caps_bytes_ns, &mut groups, &mut residual, &mut nflows).map_err(|()| {
+            FluidError::Stalled {
+                events: meter.events(),
+            }
+        })?;
 
         // ---- schedule fresh completion candidates ----
         for (gi, g) in groups.iter_mut().enumerate() {
@@ -242,12 +275,18 @@ pub fn simulate_fluid(topo: &FluidTopology, flows: &[FluidFlow]) -> Vec<FluidFct
     }
 
     records.sort_by_key(|r| r.id);
-    records
+    Ok(records)
 }
 
 /// Progressive-filling max-min over groups with per-group rate caps.
-/// Groups with `n == 0` get rate 0.
-fn waterfill(link_caps: &[f64], groups: &mut [Group], residual: &mut [f64], nflows: &mut [usize]) {
+/// Groups with `n == 0` get rate 0. `Err(())` means no group could be fixed
+/// in an iteration (numerically degenerate input), which would loop forever.
+fn waterfill(
+    link_caps: &[f64],
+    groups: &mut [Group],
+    residual: &mut [f64],
+    nflows: &mut [usize],
+) -> Result<(), ()> {
     residual.copy_from_slice(link_caps);
     nflows.iter_mut().for_each(|c| *c = 0);
     let mut unfixed: Vec<usize> = Vec::new();
@@ -310,9 +349,12 @@ fn waterfill(link_caps: &[f64], groups: &mut [Group], residual: &mut [f64], nflo
                     true
                 }
             });
-            debug_assert!(fixed_any, "waterfill made no progress");
+            if !fixed_any {
+                return Err(());
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -474,6 +516,50 @@ mod tests {
         let recs = simulate_fluid(&topo, &[f]);
         assert_eq!(recs.len(), 1);
         assert!(recs[0].fct >= 1);
+    }
+
+    #[test]
+    fn nan_rate_cap_is_typed_error_not_hang() {
+        let topo = FluidTopology::new(vec![10e9]);
+        let mut f = with_ideal(&topo, flow(0, 10_000, 0, 0, 0, f64::INFINITY));
+        f.rate_cap_bps = f64::NAN;
+        let err = try_simulate_fluid(&topo, &[f], &FluidBudget::UNLIMITED)
+            .expect_err("NaN cap must be rejected");
+        assert!(matches!(err, FluidError::InvalidInput { flow: 0, .. }));
+    }
+
+    #[test]
+    fn event_budget_trips_on_large_workload() {
+        let topo = FluidTopology::new(vec![10e9]);
+        let flows: Vec<FluidFlow> = (0..100)
+            .map(|i| with_ideal(&topo, flow(i, 10_000, i as u64, 0, 0, f64::INFINITY)))
+            .collect();
+        let err = try_simulate_fluid(&topo, &flows, &FluidBudget::events(3))
+            .expect_err("3 events cannot finish 100 flows");
+        assert_eq!(err, FluidError::EventBudgetExceeded { limit: 3 });
+    }
+
+    #[test]
+    fn try_matches_panicking_entry_point() {
+        let topo = FluidTopology::new(vec![10e9, 40e9, 10e9]);
+        let flows: Vec<FluidFlow> = (0..200)
+            .map(|i| {
+                with_ideal(
+                    &topo,
+                    flow(
+                        i,
+                        500 + (i as u64 * 131) % 30_000,
+                        (i as u64) * 450,
+                        (i % 3) as u16,
+                        2,
+                        10e9,
+                    ),
+                )
+            })
+            .collect();
+        let a = simulate_fluid(&topo, &flows);
+        let b = try_simulate_fluid(&topo, &flows, &FluidBudget::default()).unwrap();
+        assert_eq!(a, b, "budgeted run must be bit-identical when fault-free");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! used for the "global flowSim" baseline (fluid simulation of the whole
 //! network at once) and for differential-testing the segment engine.
 
+use crate::budget::{BudgetMeter, FluidBudget, FluidError};
 use crate::types::{Bytes, FluidFctRecord, Nanos};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -88,15 +89,53 @@ impl Ord for Candidate {
 
 /// Run the general fluid simulation. `link_bps[i]` is the capacity of link
 /// `i`; every flow's `links` entries must index into it.
+///
+/// Panics on invalid input; for a fallible, resource-bounded run use
+/// [`try_simulate_fluid_general`].
 pub fn simulate_fluid_general(link_bps: &[f64], flows: &[GeneralFluidFlow]) -> Vec<FluidFctRecord> {
-    assert!(!link_bps.is_empty());
+    match try_simulate_fluid_general(link_bps, flows, &FluidBudget::UNLIMITED) {
+        Ok(records) => records,
+        Err(e) => panic!("general flowSim failed: {e}"),
+    }
+}
+
+/// Fallible general fluid simulation: typed validation errors, an event and
+/// wall-clock budget, and the finite-event-time guard active in release
+/// builds. Identical results to [`simulate_fluid_general`] when it succeeds.
+pub fn try_simulate_fluid_general(
+    link_bps: &[f64],
+    flows: &[GeneralFluidFlow],
+    budget: &FluidBudget,
+) -> Result<Vec<FluidFctRecord>, FluidError> {
+    if link_bps.is_empty() {
+        return Err(FluidError::InvalidInput {
+            flow: u32::MAX,
+            reason: "no links".to_string(),
+        });
+    }
     for f in flows {
-        assert!(!f.links.is_empty(), "flow {} has no links", f.id);
-        assert!(f.rate_cap_bps > 0.0, "flow {}: nonpositive cap", f.id);
+        if f.links.is_empty() {
+            return Err(FluidError::InvalidInput {
+                flow: f.id,
+                reason: "flow has no links".to_string(),
+            });
+        }
+        if f.rate_cap_bps.is_nan() || f.rate_cap_bps <= 0.0 {
+            return Err(FluidError::InvalidInput {
+                flow: f.id,
+                reason: format!("rate cap {} not positive", f.rate_cap_bps),
+            });
+        }
         for &l in &f.links {
-            assert!((l as usize) < link_bps.len(), "flow {}: bad link {l}", f.id);
+            if l as usize >= link_bps.len() {
+                return Err(FluidError::InvalidInput {
+                    flow: f.id,
+                    reason: format!("link {l} outside topology"),
+                });
+            }
         }
     }
+    let mut meter = BudgetMeter::new(*budget);
     let caps: Vec<f64> = link_bps.iter().map(|&b| b / 8e9).collect();
     let mut order: Vec<usize> = (0..flows.len()).collect();
     order.sort_by_key(|&i| (flows[i].arrival, flows[i].id));
@@ -112,6 +151,7 @@ pub fn simulate_fluid_general(link_bps: &[f64], flows: &[GeneralFluidFlow]) -> V
     let mut active = 0usize;
 
     while next_flow < order.len() || active > 0 {
+        meter.tick()?;
         let t_arrival = if next_flow < order.len() {
             flows[order[next_flow]].arrival as f64
         } else {
@@ -127,7 +167,13 @@ pub fn simulate_fluid_general(link_bps: &[f64], flows: &[GeneralFluidFlow]) -> V
             }
         };
         let t_next = t_arrival.min(t_completion);
-        debug_assert!(t_next.is_finite());
+        // Release-mode guard (was a debug_assert); see fluid.rs.
+        if !t_next.is_finite() {
+            return Err(FluidError::NonFiniteEventTime {
+                events: meter.events(),
+                t: t_next,
+            });
+        }
         let dt = (t_next - now).max(0.0);
         if dt > 0.0 {
             for g in groups.iter_mut() {
@@ -205,7 +251,11 @@ pub fn simulate_fluid_general(link_bps: &[f64], flows: &[GeneralFluidFlow]) -> V
         if !changed {
             continue;
         }
-        waterfill_general(&caps, &mut groups, &mut residual, &mut nflows);
+        waterfill_general(&caps, &mut groups, &mut residual, &mut nflows).map_err(|()| {
+            FluidError::Stalled {
+                events: meter.events(),
+            }
+        })?;
         for (gi, g) in groups.iter_mut().enumerate() {
             g.gen += 1;
             if g.n == 0 {
@@ -222,15 +272,16 @@ pub fn simulate_fluid_general(link_bps: &[f64], flows: &[GeneralFluidFlow]) -> V
         }
     }
     records.sort_by_key(|r| r.id);
-    records
+    Ok(records)
 }
 
+/// `Err(())` means an iteration fixed no group, which would loop forever.
 fn waterfill_general(
     caps: &[f64],
     groups: &mut [Group],
     residual: &mut [f64],
     nflows: &mut [usize],
-) {
+) -> Result<(), ()> {
     residual.copy_from_slice(caps);
     nflows.iter_mut().for_each(|c| *c = 0);
     let mut unfixed: Vec<usize> = Vec::new();
@@ -274,6 +325,7 @@ fn waterfill_general(
             unfixed.retain(|&x| x != g_star);
         } else {
             debug_assert!(l_star != usize::MAX);
+            let mut fixed_any = false;
             unfixed.retain(|&gi| {
                 let g = &mut groups[gi];
                 if g.links.iter().any(|&l| l as usize == l_star) {
@@ -283,13 +335,18 @@ fn waterfill_general(
                             (residual[l as usize] - r_link * g.n as f64).max(0.0);
                         nflows[l as usize] -= g.n;
                     }
+                    fixed_any = true;
                     false
                 } else {
                     true
                 }
             });
+            if !fixed_any {
+                return Err(());
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -410,6 +467,37 @@ mod tests {
         }];
         let recs = simulate_fluid_general(&[10e9], &flows);
         assert_eq!(recs[0].fct, 8_000, "a flow crosses each link once");
+    }
+
+    #[test]
+    fn nan_cap_and_budget_are_typed_errors() {
+        let flows = vec![GeneralFluidFlow {
+            id: 7,
+            size: 10_000,
+            arrival: 0,
+            links: vec![0],
+            rate_cap_bps: f64::NAN,
+            latency: 0,
+            ideal_fct: 8_000,
+        }];
+        let err = try_simulate_fluid_general(&[10e9], &flows, &FluidBudget::UNLIMITED)
+            .expect_err("NaN cap must be rejected");
+        assert!(matches!(err, FluidError::InvalidInput { flow: 7, .. }));
+
+        let many: Vec<GeneralFluidFlow> = (0..50)
+            .map(|i| GeneralFluidFlow {
+                id: i,
+                size: 10_000,
+                arrival: i as u64,
+                links: vec![0],
+                rate_cap_bps: f64::INFINITY,
+                latency: 0,
+                ideal_fct: 8_000,
+            })
+            .collect();
+        let err = try_simulate_fluid_general(&[10e9], &many, &FluidBudget::events(2))
+            .expect_err("2 events cannot finish 50 flows");
+        assert_eq!(err, FluidError::EventBudgetExceeded { limit: 2 });
     }
 
     #[test]

@@ -34,14 +34,18 @@
 //! assert_eq!(records[0].fct, 8_000); // 10 kB at 10 Gbps
 //! ```
 
+pub mod budget;
 pub mod fluid;
 pub mod general;
 pub mod reference;
 pub mod types;
 
 pub mod prelude {
-    pub use crate::fluid::simulate_fluid;
-    pub use crate::general::{simulate_fluid_general, GeneralFluidFlow};
+    pub use crate::budget::{FluidBudget, FluidError};
+    pub use crate::fluid::{simulate_fluid, try_simulate_fluid};
+    pub use crate::general::{
+        simulate_fluid_general, try_simulate_fluid_general, GeneralFluidFlow,
+    };
     pub use crate::reference::simulate_fluid_reference;
     pub use crate::types::{fluid_ideal_fct, FluidFctRecord, FluidFlow, FluidTopology};
 }

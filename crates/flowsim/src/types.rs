@@ -60,22 +60,26 @@ impl FluidFlow {
         self.first_link as usize..=self.last_link as usize
     }
 
+    /// Non-panicking validation; `Err` carries the reason. Note that a NaN
+    /// rate cap fails the `> 0.0` comparison, so NaN is rejected here too —
+    /// before it can poison the event loop.
+    pub fn check(&self, topo: &FluidTopology) -> Result<(), String> {
+        if self.first_link > self.last_link {
+            return Err("inverted segment".to_string());
+        }
+        if self.last_link as usize >= topo.num_links() {
+            return Err("segment outside topology".to_string());
+        }
+        if self.rate_cap_bps.is_nan() || self.rate_cap_bps <= 0.0 {
+            return Err(format!("rate cap {} not positive", self.rate_cap_bps));
+        }
+        Ok(())
+    }
+
     pub fn validate(&self, topo: &FluidTopology) {
-        assert!(
-            self.first_link <= self.last_link,
-            "flow {}: inverted segment",
-            self.id
-        );
-        assert!(
-            (self.last_link as usize) < topo.num_links(),
-            "flow {}: segment outside topology",
-            self.id
-        );
-        assert!(
-            self.rate_cap_bps > 0.0,
-            "flow {}: nonpositive rate cap",
-            self.id
-        );
+        if let Err(reason) = self.check(topo) {
+            panic!("flow {}: {reason}", self.id);
+        }
     }
 }
 

@@ -47,7 +47,9 @@ pub mod prelude {
     pub use crate::config::{CcParams, CcProtocol, SimConfig};
     pub use crate::flow::{FctRecord, FlowId, FlowSpec};
     pub use crate::routing::Routing;
-    pub use crate::sim::{run_simulation, ChannelStats, SimOutput, Simulator};
+    pub use crate::sim::{
+        run_simulation, ChannelStats, SimBudget, SimBudgetError, SimOutput, Simulator,
+    };
     pub use crate::stats::{percentile, percentile_unsorted, relative_error, Ecdf, ErrorSummary};
     pub use crate::topology::{
         FatTree, FatTreeSpec, Link, LinkId, NodeId, NodeKind, ParkingLot, PortId, Topology,

@@ -23,6 +23,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::time::Duration;
 
 /// Index of a directed channel: `link.index() * 2 + (forward ? 0 : 1)`.
 type PortIdx = u32;
@@ -189,6 +191,91 @@ impl ChannelStats {
     }
 }
 
+/// Resource ceiling for a packet-level run. Unlike [`Simulator::set_deadline`]
+/// (which truncates at a *simulated* time and returns partial results), a
+/// budget is an error condition: exceeding it aborts the run with a typed
+/// [`SimBudgetError`] so callers can distinguish "finished" from "runaway".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBudget {
+    /// Maximum events popped from the queue.
+    pub max_events: u64,
+    /// Optional wall-clock ceiling, checked every few thousand events.
+    pub max_wall: Option<Duration>,
+}
+
+impl SimBudget {
+    pub const UNLIMITED: SimBudget = SimBudget {
+        max_events: u64::MAX,
+        max_wall: None,
+    };
+
+    pub fn events(max_events: u64) -> Self {
+        SimBudget {
+            max_events,
+            max_wall: None,
+        }
+    }
+
+    pub fn with_wall(mut self, limit: Duration) -> Self {
+        self.max_wall = Some(limit);
+        self
+    }
+}
+
+impl Default for SimBudget {
+    /// Generous but bounded; a packet sim that pops a billion events has
+    /// almost certainly diverged.
+    fn default() -> Self {
+        SimBudget {
+            max_events: 1_000_000_000,
+            max_wall: None,
+        }
+    }
+}
+
+/// Typed budget violation from [`Simulator::try_run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimBudgetError {
+    EventBudgetExceeded {
+        limit: u64,
+        recorded: usize,
+        total: usize,
+    },
+    WallClockExceeded {
+        limit: Duration,
+        events: u64,
+        recorded: usize,
+        total: usize,
+    },
+}
+
+impl fmt::Display for SimBudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimBudgetError::EventBudgetExceeded {
+                limit,
+                recorded,
+                total,
+            } => write!(
+                f,
+                "packet sim event budget exceeded ({limit} events; {recorded}/{total} flows done)"
+            ),
+            SimBudgetError::WallClockExceeded {
+                limit,
+                events,
+                recorded,
+                total,
+            } => write!(
+                f,
+                "packet sim wall-clock budget exceeded ({limit:?} after {events} events; \
+                 {recorded}/{total} flows done)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimBudgetError {}
+
 /// Full simulation outcome.
 #[derive(Debug, Clone)]
 pub struct SimOutput {
@@ -221,6 +308,8 @@ pub struct Simulator<'a> {
     drops: u64,
     /// Hard stop (safety net); `None` runs to completion.
     deadline: Option<Nanos>,
+    /// Resource ceiling; exceeding it is an error (see [`SimBudget`]).
+    budget: SimBudget,
 }
 
 impl<'a> Simulator<'a> {
@@ -270,6 +359,7 @@ impl<'a> Simulator<'a> {
             data_packets: 0,
             drops: 0,
             deadline: None,
+            budget: SimBudget::UNLIMITED,
         };
         for i in 0..sim.flows.len() {
             let t = sim.flows[i].spec.arrival;
@@ -282,6 +372,13 @@ impl<'a> Simulator<'a> {
     /// callers that construct potentially overloaded scenarios).
     pub fn set_deadline(&mut self, t: Nanos) {
         self.deadline = Some(t);
+    }
+
+    /// Bound the run by event count and wall clock. Exceeding the budget
+    /// makes [`Simulator::try_run`] return an error (and [`Simulator::run`]
+    /// panic); the default is [`SimBudget::UNLIMITED`].
+    pub fn set_budget(&mut self, budget: SimBudget) {
+        self.budget = budget;
     }
 
     /// Assign strict-priority classes per flow (0 = highest; the default).
@@ -305,9 +402,43 @@ impl<'a> Simulator<'a> {
         });
     }
 
-    /// Run to completion and return all flow records.
-    pub fn run(mut self) -> SimOutput {
+    /// Run to completion and return all flow records. Panics if a budget was
+    /// set with [`Simulator::set_budget`] and exceeded; use
+    /// [`Simulator::try_run`] for a fallible run.
+    pub fn run(self) -> SimOutput {
+        match self.try_run() {
+            Ok(out) => out,
+            Err(e) => panic!("packet simulation aborted: {e}"),
+        }
+    }
+
+    /// Run to completion, aborting with a typed error if the configured
+    /// [`SimBudget`] is exceeded.
+    pub fn try_run(mut self) -> Result<SimOutput, SimBudgetError> {
+        let total = self.flows.len();
+        let mut popped: u64 = 0;
+        let start = self.budget.max_wall.map(|_| std::time::Instant::now());
         while let Some(HeapEv { time, ev, .. }) = self.events.pop() {
+            popped += 1;
+            if popped > self.budget.max_events {
+                return Err(SimBudgetError::EventBudgetExceeded {
+                    limit: self.budget.max_events,
+                    recorded: self.recorded,
+                    total,
+                });
+            }
+            if popped.is_multiple_of(8192) {
+                if let (Some(limit), Some(start)) = (self.budget.max_wall, start) {
+                    if start.elapsed() > limit {
+                        return Err(SimBudgetError::WallClockExceeded {
+                            limit,
+                            events: popped,
+                            recorded: self.recorded,
+                            total,
+                        });
+                    }
+                }
+            }
             self.now = time;
             if let Some(d) = self.deadline {
                 if time > d {
@@ -329,7 +460,7 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
-        SimOutput {
+        Ok(SimOutput {
             records: std::mem::take(&mut self.records),
             data_packets_delivered: self.data_packets,
             drops: self.drops,
@@ -344,7 +475,7 @@ impl<'a> Simulator<'a> {
                     drops: p.drops,
                 })
                 .collect(),
-        }
+        })
     }
 
     fn on_flow_arrive(&mut self, f: FlowId) {
@@ -908,6 +1039,39 @@ mod tests {
         let s1: Vec<_> = o1.records.iter().map(|r| r.fct).collect();
         let s2: Vec<_> = o2.records.iter().map(|r| r.fct).collect();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn event_budget_aborts_with_typed_error() {
+        let (topo, a, b, _) = two_host_topo();
+        let flows: Vec<FlowSpec> = (0..20).map(|i| flow(&topo, i, a, b, 100 * KB, 0)).collect();
+        let mut sim = Simulator::new(&topo, SimConfig::default(), flows);
+        sim.set_budget(SimBudget::events(50));
+        let err = sim.try_run().expect_err("50 events cannot finish 20 flows");
+        assert!(matches!(
+            err,
+            SimBudgetError::EventBudgetExceeded {
+                limit: 50,
+                total: 20,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let (topo, a, b, _) = two_host_topo();
+        let flows: Vec<FlowSpec> = (0..10)
+            .map(|i| flow(&topo, i, a, b, 30 * KB, i as u64 * USEC))
+            .collect();
+        let plain = run_simulation(&topo, SimConfig::default(), flows.clone());
+        let mut sim = Simulator::new(&topo, SimConfig::default(), flows);
+        sim.set_budget(SimBudget::default());
+        let mut budgeted = sim.try_run().expect("default budget is generous");
+        budgeted.records.sort_by_key(|r| r.id);
+        let a: Vec<_> = plain.records.iter().map(|r| r.fct).collect();
+        let b: Vec<_> = budgeted.records.iter().map(|r| r.fct).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

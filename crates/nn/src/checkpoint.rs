@@ -11,6 +11,9 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"M3NN";
 const VERSION: u32 = 1;
+/// Ceiling on the JSON header length a reader will accept. Real headers are
+/// a few hundred bytes; anything larger is a corrupt or hostile length field.
+const MAX_HEADER_BYTES: usize = 1 << 20;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Header {
@@ -45,36 +48,66 @@ pub fn save<W: Write>(net: &M3Net, seed: u64, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Deserialize a model from a reader.
+///
+/// Every header-claimed quantity is validated *before* it sizes an
+/// allocation: the JSON length is capped, the config's dimensions are
+/// bounds-checked via [`ModelConfig::validate`], and each parameter's
+/// claimed shape must match the architecture implied by the config. A
+/// corrupt or hostile header therefore yields `InvalidData` (or
+/// `UnexpectedEof` on truncation), never an OOM.
 pub fn load<R: Read>(mut r: R) -> io::Result<M3Net> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(invalid("bad magic"));
     }
     let mut buf4 = [0u8; 4];
     r.read_exact(&mut buf4)?;
     let version = u32::from_le_bytes(buf4);
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
+        return Err(invalid(format!("unsupported checkpoint version {version}")));
     }
     r.read_exact(&mut buf4)?;
     let json_len = u32::from_le_bytes(buf4) as usize;
+    if json_len > MAX_HEADER_BYTES {
+        return Err(invalid(format!(
+            "header length {json_len} exceeds the {MAX_HEADER_BYTES}-byte cap"
+        )));
+    }
     let mut json = vec![0u8; json_len];
     r.read_exact(&mut json)?;
     let header: Header = serde_json::from_slice(&json).map_err(io::Error::other)?;
+    header
+        .config
+        .validate()
+        .map_err(|reason| invalid(format!("invalid checkpoint config: {reason}")))?;
 
-    // Rebuild the net with the recorded seed to recover the layout, then
-    // overwrite every parameter with the stored data.
+    // Rebuild the net with the recorded seed to recover the layout. The
+    // config was validated above, so this allocation is bounded.
     let mut net = M3Net::new(header.config, header.seed);
     if net.store.len() != header.params.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
+        return Err(invalid(
             "checkpoint parameter count does not match architecture",
         ));
+    }
+    // Shape-check the header's claims against the architecture BEFORE
+    // reading (and allocating) any payload: the payload buffers below are
+    // then sized by the validated architecture, not by untrusted input.
+    for (fresh, (name, rows, cols)) in net.store.iter().zip(&header.params) {
+        if fresh.value.shape() != (*rows, *cols) || &fresh.name != name {
+            return Err(invalid(format!(
+                "parameter mismatch: expected {} {:?}, found {} {:?}",
+                fresh.name,
+                fresh.value.shape(),
+                name,
+                (*rows, *cols)
+            )));
+        }
     }
     let mut new_store = ParamStore::new();
     for (name, rows, cols) in &header.params {
@@ -82,33 +115,39 @@ pub fn load<R: Read>(mut r: R) -> io::Result<M3Net> {
         let mut bytes = vec![0u8; rows * cols * 4];
         r.read_exact(&mut bytes)?;
         for (i, chunk) in bytes.chunks_exact(4).enumerate() {
-            data[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+            let mut le = [0u8; 4];
+            le.copy_from_slice(chunk);
+            data[i] = f32::from_le_bytes(le);
         }
         new_store.add(name.clone(), Tensor::from_vec(*rows, *cols, data));
-    }
-    // Shape check against the freshly constructed layout.
-    for (fresh, loaded) in net.store.iter().zip(new_store.iter()) {
-        if fresh.value.shape() != loaded.value.shape() || fresh.name != loaded.name {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "parameter mismatch: expected {} {:?}, found {} {:?}",
-                    fresh.name,
-                    fresh.value.shape(),
-                    loaded.name,
-                    loaded.value.shape()
-                ),
-            ));
-        }
     }
     net.store = new_store;
     Ok(net)
 }
 
-/// Save to a file path.
+/// Save to a file path atomically: write to a sibling temp file, fsync it,
+/// then rename over the destination. A crash mid-save can leave a stray
+/// temp file but never a truncated checkpoint at `path`.
 pub fn save_file(net: &M3Net, seed: u64, path: impl AsRef<Path>) -> io::Result<()> {
-    let f = std::fs::File::create(path)?;
-    save(net, seed, io::BufWriter::new(f))
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| invalid("checkpoint path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let f = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(f);
+        save(net, seed, &mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Load from a file path.
@@ -169,6 +208,85 @@ mod tests {
         save(&net, 11, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(load(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_header_length() {
+        // magic + version + a 3 GiB header-length claim. A naive reader
+        // would allocate 3 GiB before noticing the stream ends.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(3_000_000_000u32).to_le_bytes());
+        let err = load(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn rejects_absurd_config_dimensions() {
+        // A parseable header whose config implies terabytes of parameters
+        // must be rejected by validation, not by the allocator.
+        let mut cfg = tiny_net().cfg;
+        cfg.feat_dim = 1 << 19;
+        cfg.mlp_hidden = 1 << 14;
+        let header = Header {
+            config: cfg,
+            params: vec![],
+            seed: 0,
+        };
+        let json = serde_json::to_vec(&header).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&json);
+        let err = load(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("invalid checkpoint config"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_parameter_shape() {
+        let net = tiny_net();
+        let mut buf = Vec::new();
+        save(&net, 11, &mut buf).unwrap();
+        // Corrupt the header: inflate the first parameter's row count.
+        let json_len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]) as usize;
+        let mut header: Header = serde_json::from_slice(&buf[12..12 + json_len]).unwrap();
+        header.params[0].1 *= 1000;
+        let json = serde_json::to_vec(&header).unwrap();
+        let mut corrupt = Vec::new();
+        corrupt.extend_from_slice(MAGIC);
+        corrupt.extend_from_slice(&VERSION.to_le_bytes());
+        corrupt.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        corrupt.extend_from_slice(&json);
+        corrupt.extend_from_slice(&buf[12 + json_len..]);
+        let err = load(&corrupt[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("parameter mismatch"), "{err}");
+    }
+
+    #[test]
+    fn atomic_save_overwrites_and_leaves_no_temp() {
+        let net = tiny_net();
+        let dir = std::env::temp_dir().join("m3nn_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        std::fs::write(&path, b"stale garbage").unwrap();
+        save_file(&net, 11, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(net.predict(&sample()), loaded.predict(&sample()));
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "temp file left behind: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

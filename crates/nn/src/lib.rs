@@ -25,6 +25,11 @@
 //! assert_eq!(out.len(), 4);
 //! ```
 
+// Robustness policy: non-test library code must not unwrap/expect — errors
+// either propagate as typed Results or use an explicitly justified panic.
+// scripts/check.sh runs clippy with -D warnings, making these hard errors.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod checkpoint;
 pub mod model;
 pub mod optim;

@@ -74,6 +74,58 @@ impl ModelConfig {
         assert_eq!(self.embed % self.heads, 0, "embed must divide by heads");
         self.embed / self.heads
     }
+
+    /// Structural validation with hard dimension caps. Used before
+    /// constructing a net from untrusted data (checkpoint headers), so a
+    /// corrupt or hostile config cannot trigger an enormous allocation.
+    pub fn validate(&self) -> Result<(), String> {
+        const MAX_IO_DIM: usize = 1 << 20; // feature / output widths
+        const MAX_HIDDEN: usize = 1 << 14; // embed / ff / mlp widths
+        const MAX_SCALARS: u128 = 1 << 27; // ~512 MB of f32 parameters
+        let caps: [(&str, usize, usize); 9] = [
+            ("feat_dim", self.feat_dim, MAX_IO_DIM),
+            ("spec_dim", self.spec_dim, MAX_IO_DIM),
+            ("out_dim", self.out_dim, MAX_IO_DIM),
+            ("embed", self.embed, MAX_HIDDEN),
+            ("heads", self.heads, 256),
+            ("layers", self.layers, 128),
+            ("block", self.block, 1 << 12),
+            ("ff_hidden", self.ff_hidden, MAX_HIDDEN),
+            ("mlp_hidden", self.mlp_hidden, MAX_HIDDEN),
+        ];
+        for (name, v, cap) in caps {
+            if v == 0 {
+                return Err(format!("{name} must be nonzero"));
+            }
+            if v > cap {
+                return Err(format!("{name} = {v} exceeds cap {cap}"));
+            }
+        }
+        if !self.embed.is_multiple_of(self.heads) {
+            return Err(format!(
+                "embed {} not divisible by heads {}",
+                self.embed, self.heads
+            ));
+        }
+        // Upper bound on total parameter scalars (overestimates are fine;
+        // this only guards allocation size).
+        let (f, s, o) = (
+            self.feat_dim as u128,
+            self.spec_dim as u128,
+            self.out_dim as u128,
+        );
+        let (e, l, b) = (self.embed as u128, self.layers as u128, self.block as u128);
+        let (ff, mh) = (self.ff_hidden as u128, self.mlp_hidden as u128);
+        let per_layer = 4 * e * e + 3 * e * ff + 2 * e;
+        let mlp_in = f + e + s;
+        let total = f * e + e + b * e + l * per_layer + e + mlp_in * mh + mh + mh * o + o;
+        if total > MAX_SCALARS {
+            return Err(format!(
+                "architecture implies ~{total} parameters, over the {MAX_SCALARS} cap"
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Parameter layout of one transformer layer.
@@ -223,7 +275,12 @@ impl M3Net {
                     None => proj,
                 });
             }
-            x = tape.add(x, attn_out.expect("at least one head"));
+            // `heads >= 1` (asserted at construction), so the fold above
+            // always produced a value.
+            x = match attn_out {
+                Some(attn) => tape.add(x, attn),
+                None => unreachable!("model has at least one attention head"),
+            };
             // SwiGLU feed-forward sublayer.
             let g2 = tape.param(layer.norm2);
             let normed = tape.rms_norm(x, g2);

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> fault-injection suite"
+cargo test -q --test fault_injection
+
 echo "All checks passed."

@@ -177,6 +177,25 @@ fn report(name: &str, est: &NetworkEstimate, elapsed: std::time::Duration) {
         est.bucket_p99(3),
         elapsed
     );
+    let deg = &est.degradation;
+    if !deg.is_clean() {
+        eprintln!(
+            "{:>18}  warning: degraded estimate — {}/{} samples fell back to \
+             flowSim, {}/{} dropped ({} fault event(s))",
+            "",
+            deg.degraded_samples,
+            deg.total_samples,
+            deg.dropped_samples,
+            deg.total_samples,
+            deg.events.len()
+        );
+        for ev in &deg.events {
+            eprintln!(
+                "{:>18}    [{}/{}] scenario {}: {}",
+                "", ev.stage, ev.fault, ev.scenario, ev.detail
+            );
+        }
+    }
 }
 
 fn run_estimate(spec: &Spec) {
@@ -192,7 +211,16 @@ fn run_estimate(spec: &Spec) {
         match method.as_str() {
             "m3" => {
                 let est = M3Estimator::new(load_model(spec));
-                let e = est.estimate(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
+                let e = est
+                    .try_estimate(
+                        &m.topo,
+                        &m.flows,
+                        &m.config,
+                        spec.paths,
+                        spec.seed,
+                        &EstimateOptions::default(),
+                    )
+                    .unwrap_or_else(|e| die(&e.to_string()));
                 report("m3", &e, t.elapsed());
             }
             "flowsim" => {
