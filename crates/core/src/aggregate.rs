@@ -171,6 +171,14 @@ pub struct StageTimings {
     pub flowsim_runs: usize,
     /// Scenarios answered from the cross-run scenario cache.
     pub cache_hits: usize,
+    /// Scenarios probed but not found in the cache (0 when no cache was
+    /// supplied; `cache_hits + cache_misses == unique_scenarios` otherwise).
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Cache entries evicted while this estimate inserted its results
+    /// (LRU pressure attributable to this call).
+    #[serde(default)]
+    pub cache_evictions: usize,
 }
 
 impl StageTimings {

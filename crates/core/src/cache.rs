@@ -15,6 +15,7 @@
 use crate::aggregate::PathDistribution;
 use crate::pathsim::PathScenarioData;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// FNV-1a 64-bit: tiny, dependency-free, stable across platforms and runs
 /// (unlike `DefaultHasher`, which is randomly keyed per process). Also used
@@ -101,6 +102,32 @@ pub struct ScenarioCache {
     map: HashMap<(u64, u64), Entry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time counters of a [`ScenarioCache`], for health/stats
+/// snapshots. Counters are cumulative over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub len: usize,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries removed to make room (LRU) or after failing integrity
+    /// checks.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
 }
 
 impl ScenarioCache {
@@ -113,6 +140,7 @@ impl ScenarioCache {
             map: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -144,6 +172,7 @@ impl ScenarioCache {
                 .map(|(k, _)| k)
             {
                 self.map.remove(&victim);
+                self.evictions += 1;
             }
         }
         let tick = self.tick;
@@ -175,6 +204,21 @@ impl ScenarioCache {
         self.misses
     }
 
+    /// Entries evicted so far (LRU pressure plus integrity removals).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Counter snapshot for health/stats reporting.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            len: self.map.len(),
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
     /// Fraction of lookups answered from the cache (NaN before any lookup).
     pub fn hit_rate(&self) -> f64 {
         self.hits as f64 / (self.hits + self.misses) as f64
@@ -183,11 +227,57 @@ impl ScenarioCache {
     /// Evict a specific entry, e.g. one that failed an integrity check.
     /// Returns true if the entry was present.
     pub fn remove(&mut self, scenario: u64, model: u64) -> bool {
-        self.map.remove(&(scenario, model)).is_some()
+        let removed = self.map.remove(&(scenario, model)).is_some();
+        if removed {
+            self.evictions += 1;
+        }
+        removed
     }
 
     pub fn clear(&mut self) {
         self.map.clear();
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`ScenarioCache`], for sharing one
+/// cache across the workers of an estimation service (and across service
+/// restarts within a process: clone the handle, hand it to the next
+/// incarnation, and its warm entries survive).
+///
+/// The lock is held only for the cache probe and insert phases of an
+/// estimate, never across flowSim or the forward pass, so concurrent jobs
+/// serialize only on the (cheap) map operations. A panic while the lock is
+/// held cannot poison correctness — the cache is a performance layer whose
+/// entries are integrity-checked on every hit — so lock poisoning is
+/// deliberately ignored.
+#[derive(Clone)]
+pub struct SharedScenarioCache {
+    inner: Arc<Mutex<ScenarioCache>>,
+}
+
+impl SharedScenarioCache {
+    /// A fresh shared cache holding at most `capacity` path distributions.
+    pub fn new(capacity: usize) -> Self {
+        SharedScenarioCache {
+            inner: Arc::new(Mutex::new(ScenarioCache::new(capacity))),
+        }
+    }
+
+    /// Wrap an existing cache (keeps its entries and counters).
+    pub fn from_cache(cache: ScenarioCache) -> Self {
+        SharedScenarioCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Lock the underlying cache. Recovers from poisoning (see type docs).
+    pub fn lock(&self) -> MutexGuard<'_, ScenarioCache> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Counter snapshot without holding the lock beyond the read.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
     }
 }
 
@@ -275,6 +365,47 @@ mod tests {
         assert!(!skew.is_sane());
         // A legitimate distribution is sane.
         assert!(dist(3.0).is_sane());
+    }
+
+    #[test]
+    fn eviction_counters_track_lru_and_integrity_removals() {
+        let mut c = ScenarioCache::new(2);
+        c.insert(1, 0, dist(1.0));
+        c.insert(2, 0, dist(2.0));
+        assert_eq!(c.evictions(), 0);
+        c.insert(3, 0, dist(3.0)); // LRU eviction
+        assert_eq!(c.evictions(), 1);
+        assert!(c.remove(3, 0)); // integrity-style removal
+        assert_eq!(c.evictions(), 2);
+        assert!(!c.remove(3, 0), "absent entry is not an eviction");
+        assert_eq!(c.evictions(), 2);
+        let s = c.stats();
+        assert_eq!((s.len, s.evictions), (1, 2));
+    }
+
+    #[test]
+    fn shared_cache_is_safe_and_consistent_across_threads() {
+        let shared = SharedScenarioCache::new(1024);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let key = t * 1000 + i;
+                    h.lock().insert(key, 0, dist(key as f64));
+                    let got = h.lock().get(key, 0).expect("own insert visible");
+                    assert_eq!(got.buckets[0], vec![key as f64]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = shared.stats();
+        assert_eq!(s.len, 800);
+        assert_eq!(s.hits, 800);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum Stage {
     Cache,
     /// Model checkpoint I/O.
     Checkpoint,
+    /// Supervised worker execution outside any pipeline stage (the worker
+    /// thread itself crashed; the faulting stage is unknown).
+    Worker,
 }
 
 impl Stage {
@@ -44,6 +47,7 @@ impl Stage {
             Stage::Aggregate => "aggregate",
             Stage::Cache => "cache",
             Stage::Checkpoint => "checkpoint",
+            Stage::Worker => "worker",
         }
     }
 }
@@ -87,6 +91,32 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Whether a fault is worth retrying.
+///
+/// *Transient* faults depend on circumstances that can change between
+/// attempts (resource ceilings, panics whose trigger may not recur);
+/// *persistent* faults are properties of the input or stored state and will
+/// reproduce on every attempt, so retrying them only wastes capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    Transient,
+    Persistent,
+}
+
+impl FaultKind {
+    /// Retry classification of this fault kind. Budget trips and panics are
+    /// transient; malformed input, non-finite math, and corrupt stored
+    /// state are persistent (deterministically reproducible).
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultKind::BudgetExceeded | FaultKind::Panic => FaultClass::Transient,
+            FaultKind::InvalidInput | FaultKind::NonFinite | FaultKind::Corruption => {
+                FaultClass::Persistent
+            }
+        }
+    }
+}
+
 /// Top-level error type for the estimation pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum M3Error {
@@ -106,6 +136,22 @@ pub enum M3Error {
     },
     /// Every sampled path faulted; there is nothing to aggregate.
     NoUsableSamples { total: usize },
+    /// A caller-imposed deadline expired before the work finished.
+    DeadlineExceeded { deadline_ms: u64, elapsed_ms: u64 },
+}
+
+impl M3Error {
+    /// Is this error worth retrying? Stage faults inherit their
+    /// [`FaultKind::class`]; widespread-degradation errors are transient
+    /// (the underlying per-sample faults may clear on a retry); malformed
+    /// specs and expired deadlines are persistent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            M3Error::StageFault { fault, .. } => fault.class() == FaultClass::Transient,
+            M3Error::DegradationLimitExceeded { .. } | M3Error::NoUsableSamples { .. } => true,
+            M3Error::InvalidSpec { .. } | M3Error::DeadlineExceeded { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for M3Error {
@@ -130,6 +176,13 @@ impl fmt::Display for M3Error {
             M3Error::NoUsableSamples { total } => {
                 write!(f, "all {total} path samples faulted; no usable samples")
             }
+            M3Error::DeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline of {deadline_ms} ms exceeded ({elapsed_ms} ms elapsed)"
+            ),
         }
     }
 }
@@ -333,6 +386,41 @@ mod tests {
         let mut bad = good;
         bad.dst = bad.src;
         assert!(validate_workload(&topo, &[bad]).is_err());
+    }
+
+    #[test]
+    fn fault_classes_partition_retryability() {
+        use FaultClass::*;
+        assert_eq!(FaultKind::BudgetExceeded.class(), Transient);
+        assert_eq!(FaultKind::Panic.class(), Transient);
+        assert_eq!(FaultKind::InvalidInput.class(), Persistent);
+        assert_eq!(FaultKind::NonFinite.class(), Persistent);
+        assert_eq!(FaultKind::Corruption.class(), Persistent);
+
+        let transient = M3Error::StageFault {
+            stage: Stage::FlowSim,
+            fault: FaultKind::BudgetExceeded,
+            detail: String::new(),
+        };
+        assert!(transient.is_transient());
+        let persistent = M3Error::StageFault {
+            stage: Stage::FlowSim,
+            fault: FaultKind::InvalidInput,
+            detail: String::new(),
+        };
+        assert!(!persistent.is_transient());
+        assert!(!M3Error::InvalidSpec {
+            stage: Stage::Validate,
+            reason: String::new()
+        }
+        .is_transient());
+        assert!(M3Error::NoUsableSamples { total: 3 }.is_transient());
+        let deadline = M3Error::DeadlineExceeded {
+            deadline_ms: 10,
+            elapsed_ms: 25,
+        };
+        assert!(!deadline.is_transient());
+        assert!(deadline.to_string().contains("10 ms"), "{deadline}");
     }
 
     #[test]

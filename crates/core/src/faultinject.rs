@@ -33,6 +33,9 @@ pub enum InjectedFault {
     ForwardPoison,
     /// Flip bytes in a serialized checkpoint (exercises load validation).
     CheckpointCorrupt,
+    /// Panic in the service worker thread *outside* the pipeline's panic
+    /// barriers (exercises supervisor detection, job recovery, respawn).
+    WorkerPanic,
 }
 
 impl InjectedFault {
@@ -43,24 +46,48 @@ impl InjectedFault {
             InjectedFault::FlowsimPanic => 3,
             InjectedFault::ForwardPoison => 4,
             InjectedFault::CheckpointCorrupt => 5,
+            InjectedFault::WorkerPanic => 6,
         }
     }
 
-    pub const ALL: [InjectedFault; 5] = [
+    pub const ALL: [InjectedFault; 6] = [
         InjectedFault::FlowsimNan,
         InjectedFault::FlowsimBudget,
         InjectedFault::FlowsimPanic,
         InjectedFault::ForwardPoison,
         InjectedFault::CheckpointCorrupt,
+        InjectedFault::WorkerPanic,
     ];
 }
 
+/// One injection rule: a fault kind, the fraction of slots it fires on,
+/// and an optional attempt ceiling ("fail the first N attempts").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Rule {
+    kind: InjectedFault,
+    frac: f64,
+    /// `Some(n)`: the rule only fires while the plan's attempt index is
+    /// below `n` — so attempt `n` and later succeed. `None`: fires on
+    /// every attempt (the classic, attempt-independent behavior).
+    max_attempt: Option<u32>,
+}
+
 /// A seeded set of injection rules: for each fault kind, the fraction of
-/// slots it fires on. Decisions are deterministic in (seed, kind, slot).
+/// slots it fires on. Decisions are deterministic in (seed, kind, slot,
+/// attempt).
+///
+/// The `attempt` index makes retry machinery deterministically testable: a
+/// rule added via [`with_first_attempts`](Self::with_first_attempts) fires
+/// only while `attempt < n`, so a retrying caller that stamps each attempt
+/// with [`at_attempt`](Self::at_attempt) sees the fault exactly `n` times
+/// and then a clean run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     seed: u64,
-    rules: Vec<(InjectedFault, f64)>,
+    rules: Vec<Rule>,
+    /// Attempt index this plan instance evaluates under (0 = first try).
+    #[serde(default)]
+    attempt: u32,
 }
 
 impl FaultPlan {
@@ -69,6 +96,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             rules: Vec::new(),
+            attempt: 0,
         }
     }
 
@@ -77,16 +105,52 @@ impl FaultPlan {
     /// same kind replace earlier ones.
     pub fn with(mut self, kind: InjectedFault, frac: f64) -> Self {
         let frac = frac.clamp(0.0, 1.0);
-        self.rules.retain(|(k, _)| *k != kind);
-        self.rules.push((kind, frac));
+        self.rules.retain(|r| r.kind != kind);
+        self.rules.push(Rule {
+            kind,
+            frac,
+            max_attempt: None,
+        });
         self
     }
 
+    /// Add a transient-fault rule: like [`with`](Self::with), but the rule
+    /// only fires on the first `n` attempts (attempt indices `0..n`), so a
+    /// retrying caller deterministically succeeds on attempt `n`.
+    pub fn with_first_attempts(mut self, kind: InjectedFault, frac: f64, n: u32) -> Self {
+        let frac = frac.clamp(0.0, 1.0);
+        self.rules.retain(|r| r.kind != kind);
+        self.rules.push(Rule {
+            kind,
+            frac,
+            max_attempt: Some(n),
+        });
+        self
+    }
+
+    /// This plan evaluated at attempt index `a` (retry loops stamp each
+    /// attempt before handing the plan to the pipeline).
+    pub fn at_attempt(&self, a: u32) -> FaultPlan {
+        let mut p = self.clone();
+        p.attempt = a;
+        p
+    }
+
+    /// The attempt index this plan instance evaluates under.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
     /// Does this plan inject `kind` at `slot`? Pure and deterministic:
-    /// the same (seed, kind, slot) always answers the same.
+    /// the same (seed, kind, slot, attempt) always answers the same.
     pub fn hits(&self, kind: InjectedFault, slot: usize) -> bool {
-        let frac = match self.rules.iter().find(|(k, _)| *k == kind) {
-            Some(&(_, f)) => f,
+        let frac = match self.rules.iter().find(|r| r.kind == kind) {
+            Some(r) => {
+                if r.max_attempt.is_some_and(|n| self.attempt >= n) {
+                    return false;
+                }
+                r.frac
+            }
             None => return false,
         };
         if frac <= 0.0 {
@@ -176,6 +240,54 @@ mod tests {
             .with(InjectedFault::FlowsimNan, 1.0)
             .with(InjectedFault::FlowsimNan, 0.0);
         assert!(p.slots_hit(InjectedFault::FlowsimNan, 20).is_empty());
+    }
+
+    #[test]
+    fn first_attempts_rule_clears_after_n_attempts() {
+        let p = FaultPlan::new(11).with_first_attempts(InjectedFault::FlowsimPanic, 1.0, 2);
+        // Attempts 0 and 1 fault everywhere; attempt 2 onward is clean.
+        for a in 0..2 {
+            assert_eq!(
+                p.at_attempt(a)
+                    .slots_hit(InjectedFault::FlowsimPanic, 20)
+                    .len(),
+                20,
+                "attempt {a}"
+            );
+        }
+        for a in 2..5 {
+            assert!(
+                p.at_attempt(a)
+                    .slots_hit(InjectedFault::FlowsimPanic, 20)
+                    .is_empty(),
+                "attempt {a}"
+            );
+        }
+        assert_eq!(p.attempt(), 0, "at_attempt does not mutate the original");
+    }
+
+    #[test]
+    fn attempt_index_does_not_perturb_attempt_independent_rules() {
+        let p = FaultPlan::new(5).with(InjectedFault::FlowsimNan, 0.5);
+        let base = p.slots_hit(InjectedFault::FlowsimNan, 100);
+        for a in 1..4 {
+            assert_eq!(
+                base,
+                p.at_attempt(a).slots_hit(InjectedFault::FlowsimNan, 100)
+            );
+        }
+    }
+
+    #[test]
+    fn with_first_attempts_replaces_existing_rule_for_kind() {
+        let p = FaultPlan::new(3)
+            .with(InjectedFault::FlowsimBudget, 1.0)
+            .with_first_attempts(InjectedFault::FlowsimBudget, 1.0, 1);
+        assert_eq!(p.slots_hit(InjectedFault::FlowsimBudget, 10).len(), 10);
+        assert!(p
+            .at_attempt(1)
+            .slots_hit(InjectedFault::FlowsimBudget, 10)
+            .is_empty());
     }
 
     #[test]

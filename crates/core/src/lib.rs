@@ -62,9 +62,11 @@ pub mod prelude {
         DegradationEvent, DegradationReport, NetworkEstimate, PathDistribution, StageTimings,
         NUM_OUTPUT_BUCKETS,
     };
-    pub use crate::cache::{scenario_fingerprint, ScenarioCache};
+    pub use crate::cache::{scenario_fingerprint, CacheStats, ScenarioCache, SharedScenarioCache};
     pub use crate::decompose::{flow_ports, PathGroup, PathIndex};
-    pub use crate::error::{validate_workload, FaultKind, M3Error, SpecValidation, Stage};
+    pub use crate::error::{
+        validate_workload, FaultClass, FaultKind, M3Error, SpecValidation, Stage,
+    };
     pub use crate::faultinject::{FaultPlan, InjectedFault};
     pub use crate::features::{
         feature_bucket, output_bucket, FeatureMap, FEAT_DIM, OUTPUT_BUCKETS, OUT_DIM, SIZE_BUCKETS,

@@ -13,7 +13,7 @@ use crate::aggregate::{
     DegradationEvent, DegradationReport, NetworkEstimate, PathDistribution, StageTimings,
     NUM_OUTPUT_BUCKETS,
 };
-use crate::cache::{scenario_fingerprint, ScenarioCache};
+use crate::cache::{scenario_fingerprint, ScenarioCache, SharedScenarioCache};
 use crate::decompose::PathIndex;
 use crate::error::{validate_workload, FaultKind, M3Error, SpecValidation, Stage};
 use crate::faultinject::InjectedFault;
@@ -24,6 +24,7 @@ use m3_flowsim::prelude::{try_simulate_fluid, FluidBudget, FluidError};
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -38,7 +39,7 @@ fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
 }
 
 /// What the estimator does when a pipeline stage faults on a path sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DegradationPolicy {
     /// The first fault aborts the whole estimate with a typed [`M3Error`].
     FailFast,
@@ -100,6 +101,32 @@ fn panic_detail(p: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "panic with non-string payload".to_string()
+    }
+}
+
+/// How an estimate call reaches its scenario cache: not at all, through an
+/// exclusive borrow, or through a thread-safe shared handle. The shared
+/// variant locks only around the probe and insert phases, so concurrent
+/// estimates (e.g. service workers) overlap everywhere else.
+enum CacheRef<'a> {
+    None,
+    Excl(&'a mut ScenarioCache),
+    Shared(&'a SharedScenarioCache),
+}
+
+impl CacheRef<'_> {
+    fn present(&self) -> bool {
+        !matches!(self, CacheRef::None)
+    }
+
+    /// Run `f` against the cache (locking the shared variant for the
+    /// duration of `f` only). `None` when no cache is attached.
+    fn with<R>(&mut self, f: impl FnOnce(&mut ScenarioCache) -> R) -> Option<R> {
+        match self {
+            CacheRef::None => None,
+            CacheRef::Excl(c) => Some(f(c)),
+            CacheRef::Shared(h) => Some(f(&mut h.lock())),
+        }
     }
 }
 
@@ -202,7 +229,7 @@ impl M3Estimator {
         seed: u64,
         options: &EstimateOptions,
     ) -> Result<NetworkEstimate, M3Error> {
-        self.estimate_inner(topo, flows, config, k_paths, seed, None, options)
+        self.estimate_inner(topo, flows, config, k_paths, seed, CacheRef::None, options)
     }
 
     /// [`try_estimate`](Self::try_estimate) backed by a [`ScenarioCache`].
@@ -221,7 +248,43 @@ impl M3Estimator {
         cache: &mut ScenarioCache,
         options: &EstimateOptions,
     ) -> Result<NetworkEstimate, M3Error> {
-        self.estimate_inner(topo, flows, config, k_paths, seed, Some(cache), options)
+        self.estimate_inner(
+            topo,
+            flows,
+            config,
+            k_paths,
+            seed,
+            CacheRef::Excl(cache),
+            options,
+        )
+    }
+
+    /// [`try_estimate_with_cache`](Self::try_estimate_with_cache) against a
+    /// thread-safe [`SharedScenarioCache`]: the cache lock is held only for
+    /// the probe and insert phases, so concurrent estimates (e.g. the
+    /// workers of an estimation service) share warm entries without
+    /// serializing their flowSim or forward-pass work. Results are
+    /// bit-identical to the exclusive-cache path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_estimate_with_shared_cache(
+        &self,
+        topo: &Topology,
+        flows: &[FlowSpec],
+        config: &SimConfig,
+        k_paths: usize,
+        seed: u64,
+        cache: &SharedScenarioCache,
+        options: &EstimateOptions,
+    ) -> Result<NetworkEstimate, M3Error> {
+        self.estimate_inner(
+            topo,
+            flows,
+            config,
+            k_paths,
+            seed,
+            CacheRef::Shared(cache),
+            options,
+        )
     }
 
     /// One slot's flowSim run, with injected faults applied. Runs inside
@@ -263,7 +326,7 @@ impl M3Estimator {
         config: &SimConfig,
         k_paths: usize,
         seed: u64,
-        mut cache: Option<&mut ScenarioCache>,
+        mut cache: CacheRef<'_>,
         options: &EstimateOptions,
     ) -> Result<NetworkEstimate, M3Error> {
         let mut timings = StageTimings::default();
@@ -335,30 +398,38 @@ impl M3Estimator {
         // are integrity-checked: a corrupt entry is evicted and recomputed
         // (exact repair, so it neither counts against the degradation
         // budget nor aborts a fail-fast run).
-        let model_fp = cache.as_ref().map(|_| self.net.fingerprint());
+        let model_fp = cache.present().then(|| self.net.fingerprint());
         let mut resolved: Vec<Option<PathDistribution>> = vec![None; uniq.len()];
-        if let (Some(c), Some(fp)) = (cache.as_deref_mut(), model_fp) {
-            for (slot, &i) in uniq.iter().enumerate() {
-                match c.get(keys[i], fp) {
-                    Some(d) if d.is_sane() => resolved[slot] = Some(d),
-                    Some(_) => {
-                        c.remove(keys[i], fp);
-                        report.events.push(DegradationEvent {
-                            stage: Stage::Cache,
-                            fault: FaultKind::Corruption,
-                            scenario: slot,
-                            samples_affected: 0,
-                            detail: "cached distribution failed integrity check; \
-                                     evicted and recomputed"
-                                .into(),
-                        });
+        if let Some(fp) = model_fp {
+            // One lock (shared variant) spans the whole probe loop: the
+            // map lookups are cheap next to the flowSim runs a miss costs.
+            let events = &mut report.events;
+            cache.with(|c| {
+                for (slot, &i) in uniq.iter().enumerate() {
+                    match c.get(keys[i], fp) {
+                        Some(d) if d.is_sane() => resolved[slot] = Some(d),
+                        Some(_) => {
+                            c.remove(keys[i], fp);
+                            events.push(DegradationEvent {
+                                stage: Stage::Cache,
+                                fault: FaultKind::Corruption,
+                                scenario: slot,
+                                samples_affected: 0,
+                                detail: "cached distribution failed integrity check; \
+                                         evicted and recomputed"
+                                    .into(),
+                            });
+                        }
+                        None => {}
                     }
-                    None => {}
                 }
-            }
+            });
         }
         timings.cache_hits = resolved.iter().filter(|r| r.is_some()).count();
         let todo: Vec<usize> = (0..uniq.len()).filter(|&s| resolved[s].is_none()).collect();
+        if cache.present() {
+            timings.cache_misses = todo.len();
+        }
 
         // Stage 2: flowSim the unresolved unique scenarios in parallel,
         // each isolated (budget + panic barrier).
@@ -492,12 +563,18 @@ impl M3Estimator {
                 }
             }
         }
-        if let (Some(c), Some(fp)) = (cache, model_fp) {
-            for &s in &cacheable {
-                if let Some(dist) = resolved[s].clone() {
-                    c.insert(keys[uniq[s]], fp, dist);
-                }
-            }
+        if let Some(fp) = model_fp {
+            timings.cache_evictions = cache
+                .with(|c| {
+                    let before = c.evictions();
+                    for &s in &cacheable {
+                        if let Some(dist) = resolved[s].clone() {
+                            c.insert(keys[uniq[s]], fp, dist);
+                        }
+                    }
+                    (c.evictions() - before) as usize
+                })
+                .unwrap_or(0);
         }
         timings.forward_s = t0.elapsed().as_secs_f64();
 
@@ -737,6 +814,70 @@ mod tests {
 
         assert_eq!(warm.timings.sampled_paths, 10);
         assert!(warm.timings.unique_scenarios <= warm.timings.sampled_paths);
+    }
+
+    #[test]
+    fn shared_cache_matches_exclusive_cache_bit_for_bit() {
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let opts = EstimateOptions::default();
+
+        let mut excl = crate::cache::ScenarioCache::new(256);
+        let excl_cold = est
+            .try_estimate_with_cache(&ft.topo, &flows, &cfg, 10, 5, &mut excl, &opts)
+            .expect("cold exclusive run");
+
+        let shared = crate::cache::SharedScenarioCache::new(256);
+        let shared_cold = est
+            .try_estimate_with_shared_cache(&ft.topo, &flows, &cfg, 10, 5, &shared, &opts)
+            .expect("cold shared run");
+        assert_estimates_bit_identical(&excl_cold, &shared_cold);
+        assert_eq!(shared_cold.timings.cache_hits, 0);
+        assert_eq!(
+            shared_cold.timings.cache_misses,
+            shared_cold.timings.unique_scenarios
+        );
+
+        let shared_warm = est
+            .try_estimate_with_shared_cache(&ft.topo, &flows, &cfg, 10, 5, &shared, &opts)
+            .expect("warm shared run");
+        assert_eq!(
+            shared_warm.timings.flowsim_runs, 0,
+            "warm run skips flowSim"
+        );
+        assert_eq!(shared_warm.timings.cache_misses, 0);
+        assert_eq!(
+            shared_warm.timings.cache_hits,
+            shared_warm.timings.unique_scenarios
+        );
+        assert_estimates_bit_identical(&shared_cold, &shared_warm);
+
+        let s = shared.stats();
+        assert_eq!(s.misses as usize, shared_cold.timings.unique_scenarios);
+        assert_eq!(s.hits as usize, shared_warm.timings.cache_hits);
+    }
+
+    #[test]
+    fn cache_eviction_counter_appears_in_timings_under_pressure() {
+        // A one-entry cache forces LRU evictions on any multi-scenario run.
+        let (ft, flows, cfg) = small_workload(800);
+        let est = untrained_estimator();
+        let mut cache = crate::cache::ScenarioCache::new(1);
+        let e = est
+            .try_estimate_with_cache(
+                &ft.topo,
+                &flows,
+                &cfg,
+                10,
+                5,
+                &mut cache,
+                &EstimateOptions::default(),
+            )
+            .expect("fault-free run");
+        if e.timings.unique_scenarios > 1 {
+            assert_eq!(e.timings.cache_evictions, e.timings.unique_scenarios - 1);
+        }
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

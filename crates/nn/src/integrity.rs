@@ -1,0 +1,201 @@
+//! Shared integrity helpers: a stable 64-bit content checksum and a
+//! checksummed record framing for append-only journals.
+//!
+//! The framing follows the same hardening idioms as [`crate::checkpoint`]:
+//! every length field is bounds-checked *before* it sizes an allocation, and
+//! a corrupt or truncated tail yields a typed outcome instead of a panic or
+//! an OOM. The `m3-serve` write-ahead job journal is the primary consumer;
+//! the helpers live here so every crate that persists state shares one
+//! checksum and one framing discipline.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! [len: u32] [checksum: u64 = fnv1a64(payload)] [payload: len bytes]
+//! ```
+//!
+//! A scan of a journal tail distinguishes three outcomes per record
+//! boundary: a complete, checksum-valid record; a clean end of input; or a
+//! *torn tail* (truncated or corrupt trailing bytes, the expected residue of
+//! a crash mid-append). Everything before a torn tail remains usable.
+
+use std::io::{self, Write};
+
+/// Ceiling on a single framed record. Real journal records are well under a
+/// kilobyte; anything larger is a corrupt or hostile length field (the same
+/// rationale as the checkpoint header cap).
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
+
+/// FNV-1a 64-bit over a byte slice: tiny, dependency-free, and stable
+/// across platforms and runs, so checksums written by one process validate
+/// in another.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Frame one payload as a checksummed record.
+pub fn encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one framed record to `w` (no flushing/syncing — callers own
+/// durability).
+pub fn write_record<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_record(payload))
+}
+
+/// Result of scanning a buffer of framed records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Payloads of every complete, checksum-valid record, in order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset just past the last valid record. Appending must resume
+    /// here (truncating any torn tail first).
+    pub valid_len: usize,
+    /// Why the scan stopped early, if it did: a truncated or corrupt tail.
+    /// `None` means the buffer ended exactly on a record boundary.
+    pub torn: Option<String>,
+}
+
+/// Scan `buf` from `start` for framed records, stopping at the first
+/// truncated or corrupt one. Never panics and never allocates more than the
+/// buffer already holds (lengths are validated against the remaining bytes
+/// and [`MAX_RECORD_BYTES`] before use).
+pub fn scan_records(buf: &[u8], start: usize) -> ScanResult {
+    let mut records = Vec::new();
+    let mut off = start.min(buf.len());
+    loop {
+        let rest = &buf[off..];
+        if rest.is_empty() {
+            return ScanResult {
+                records,
+                valid_len: off,
+                torn: None,
+            };
+        }
+        if rest.len() < 12 {
+            return ScanResult {
+                records,
+                valid_len: off,
+                torn: Some(format!("truncated header ({} bytes)", rest.len())),
+            };
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_RECORD_BYTES {
+            return ScanResult {
+                records,
+                valid_len: off,
+                torn: Some(format!(
+                    "record length {len} exceeds the {MAX_RECORD_BYTES}-byte cap"
+                )),
+            };
+        }
+        let want = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        if rest.len() < 12 + len {
+            return ScanResult {
+                records,
+                valid_len: off,
+                torn: Some(format!(
+                    "truncated payload ({} of {len} bytes)",
+                    rest.len() - 12
+                )),
+            };
+        }
+        let payload = &rest[12..12 + len];
+        if checksum64(payload) != want {
+            return ScanResult {
+                records,
+                valid_len: off,
+                torn: Some("checksum mismatch".into()),
+            };
+        }
+        records.push(payload.to_vec());
+        off += 12 + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_stable_and_content_sensitive() {
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"m3"), checksum64(b"m3"));
+        assert_ne!(checksum64(b"m3"), checksum64(b"m4"));
+    }
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let mut buf = Vec::new();
+        for p in [b"alpha".as_slice(), b"".as_slice(), b"gamma!".as_slice()] {
+            write_record(&mut buf, p).unwrap();
+        }
+        let scan = scan_records(&buf, 0);
+        assert_eq!(
+            scan.records,
+            vec![b"alpha".to_vec(), vec![], b"gamma!".to_vec()]
+        );
+        assert_eq!(scan.valid_len, buf.len());
+        assert!(scan.torn.is_none());
+    }
+
+    #[test]
+    fn torn_tail_preserves_prefix() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"kept").unwrap();
+        let keep = buf.len();
+        write_record(&mut buf, b"torn-away").unwrap();
+        // Simulate a crash mid-append: drop the last few bytes.
+        buf.truncate(buf.len() - 3);
+        let scan = scan_records(&buf, 0);
+        assert_eq!(scan.records, vec![b"kept".to_vec()]);
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.torn.unwrap().contains("truncated"));
+    }
+
+    #[test]
+    fn corrupt_payload_stops_scan() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"first").unwrap();
+        let keep = buf.len();
+        write_record(&mut buf, b"second").unwrap();
+        let flip = keep + 12; // first payload byte of the second record
+        buf[flip] ^= 0xff;
+        let scan = scan_records(&buf, 0);
+        assert_eq!(scan.records, vec![b"first".to_vec()]);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.torn.as_deref(), Some("checksum mismatch"));
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let scan = scan_records(&buf, 0);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.torn.unwrap().contains("cap"));
+    }
+
+    #[test]
+    fn scan_respects_start_offset() {
+        let mut buf = b"MAGICHDR".to_vec();
+        let start = buf.len();
+        write_record(&mut buf, b"payload").unwrap();
+        let scan = scan_records(&buf, start);
+        assert_eq!(scan.records, vec![b"payload".to_vec()]);
+        assert_eq!(scan.valid_len, buf.len());
+    }
+}

@@ -31,6 +31,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod checkpoint;
+pub mod integrity;
 pub mod model;
 pub mod optim;
 pub mod params;
@@ -39,6 +40,7 @@ pub mod tensor;
 
 pub mod prelude {
     pub use crate::checkpoint::{load_file, save_file};
+    pub use crate::integrity::{checksum64, encode_record, scan_records, ScanResult};
     pub use crate::model::{batch_gradients, M3Net, ModelConfig, SampleInput};
     pub use crate::optim::Adam;
     pub use crate::params::{Param, ParamId, ParamStore};

@@ -1,0 +1,135 @@
+//! Capped exponential backoff with deterministic full jitter.
+//!
+//! Retry delays follow the classic "full jitter" scheme: attempt `a` draws
+//! uniformly from `[0, min(cap, base * 2^a)]`. The draw is not random — it
+//! is hashed from `(seed, job id, attempt)` with the same FNV-1a used by
+//! checkpoint integrity checks, so a retry schedule is a pure function of
+//! the job. That keeps soak runs reproducible and lets tests assert exact
+//! delays, while still spreading concurrent retries apart in time the way
+//! real jitter would.
+
+use m3_nn::prelude::checksum64;
+use serde::{Deserialize, Serialize};
+
+/// Retry policy: how many attempts, and how their delays grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Delay cap growth base for attempt 0→1 (milliseconds).
+    pub base_delay_ms: u64,
+    /// Upper bound every per-attempt cap saturates at (milliseconds).
+    pub max_delay_ms: u64,
+    /// Seed folded into every jitter draw.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic cap for the delay after failed attempt `attempt`
+    /// (0-based): `min(max_delay_ms, base_delay_ms * 2^attempt)`, with the
+    /// doubling saturating instead of overflowing.
+    pub fn cap_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_delay_ms
+            .saturating_mul(factor)
+            .min(self.max_delay_ms)
+    }
+
+    /// Full-jitter delay before retrying `job_id` after failed attempt
+    /// `attempt`: uniform-ish in `[0, cap_ms(attempt)]`, hashed from
+    /// `(seed, job_id, attempt)` so the schedule replays bit-identically.
+    pub fn delay_ms(&self, job_id: u64, attempt: u32) -> u64 {
+        let cap = self.cap_ms(attempt);
+        if cap == 0 {
+            return 0;
+        }
+        let mut key = [0u8; 20];
+        key[..8].copy_from_slice(&self.seed.to_le_bytes());
+        key[8..16].copy_from_slice(&job_id.to_le_bytes());
+        key[16..].copy_from_slice(&attempt.to_le_bytes());
+        checksum64(&key) % (cap + 1)
+    }
+
+    /// Worst-case total delay across a full retry run (every draw at its
+    /// cap). Bounded for any attempt count because each term saturates at
+    /// `max_delay_ms`.
+    pub fn total_delay_bound_ms(&self) -> u64 {
+        (0..self.max_attempts.saturating_sub(1))
+            .fold(0u64, |acc, a| acc.saturating_add(self.cap_ms(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_double_then_saturate() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 0,
+        };
+        assert_eq!(p.cap_ms(0), 10);
+        assert_eq!(p.cap_ms(1), 20);
+        assert_eq!(p.cap_ms(2), 40);
+        assert_eq!(p.cap_ms(3), 80);
+        assert_eq!(p.cap_ms(4), 100);
+        assert_eq!(p.cap_ms(63), 100);
+        assert_eq!(p.cap_ms(64), 100, "shift overflow must saturate");
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_within_cap() {
+        let p = RetryPolicy::default();
+        for job in 0..20u64 {
+            for a in 0..6u32 {
+                let d = p.delay_ms(job, a);
+                assert_eq!(d, p.delay_ms(job, a));
+                assert!(d <= p.cap_ms(a), "job {job} attempt {a}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_varies_across_jobs() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 1000,
+            max_delay_ms: 10_000,
+            seed: 7,
+        };
+        let delays: Vec<u64> = (0..16).map(|j| p.delay_ms(j, 2)).collect();
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(distinct.len() > 8, "jitter collapsed: {delays:?}");
+    }
+
+    #[test]
+    fn total_bound_sums_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            seed: 0,
+        };
+        // 10 + 20 + 40 + 80 + 100
+        assert_eq!(p.total_delay_bound_ms(), 250);
+        let one = RetryPolicy {
+            max_attempts: 1,
+            ..p
+        };
+        assert_eq!(one.total_delay_bound_ms(), 0);
+    }
+}

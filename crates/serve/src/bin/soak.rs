@@ -1,0 +1,185 @@
+//! Soak driver for the estimation service: submit a randomized (but
+//! seeded, hence reproducible) mix of clean, faulty, deadline-bound, and
+//! overload traffic, then assert the service's core guarantee — **no
+//! accepted job is lost**: every accepted id reaches exactly one terminal
+//! state, and the books balance.
+//!
+//! Usage: `soak [N_JOBS] [SEED] [JOURNAL_PATH]`
+//! Exit codes: 0 = invariants held, 1 = violation, 2 = usage/setup error.
+
+use m3_core::prelude::*;
+use m3_nn::prelude::{M3Net, ModelConfig};
+use m3_serve::prelude::*;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn small_estimator() -> M3Estimator {
+    let cfg = ModelConfig {
+        embed: 16,
+        heads: 2,
+        layers: 1,
+        ff_hidden: 16,
+        mlp_hidden: 32,
+        ..ModelConfig::repro_default(SPEC_DIM)
+    };
+    M3Estimator::new(M3Net::new(cfg, 3))
+}
+
+fn scenario(n_flows: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopoSpec::FatTreeSmall { oversub: 2 },
+        workload: WorkloadSpec {
+            n_flows,
+            matrix: "B".into(),
+            sizes: "WebServer".into(),
+            sigma: 1.0,
+            max_load: 0.4,
+        },
+        config: ConfigSpec::default(),
+    }
+}
+
+/// Deterministically pick this job's fault profile from the soak seed.
+fn fault_plan_for(seed: u64, job: u64) -> Option<FaultPlan> {
+    match (seed.wrapping_add(job * 7)) % 6 {
+        // Clean jobs.
+        0 | 1 => None,
+        // Transient: budget faults on the first attempt only — must
+        // complete undegraded after a retry.
+        2 => Some(FaultPlan::new(seed ^ job).with_first_attempts(
+            InjectedFault::FlowsimBudget,
+            1.0,
+            1,
+        )),
+        // Transient: one injected worker panic, then clean — exercises
+        // supervisor recovery and respawn.
+        3 => {
+            Some(FaultPlan::new(seed ^ job).with_first_attempts(InjectedFault::WorkerPanic, 1.0, 1))
+        }
+        // Sporadic forward poisoning, absorbed by the degrade policy.
+        4 => Some(FaultPlan::new(seed ^ job).with(InjectedFault::ForwardPoison, 0.3)),
+        // Persistent flowSim NaN on a slice of slots: degrades or fails
+        // depending on the per-request policy.
+        _ => Some(FaultPlan::new(seed ^ job).with(InjectedFault::FlowsimNan, 0.2)),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let n_jobs: u64 = match args.get(1).map(|s| s.parse()).unwrap_or(Ok(24)) {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("usage: soak [N_JOBS] [SEED] [JOURNAL_PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    let seed: u64 = match args.get(2).map(|s| s.parse()).unwrap_or(Ok(1)) {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("usage: soak [N_JOBS] [SEED] [JOURNAL_PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    let journal = args.get(3).cloned().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("m3-soak-{}.journal", std::process::id()))
+            .display()
+            .to_string()
+    });
+
+    let config = ServiceConfig {
+        workers: 3,
+        // Deliberately smaller than the job count so overload sheds.
+        queue_capacity: (n_jobs as usize / 2).max(4),
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 1,
+            max_delay_ms: 8,
+            seed,
+        },
+        breaker: BreakerConfig::default(),
+        cache_capacity: 64,
+    };
+    let svc = match Service::start_journaled(small_estimator(), config, &journal) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("soak: cannot create journal {journal}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut accepted_ids = Vec::new();
+    let mut shed_at_submit = 0u64;
+    for job in 0..n_jobs {
+        let mut req = EstimateRequest::new(scenario(300 + (job as usize % 3) * 200), 6, seed ^ job);
+        req.fault_plan = fault_plan_for(seed, job);
+        req.policy = Some(if job % 4 == 0 {
+            DegradationPolicy::FailFast
+        } else {
+            DegradationPolicy::Degrade {
+                max_degraded_frac: 0.5,
+            }
+        });
+        if job % 8 == 5 {
+            req.deadline_ms = Some(30_000);
+        }
+        match svc.submit(req) {
+            Ok(id) => accepted_ids.push(id),
+            Err(SubmitError::QueueFull { .. }) => shed_at_submit += 1,
+            Err(e) => {
+                eprintln!("soak: unexpected submit error: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        // Brief stalls let the queue drain a little so not everything is
+        // shed — overload is exercised, not total.
+        if job % 5 == 4 {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    if !svc.wait_idle(Duration::from_secs(300)) {
+        eprintln!("soak: service did not settle all jobs within 300 s");
+        return ExitCode::from(1);
+    }
+    let stats = svc.stats();
+
+    // Invariant 1: no accepted job lost — every id has a terminal outcome.
+    let mut violations = 0;
+    for &id in &accepted_ids {
+        if svc.outcome(id).is_none() {
+            eprintln!("soak: job {id} accepted but has no terminal outcome");
+            violations += 1;
+        }
+    }
+    // Invariant 2: the books balance.
+    if stats.settled() != stats.accepted {
+        eprintln!(
+            "soak: settled {} != accepted {}",
+            stats.settled(),
+            stats.accepted
+        );
+        violations += 1;
+    }
+    if stats.accepted != accepted_ids.len() as u64 || stats.shed_at_submit != shed_at_submit {
+        eprintln!("soak: stats disagree with the submitting client");
+        violations += 1;
+    }
+
+    svc.shutdown();
+    match serde_json::to_string_pretty(&stats) {
+        Ok(s) => println!("{s}"),
+        Err(e) => eprintln!("soak: stats serialization failed: {e}"),
+    }
+    std::fs::remove_file(&journal).ok();
+    if violations > 0 {
+        eprintln!("soak: FAILED with {violations} violation(s)");
+        ExitCode::from(1)
+    } else {
+        println!(
+            "soak: OK — {} accepted, {} shed at submit, {} retries, {} worker panics, all jobs terminal",
+            stats.accepted, stats.shed_at_submit, stats.retries, stats.worker_panics
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,308 @@
+//! Write-ahead job journal: the service's crash-recovery log.
+//!
+//! Every accepted request is appended (and fsync'd) *before* the submit
+//! call returns, and every terminal outcome is appended when the job
+//! settles. A service that is killed and restarted replays the journal:
+//! jobs with an `Accepted` record but no `Terminal` record are re-enqueued
+//! and — because requests are pure data and the pipeline is deterministic —
+//! complete with bit-identical results to an uninterrupted run.
+//!
+//! The on-disk format reuses the checkpoint-hardening idiom from
+//! `m3-nn`: a magic/version header, then length-prefixed records each
+//! carrying an FNV-1a checksum (`[len u32 LE][checksum64 u64 LE][json]`).
+//! Recovery validates the header, verifies every record checksum, and
+//! truncates a torn tail (a record cut short by the crash) rather than
+//! refusing to start.
+
+use crate::request::EstimateRequest;
+use m3_core::prelude::{M3Error, NetworkEstimate};
+use m3_nn::prelude::{encode_record, scan_records};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: "m3 serve journal".
+const MAGIC: &[u8; 8] = b"M3SRVJRN";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = MAGIC.len() + 4;
+
+/// Terminal state of a job. Every accepted job reaches exactly one of
+/// these; the variant (with its payload) is what the journal persists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "state", rename_all = "snake_case")]
+pub enum JobOutcome {
+    /// Full pipeline succeeded (possibly after retries).
+    Completed {
+        estimate: NetworkEstimate,
+        attempts: u32,
+    },
+    /// Served by the flowSim-only path because the circuit breaker was
+    /// open, or completed with degraded samples under the policy.
+    Degraded {
+        estimate: NetworkEstimate,
+        attempts: u32,
+        /// True when the breaker (not the per-sample policy) forced the
+        /// degraded path.
+        via_breaker: bool,
+    },
+    /// Retries exhausted or a persistent fault failed fast.
+    Failed { error: M3Error, attempts: u32 },
+    /// Never attempted: rejected by admission control after acceptance
+    /// (deadline already expired at pickup).
+    Shed { reason: String },
+}
+
+impl JobOutcome {
+    /// The estimate carried by a successful (completed or degraded)
+    /// outcome.
+    pub fn estimate(&self) -> Option<&NetworkEstimate> {
+        match self {
+            JobOutcome::Completed { estimate, .. } | JobOutcome::Degraded { estimate, .. } => {
+                Some(estimate)
+            }
+            JobOutcome::Failed { .. } | JobOutcome::Shed { .. } => None,
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "rec", rename_all = "snake_case")]
+pub enum JournalRecord {
+    Accepted {
+        id: u64,
+        request: Box<EstimateRequest>,
+    },
+    Terminal {
+        id: u64,
+        outcome: Box<JobOutcome>,
+    },
+}
+
+/// The journal as reconstructed at startup.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Accepted requests by job id.
+    pub accepted: BTreeMap<u64, EstimateRequest>,
+    /// Terminal outcomes by job id.
+    pub terminal: BTreeMap<u64, JobOutcome>,
+    /// True if a torn tail was truncated during recovery.
+    pub truncated_tail: bool,
+}
+
+impl Replay {
+    /// Jobs that were accepted but never settled — the re-enqueue set.
+    pub fn pending(&self) -> Vec<(u64, EstimateRequest)> {
+        self.accepted
+            .iter()
+            .filter(|(id, _)| !self.terminal.contains_key(id))
+            .map(|(id, req)| (*id, req.clone()))
+            .collect()
+    }
+
+    /// First job id not yet used (ids are allocated monotonically).
+    pub fn next_id(&self) -> u64 {
+        self.accepted
+            .keys()
+            .next_back()
+            .map(|id| id + 1)
+            .unwrap_or(0)
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Append-only, checksummed, fsync'd job journal.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Create a fresh journal at `path`, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        Ok(Journal { file, path })
+    }
+
+    /// Open an existing journal, replaying its records. A torn final
+    /// record (from a crash mid-append) is truncated away; any deeper
+    /// corruption is an error. Returns the journal positioned for
+    /// appending plus the replay state.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        if buf.len() < HEADER_LEN || &buf[..MAGIC.len()] != MAGIC {
+            return Err(bad_data(format!("{}: not an m3 journal", path.display())));
+        }
+        let mut ver = [0u8; 4];
+        ver.copy_from_slice(&buf[MAGIC.len()..HEADER_LEN]);
+        let version = u32::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(bad_data(format!(
+                "{}: journal version {version} (supported: {VERSION})",
+                path.display()
+            )));
+        }
+
+        let scan = scan_records(&buf, HEADER_LEN);
+        let mut replay = Replay {
+            truncated_tail: scan.torn.is_some(),
+            ..Replay::default()
+        };
+        for payload in &scan.records {
+            let rec: JournalRecord = serde_json::from_slice(payload)
+                .map_err(|e| bad_data(format!("{}: bad journal record: {e}", path.display())))?;
+            match rec {
+                JournalRecord::Accepted { id, request } => {
+                    replay.accepted.insert(id, *request);
+                }
+                JournalRecord::Terminal { id, outcome } => {
+                    replay.terminal.insert(id, *outcome);
+                }
+            }
+        }
+        if replay.truncated_tail {
+            // Drop the torn bytes so the next append starts on a clean
+            // frame boundary.
+            file.set_len(scan.valid_len as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { file, path }, replay))
+    }
+
+    /// Append one record and fsync before returning — a record the caller
+    /// has seen acknowledged survives a crash.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let payload = serde_json::to_vec(record)
+            .map_err(|e| bad_data(format!("{}: encode: {e}", self.path.display())))?;
+        self.file.write_all(&encode_record(&payload))?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ConfigSpec, ScenarioSpec, TopoSpec, WorkloadSpec};
+
+    fn req(seed: u64) -> EstimateRequest {
+        EstimateRequest::new(
+            ScenarioSpec {
+                topology: TopoSpec::FatTreeSmall { oversub: 2 },
+                workload: WorkloadSpec {
+                    n_flows: 100,
+                    matrix: "B".into(),
+                    sizes: "WebServer".into(),
+                    sigma: 1.0,
+                    max_load: 0.3,
+                },
+                config: ConfigSpec::default(),
+            },
+            4,
+            seed,
+        )
+    }
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("m3-serve-journal-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_accepted_and_terminal() {
+        let path = tmpfile("roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&JournalRecord::Accepted {
+            id: 0,
+            request: Box::new(req(1)),
+        })
+        .unwrap();
+        j.append(&JournalRecord::Accepted {
+            id: 1,
+            request: Box::new(req(2)),
+        })
+        .unwrap();
+        j.append(&JournalRecord::Terminal {
+            id: 0,
+            outcome: Box::new(JobOutcome::Shed {
+                reason: "test".into(),
+            }),
+        })
+        .unwrap();
+        drop(j);
+
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.accepted.len(), 2);
+        assert_eq!(replay.terminal.len(), 1);
+        assert_eq!(replay.pending().len(), 1);
+        assert_eq!(replay.pending()[0].0, 1);
+        assert_eq!(replay.next_id(), 2);
+        assert!(!replay.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_resumes() {
+        let path = tmpfile("torn");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&JournalRecord::Accepted {
+            id: 0,
+            request: Box::new(req(1)),
+        })
+        .unwrap();
+        drop(j);
+        // Simulate a crash mid-append: write half a record.
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x55; 7]).unwrap();
+        }
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.accepted.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len);
+        // Appends after recovery land on a clean boundary.
+        j.append(&JournalRecord::Terminal {
+            id: 0,
+            outcome: Box::new(JobOutcome::Shed {
+                reason: "after recovery".into(),
+            }),
+        })
+        .unwrap();
+        drop(j);
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert!(replay.pending().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, b"NOTAJRNL\x01\x00\x00\x00").unwrap();
+        assert!(Journal::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

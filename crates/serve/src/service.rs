@@ -1,0 +1,724 @@
+//! The supervised estimation service.
+//!
+//! A bounded job queue in front of a pool of worker threads, each running
+//! requests through [`M3Estimator`] against a shared scenario cache. The
+//! contract: **every accepted job reaches exactly one terminal state**
+//! ([`JobOutcome`]), even across worker panics, transient stage faults, and
+//! whole-process crashes (via the write-ahead [`Journal`]).
+//!
+//! Robustness mechanics, in the order a job meets them:
+//!
+//! 1. **Admission control** — `submit` rejects when the queue is full
+//!    (load shedding; the caller is told immediately, nothing is journaled)
+//!    and journals an `Accepted` record (fsync'd) before returning the id.
+//! 2. **Deadlines** — a job whose deadline expired before its first
+//!    attempt is `Shed`; expiry between retries is `Failed` with
+//!    [`M3Error::DeadlineExceeded`]. Remaining time is layered onto the
+//!    flowSim stage budget of each attempt.
+//! 3. **Circuit breakers** — consecutive flowSim- or forward-stage
+//!    failures trip a per-stage breaker; while open, jobs route down the
+//!    flowSim-only degraded path (`Degraded { via_breaker: true }`)
+//!    instead of queuing up behind a failing stage.
+//! 4. **Retries** — transient faults back off with deterministic full
+//!    jitter ([`RetryPolicy`]); persistent faults fail fast.
+//! 5. **Supervision** — a worker that panics is reaped, its in-flight job
+//!    is re-enqueued (front of queue, attempt count preserved), and a
+//!    replacement worker is spawned.
+
+use crate::backoff::RetryPolicy;
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::journal::{JobOutcome, Journal, JournalRecord, Replay};
+use crate::request::EstimateRequest;
+use m3_core::prelude::{
+    flowsim_estimate, CacheStats, EstimateOptions, InjectedFault, M3Error, M3Estimator,
+    NetworkEstimate, SharedScenarioCache, Stage, StageBudget,
+};
+use m3_flowsim::prelude::FluidBudget;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. 0 is allowed: jobs are accepted and journaled but
+    /// never processed (useful for staging work and crash-recovery tests).
+    pub workers: usize,
+    /// Queue slots; submissions beyond this are shed.
+    pub queue_capacity: usize,
+    pub retry: RetryPolicy,
+    pub breaker: BreakerConfig,
+    /// Shared scenario-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Queue full: the job was shed at admission. Nothing was journaled.
+    QueueFull { capacity: usize },
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The write-ahead journal append failed; the job was NOT accepted.
+    Journal(io::Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} slots): job shed")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Journal(e) => write!(f, "journal append failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Point-in-time health/stats snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceStats {
+    pub accepted: u64,
+    pub completed: u64,
+    pub degraded: u64,
+    pub failed: u64,
+    pub shed: u64,
+    /// Rejected at submit time (not accepted, not journaled).
+    pub shed_at_submit: u64,
+    pub queue_depth: usize,
+    pub in_flight: usize,
+    /// Retry attempts performed (not counting first tries).
+    pub retries: u64,
+    pub worker_panics: u64,
+    pub workers_respawned: u64,
+    pub flowsim_breaker: BreakerState,
+    pub forward_breaker: BreakerState,
+    pub breaker_trips: u64,
+    pub cache: CacheStats,
+}
+
+impl ServiceStats {
+    /// All accepted jobs that have settled.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.degraded + self.failed + self.shed
+    }
+
+    /// Healthy = accepting work and not routing around a tripped stage.
+    pub fn healthy(&self) -> bool {
+        self.flowsim_breaker == BreakerState::Closed && self.forward_breaker == BreakerState::Closed
+    }
+}
+
+/// A queued job. `attempt` survives re-enqueue after a worker panic so
+/// "fail first N attempts" fault plans converge instead of looping.
+#[derive(Debug, Clone)]
+struct Job {
+    id: u64,
+    request: EstimateRequest,
+    accepted_at: Instant,
+    attempt: u32,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: u64,
+    completed: u64,
+    degraded: u64,
+    failed: u64,
+    shed: u64,
+    shed_at_submit: u64,
+    retries: u64,
+    worker_panics: u64,
+    workers_respawned: u64,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Jobs currently being processed, keyed by worker token — the
+    /// supervisor recovers these when a worker dies.
+    in_flight: HashMap<usize, Job>,
+    outcomes: BTreeMap<u64, JobOutcome>,
+    counters: Counters,
+    flowsim_breaker: CircuitBreaker,
+    forward_breaker: CircuitBreaker,
+    journal: Option<Journal>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signals workers (new job / shutdown) and waiters (job settled).
+    cond: Condvar,
+    config: ServiceConfig,
+    estimator: Arc<M3Estimator>,
+    cache: SharedScenarioCache,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panicking worker can poison the state mutex; the state is a
+        // queue of plain data and remains valid, so recover the guard.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Handle to a running service. Dropping it without [`shutdown`]
+/// (Service::shutdown) abandons the workers (they exit once the queue
+/// drains and the shutdown flag is set by `Drop`).
+pub struct Service {
+    inner: Arc<Inner>,
+    supervisor: Option<thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service with no journal (jobs do not survive a crash).
+    pub fn start(estimator: M3Estimator, config: ServiceConfig) -> Service {
+        Service::build(estimator, config, None, Vec::new())
+    }
+
+    /// Start a service journaling to `path` (created fresh, truncating any
+    /// existing file).
+    pub fn start_journaled(
+        estimator: M3Estimator,
+        config: ServiceConfig,
+        path: impl AsRef<Path>,
+    ) -> io::Result<Service> {
+        let journal = Journal::create(path)?;
+        Ok(Service::build(estimator, config, Some(journal), Vec::new()))
+    }
+
+    /// Resume from an existing journal: jobs that were accepted but never
+    /// settled are re-enqueued (in acceptance order) and processed to
+    /// terminal states; already-settled outcomes are available from
+    /// [`outcome`](Self::outcome) immediately.
+    pub fn resume(
+        estimator: M3Estimator,
+        config: ServiceConfig,
+        path: impl AsRef<Path>,
+    ) -> io::Result<(Service, Replay)> {
+        let (journal, replay) = Journal::open(path)?;
+        let pending: Vec<Job> = replay
+            .pending()
+            .into_iter()
+            .map(|(id, request)| Job {
+                id,
+                request,
+                accepted_at: Instant::now(),
+                attempt: 0,
+            })
+            .collect();
+        let svc = Service::build(estimator, config, Some(journal), pending);
+        {
+            let mut st = svc.inner.lock();
+            st.next_id = replay.next_id();
+            st.counters.accepted = replay.accepted.len() as u64;
+            for (id, outcome) in &replay.terminal {
+                bump_terminal_counter(&mut st.counters, outcome);
+                st.outcomes.insert(*id, outcome.clone());
+            }
+        }
+        svc.inner.cond.notify_all();
+        Ok((svc, replay))
+    }
+
+    fn build(
+        estimator: M3Estimator,
+        config: ServiceConfig,
+        journal: Option<Journal>,
+        preloaded: Vec<Job>,
+    ) -> Service {
+        let accepted_preload = preloaded.len() as u64;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: preloaded.into(),
+                in_flight: HashMap::new(),
+                outcomes: BTreeMap::new(),
+                counters: Counters {
+                    accepted: accepted_preload,
+                    ..Counters::default()
+                },
+                flowsim_breaker: CircuitBreaker::new(config.breaker),
+                forward_breaker: CircuitBreaker::new(config.breaker),
+                journal,
+                next_id: 0,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            estimator: Arc::new(estimator),
+            cache: SharedScenarioCache::new(config.cache_capacity),
+            config,
+        });
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("m3-serve-supervisor".into())
+                .spawn(move || supervise(inner))
+                .unwrap_or_else(|e| panic!("failed to spawn m3-serve supervisor: {e}"))
+        };
+        Service {
+            inner,
+            supervisor: Some(supervisor),
+        }
+    }
+
+    /// Submit a request. On success the job is journaled and queued and
+    /// its id is returned; on `QueueFull` it was shed.
+    pub fn submit(&self, request: EstimateRequest) -> Result<u64, SubmitError> {
+        let mut st = self.inner.lock();
+        if st.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.config.queue_capacity {
+            st.counters.shed_at_submit += 1;
+            return Err(SubmitError::QueueFull {
+                capacity: self.inner.config.queue_capacity,
+            });
+        }
+        let id = st.next_id;
+        if let Some(j) = st.journal.as_mut() {
+            j.append(&JournalRecord::Accepted {
+                id,
+                request: Box::new(request.clone()),
+            })
+            .map_err(SubmitError::Journal)?;
+        }
+        st.next_id += 1;
+        st.counters.accepted += 1;
+        st.queue.push_back(Job {
+            id,
+            request,
+            accepted_at: Instant::now(),
+            attempt: 0,
+        });
+        drop(st);
+        self.inner.cond.notify_all();
+        Ok(id)
+    }
+
+    /// The terminal outcome of job `id`, if it has settled.
+    pub fn outcome(&self, id: u64) -> Option<JobOutcome> {
+        self.inner.lock().outcomes.get(&id).cloned()
+    }
+
+    /// Block until every accepted job has settled, or `timeout` elapses.
+    /// Returns true if idle was reached.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.lock();
+        loop {
+            let idle = st.queue.is_empty()
+                && st.in_flight.is_empty()
+                && st.outcomes.len() as u64 >= st.counters.accepted;
+            if idle {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Health/stats snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.inner.lock();
+        ServiceStats {
+            accepted: st.counters.accepted,
+            completed: st.counters.completed,
+            degraded: st.counters.degraded,
+            failed: st.counters.failed,
+            shed: st.counters.shed,
+            shed_at_submit: st.counters.shed_at_submit,
+            queue_depth: st.queue.len(),
+            in_flight: st.in_flight.len(),
+            retries: st.counters.retries,
+            worker_panics: st.counters.worker_panics,
+            workers_respawned: st.counters.workers_respawned,
+            flowsim_breaker: st.flowsim_breaker.state(),
+            forward_breaker: st.forward_breaker.state(),
+            breaker_trips: st.flowsim_breaker.trips() + st.forward_breaker.trips(),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Drain the queue, stop all workers, and join them. Jobs still queued
+    /// are processed first; new submissions are rejected.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown(false);
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Abandon ungracefully: stop pulling new jobs NOW, leaving queued jobs
+    /// unsettled in the journal — they stay replayable via
+    /// [`resume`](Self::resume). In-flight jobs still settle (a thread
+    /// cannot be killed mid-estimate from safe code); this approximates a
+    /// crash at job granularity, while torn-record crashes are covered by
+    /// the journal's own recovery tests.
+    pub fn abort(mut self) {
+        self.begin_shutdown(true);
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn begin_shutdown(&self, drop_queue: bool) {
+        let mut st = self.inner.lock();
+        st.shutdown = true;
+        if drop_queue {
+            st.queue.clear();
+        }
+        drop(st);
+        self.inner.cond.notify_all();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.begin_shutdown(false);
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn bump_terminal_counter(c: &mut Counters, outcome: &JobOutcome) {
+    match outcome {
+        JobOutcome::Completed { .. } => c.completed += 1,
+        JobOutcome::Degraded { .. } => c.degraded += 1,
+        JobOutcome::Failed { .. } => c.failed += 1,
+        JobOutcome::Shed { .. } => c.shed += 1,
+    }
+}
+
+/// Supervisor loop: keep `config.workers` workers alive until shutdown,
+/// reaping panicked ones and recovering their jobs.
+fn supervise(inner: Arc<Inner>) {
+    let n = inner.config.workers;
+    let mut handles: Vec<(usize, thread::JoinHandle<()>)> = (0..n)
+        .map(|token| (token, spawn_worker(&inner, token)))
+        .collect();
+
+    loop {
+        // Reap finished workers.
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].1.is_finished() {
+                let (token, h) = handles.swap_remove(i);
+                let panicked = h.join().is_err();
+                let mut st = inner.lock();
+                if panicked {
+                    st.counters.worker_panics += 1;
+                    // Recover the job the dead worker was holding: back to
+                    // the front of the queue with its attempt count bumped,
+                    // so attempt-bounded fault plans make progress.
+                    if let Some(mut job) = st.in_flight.remove(&token) {
+                        job.attempt += 1;
+                        st.queue.push_front(job);
+                    }
+                }
+                let respawn = !st.shutdown || !st.queue.is_empty();
+                if panicked && respawn {
+                    st.counters.workers_respawned += 1;
+                }
+                drop(st);
+                if panicked {
+                    inner.cond.notify_all();
+                    if respawn {
+                        handles.push((token, spawn_worker(&inner, token)));
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        let st = inner.lock();
+        let done = st.shutdown && st.queue.is_empty() && st.in_flight.is_empty();
+        drop(st);
+        if done && handles.iter().all(|(_, h)| h.is_finished()) {
+            for (_, h) in handles {
+                let _ = h.join();
+            }
+            return;
+        }
+        if n == 0 {
+            // No workers to supervise: just wait for shutdown.
+            let st = inner.lock();
+            if st.shutdown {
+                return;
+            }
+            drop(st);
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn spawn_worker(inner: &Arc<Inner>, token: usize) -> thread::JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    thread::Builder::new()
+        .name(format!("m3-serve-worker-{token}"))
+        .spawn(move || worker_loop(inner, token))
+        .unwrap_or_else(|e| {
+            // Thread spawn failing at startup is unrecoverable for the
+            // pool; surface it loudly rather than running with fewer
+            // workers than configured.
+            panic!("failed to spawn m3-serve worker {token}: {e}")
+        })
+}
+
+fn worker_loop(inner: Arc<Inner>, token: usize) {
+    loop {
+        let job = {
+            let mut st = inner.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.in_flight.insert(token, job.clone());
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.cond.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let outcome = process(&inner, &job);
+        settle(&inner, token, job.id, outcome);
+    }
+}
+
+/// Record a terminal outcome: journal it, count it, publish it, release
+/// the in-flight slot, and wake any `wait_idle` callers.
+fn settle(inner: &Arc<Inner>, token: usize, id: u64, outcome: JobOutcome) {
+    let mut st = inner.lock();
+    if let Some(j) = st.journal.as_mut() {
+        // A failed terminal append leaves the job pending in the journal;
+        // on restart it will be replayed (idempotent by determinism), so
+        // losing the record is safe, just wasteful.
+        let _ = j.append(&JournalRecord::Terminal {
+            id,
+            outcome: Box::new(outcome.clone()),
+        });
+    }
+    bump_terminal_counter(&mut st.counters, &outcome);
+    st.outcomes.insert(id, outcome);
+    st.in_flight.remove(&token);
+    drop(st);
+    inner.cond.notify_all();
+}
+
+/// Milliseconds since `start`, saturating.
+fn elapsed_ms(start: Instant) -> u64 {
+    start.elapsed().as_millis().min(u64::MAX as u128) as u64
+}
+
+/// Run one job to a terminal outcome (never panics except via an injected
+/// `WorkerPanic`, which is the supervisor's test hook).
+fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
+    let req = &job.request;
+
+    // Deadline gate at pickup: a job that waited out its whole deadline in
+    // the queue is shed without burning worker time on it.
+    if let Some(deadline) = req.deadline_ms {
+        let waited = elapsed_ms(job.accepted_at);
+        if waited >= deadline {
+            return JobOutcome::Shed {
+                reason: format!("deadline {deadline} ms expired in queue ({waited} ms)"),
+            };
+        }
+    }
+
+    // Materialize once per job, not per attempt: spec errors are
+    // persistent by construction, so they fail fast.
+    let (topo, flows, config) = match req.scenario.materialize(req.seed) {
+        Ok(parts) => parts,
+        Err(e) => {
+            return JobOutcome::Failed {
+                error: e,
+                attempts: job.attempt + 1,
+            }
+        }
+    };
+
+    let retry = inner.config.retry;
+    let mut attempt = job.attempt;
+    loop {
+        // Injected worker crash: panic *outside* the pipeline's own panic
+        // isolation so the supervisor path is genuinely exercised. The
+        // attempt stamp lets `with_first_attempts` plans converge.
+        if let Some(plan) = &req.fault_plan {
+            if plan
+                .at_attempt(attempt)
+                .hits(InjectedFault::WorkerPanic, job.id as usize)
+            {
+                panic!("injected worker panic (job {}, attempt {attempt})", job.id);
+            }
+        }
+
+        // Deadline gate between attempts.
+        if let Some(deadline) = req.deadline_ms {
+            let elapsed = elapsed_ms(job.accepted_at);
+            if elapsed >= deadline {
+                return JobOutcome::Failed {
+                    error: M3Error::DeadlineExceeded {
+                        deadline_ms: deadline,
+                        elapsed_ms: elapsed,
+                    },
+                    attempts: attempt + 1,
+                };
+            }
+        }
+
+        // Consult the breakers. A denied acquire routes this job down the
+        // degraded path; `try_acquire` on an open breaker also counts one
+        // cooldown observation.
+        let (fs_ok, fw_ok) = {
+            let mut st = inner.lock();
+            let fs = st.flowsim_breaker.try_acquire();
+            let fw = st.forward_breaker.try_acquire();
+            if fs != fw {
+                // Only one stage granted: release that probe/claim so the
+                // other stage's outage doesn't wedge it.
+                if fs {
+                    st.flowsim_breaker.cancel_probe();
+                }
+                if fw {
+                    st.forward_breaker.cancel_probe();
+                }
+            }
+            (fs, fw)
+        };
+        if !(fs_ok && fw_ok) {
+            let estimate = flowsim_estimate(&topo, &flows, &config, req.paths, req.seed);
+            return JobOutcome::Degraded {
+                estimate,
+                attempts: attempt + 1,
+                via_breaker: true,
+            };
+        }
+
+        // Layer the remaining deadline onto the flowSim stage budget so a
+        // slow attempt cannot blow through the request deadline.
+        let mut budget = StageBudget::default();
+        if let Some(deadline) = req.deadline_ms {
+            let left = deadline.saturating_sub(elapsed_ms(job.accepted_at)).max(1);
+            budget.flowsim = FluidBudget::default().with_wall(Duration::from_millis(left));
+        }
+        let options = EstimateOptions {
+            policy: req.policy.unwrap_or_default(),
+            budget,
+            fault_plan: req.fault_plan.as_ref().map(|p| p.at_attempt(attempt)),
+        };
+
+        let result = inner.estimator.try_estimate_with_shared_cache(
+            &topo,
+            &flows,
+            &config,
+            req.paths,
+            req.seed,
+            &inner.cache,
+            &options,
+        );
+
+        match result {
+            Ok(estimate) => {
+                {
+                    let mut st = inner.lock();
+                    st.flowsim_breaker.on_success();
+                    st.forward_breaker.on_success();
+                }
+                return finish_success(estimate, attempt + 1);
+            }
+            Err(e) => {
+                record_failure_for_breakers(inner, &e);
+                let next = attempt + 1;
+                if e.is_transient() && next < retry.max_attempts.max(1) {
+                    {
+                        let mut st = inner.lock();
+                        st.counters.retries += 1;
+                    }
+                    thread::sleep(Duration::from_millis(retry.delay_ms(job.id, attempt)));
+                    attempt = next;
+                    continue;
+                }
+                return JobOutcome::Failed {
+                    error: e,
+                    attempts: next,
+                };
+            }
+        }
+    }
+}
+
+/// A successful estimate is `Completed` when clean, `Degraded` when the
+/// per-sample policy absorbed faults along the way.
+fn finish_success(estimate: NetworkEstimate, attempts: u32) -> JobOutcome {
+    if estimate.degradation.is_clean() {
+        JobOutcome::Completed { estimate, attempts }
+    } else {
+        JobOutcome::Degraded {
+            estimate,
+            attempts,
+            via_breaker: false,
+        }
+    }
+}
+
+/// Attribute a pipeline failure to the breaker guarding the faulting
+/// stage; the other stage's claim is released without prejudice.
+fn record_failure_for_breakers(inner: &Arc<Inner>, e: &M3Error) {
+    let mut st = inner.lock();
+    match e {
+        M3Error::StageFault { stage, .. } => match stage {
+            Stage::FlowSim => {
+                st.flowsim_breaker.on_failure();
+                st.forward_breaker.cancel_probe();
+            }
+            Stage::Forward | Stage::Features => {
+                // flowSim demonstrably worked if the forward stage failed.
+                st.flowsim_breaker.on_success();
+                st.forward_breaker.on_failure();
+            }
+            _ => {
+                st.flowsim_breaker.cancel_probe();
+                st.forward_breaker.cancel_probe();
+            }
+        },
+        // Degradation-limit and no-usable-samples failures are dominated
+        // by flowSim-stage sample loss in this pipeline.
+        M3Error::DegradationLimitExceeded { .. } | M3Error::NoUsableSamples { .. } => {
+            st.flowsim_breaker.on_failure();
+            st.forward_breaker.cancel_probe();
+        }
+        _ => {
+            st.flowsim_breaker.cancel_probe();
+            st.forward_breaker.cancel_probe();
+        }
+    }
+}

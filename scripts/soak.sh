@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Soak the estimation service under randomized (seeded) fault plans and
+# assert its core guarantee: no accepted job is ever lost — every id
+# reaches exactly one terminal state and the stats books balance.
+#
+# Usage: scripts/soak.sh [ROUNDS] [JOBS_PER_ROUND]
+# Each round uses a different seed, so the transient/persistent fault mix,
+# worker panics, deadlines, and overload pattern vary while remaining
+# reproducible: a failing round can be replayed exactly with
+#   cargo run --release -p m3-serve --bin soak -- <jobs> <seed>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ROUNDS="${1:-5}"
+JOBS="${2:-24}"
+
+cargo build --release -p m3-serve --bin soak
+
+for seed in $(seq 1 "$ROUNDS"); do
+    echo "==> soak round $seed/$ROUNDS ($JOBS jobs, seed $seed)"
+    ./target/release/soak "$JOBS" "$seed"
+done
+
+echo "Soak passed: $ROUNDS rounds x $JOBS jobs, no job lost."

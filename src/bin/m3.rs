@@ -4,20 +4,41 @@
 //! m3 example-spec                # print a scenario spec template (JSON)
 //! m3 estimate <spec.json>       # run the estimators named in the spec
 //! m3 sweep <spec.json> <knob> <v1,v2,...>   # counterfactual knob sweep
+//! m3 example-service-spec        # print a service spec template (JSON)
+//! m3 serve <service.json>       # run a batch through the supervised service
 //! ```
 //!
 //! The spec file describes a topology, a workload, a network configuration,
 //! and which estimators to run (`m3`, `flowsim`, `global-flowsim`,
-//! `parsimon`, `parsimon-clustered`, `ns3`, `ns3-path`).
+//! `parsimon`, `parsimon-clustered`, `ns3`, `ns3-path`). The service spec
+//! adds a journal path and a list of requests; a `m3 serve` run that is
+//! killed can be re-run with `"resume": true` to replay the journal and
+//! finish exactly the jobs that had not settled.
+//!
+//! Exit codes distinguish failure families:
+//! * 2 — usage errors (bad arguments, unreadable/unparsable files)
+//! * 3 — spec validation errors (unknown method/knob/matrix/protocol, ...)
+//! * 4 — runtime faults (stage faults, degradation limits, missing model)
 
 use m3::core::prelude::*;
 use m3::netsim::prelude::*;
 use m3::parsimon::{
     parsimon_estimate, parsimon_estimate_clustered, slowdown_samples, ClusteringConfig,
 };
-use m3::workload::prelude::*;
+use m3::serve::prelude::{
+    ConfigSpec, EstimateRequest, JobOutcome, RetryPolicy, ScenarioSpec, Service, ServiceConfig,
+    SubmitError, TopoSpec, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Bad command line / unreadable input.
+const EXIT_USAGE: i32 = 2;
+/// The spec failed validation (typed `M3Error::InvalidSpec`).
+const EXIT_SPEC: i32 = 3;
+/// The pipeline faulted at runtime (any other `M3Error`, missing model,
+/// failed service jobs).
+const EXIT_FAULT: i32 = 4;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Spec {
@@ -35,66 +56,68 @@ struct Spec {
     seed: u64,
 }
 
+impl Spec {
+    fn scenario(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            topology: self.topology.clone(),
+            workload: self.workload.clone(),
+            config: self.config.clone(),
+        }
+    }
+}
+
 fn default_paths() -> usize {
     100
 }
 
+/// Input to `m3 serve`: service knobs plus a batch of requests.
 #[derive(Debug, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
-enum TopoSpec {
-    FatTreeSmall { oversub: usize },
-    FatTreeLarge,
+struct ServiceSpec {
+    #[serde(default = "default_workers")]
+    workers: usize,
+    #[serde(default = "default_queue_capacity")]
+    queue_capacity: usize,
+    /// Write-ahead journal path; omit to run without crash recovery.
+    #[serde(default)]
+    journal: Option<String>,
+    /// Re-open an existing journal and finish its pending jobs before
+    /// submitting any requests it has not seen yet.
+    #[serde(default)]
+    resume: bool,
+    #[serde(default)]
+    model: Option<String>,
+    #[serde(default)]
+    retry: Option<RetryPolicy>,
+    requests: Vec<EstimateRequest>,
 }
 
-#[derive(Debug, Serialize, Deserialize)]
-struct WorkloadSpec {
-    n_flows: usize,
-    matrix: String,
-    sizes: String,
-    sigma: f64,
-    max_load: f64,
+fn default_workers() -> usize {
+    2
 }
 
-#[derive(Debug, Default, Serialize, Deserialize)]
-struct ConfigSpec {
-    #[serde(default)]
-    cc: Option<String>,
-    #[serde(default)]
-    init_window: Option<u64>,
-    #[serde(default)]
-    buffer_size: Option<u64>,
-    #[serde(default)]
-    pfc: Option<bool>,
+fn default_queue_capacity() -> usize {
+    64
 }
 
-impl ConfigSpec {
-    fn to_sim_config(&self) -> SimConfig {
-        let mut c = SimConfig::default();
-        if let Some(cc) = &self.cc {
-            c.cc = match cc.as_str() {
-                "dctcp" => CcProtocol::Dctcp,
-                "timely" => CcProtocol::Timely,
-                "dcqcn" => CcProtocol::Dcqcn,
-                "hpcc" => CcProtocol::Hpcc,
-                other => die(&format!("unknown cc protocol {other:?}")),
-            };
-        }
-        if let Some(w) = self.init_window {
-            c.init_window = w;
-        }
-        if let Some(b) = self.buffer_size {
-            c.buffer_size = b;
-        }
-        if let Some(p) = self.pfc {
-            c.pfc_enabled = p;
-        }
-        c
-    }
-}
-
-fn die(msg: &str) -> ! {
+fn die(code: i32, msg: &str) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(2);
+    std::process::exit(code);
+}
+
+/// Route a typed pipeline error to the right exit family.
+fn die_m3(e: &M3Error) -> ! {
+    let code = match e {
+        M3Error::InvalidSpec { .. } => EXIT_SPEC,
+        _ => EXIT_FAULT,
+    };
+    die(code, &e.to_string())
+}
+
+fn invalid_spec(reason: String) -> M3Error {
+    M3Error::InvalidSpec {
+        stage: Stage::Validate,
+        reason,
+    }
 }
 
 fn example_spec() -> Spec {
@@ -120,6 +143,21 @@ fn example_spec() -> Spec {
     }
 }
 
+fn example_service_spec() -> ServiceSpec {
+    let scenario = example_spec().scenario();
+    let mut second = EstimateRequest::new(scenario.clone(), 100, 2);
+    second.deadline_ms = Some(120_000);
+    ServiceSpec {
+        workers: 2,
+        queue_capacity: 64,
+        journal: Some("m3-serve.journal".into()),
+        resume: false,
+        model: Some("assets/m3-model.ckpt".into()),
+        retry: Some(RetryPolicy::default()),
+        requests: vec![EstimateRequest::new(scenario, 100, 1), second],
+    }
+}
+
 struct Materialized {
     topo: Topology,
     flows: Vec<FlowSpec>,
@@ -127,42 +165,26 @@ struct Materialized {
 }
 
 fn materialize(spec: &Spec) -> Materialized {
-    let ft = match spec.topology {
-        TopoSpec::FatTreeSmall { oversub } => FatTree::build(FatTreeSpec::small(oversub)),
-        TopoSpec::FatTreeLarge => FatTree::build(FatTreeSpec::large()),
-    };
-    let routing = Routing::new(&ft.topo);
-    let sizes = SizeDistribution::by_name(&spec.workload.sizes).unwrap_or_else(|| {
-        die(&format!(
-            "unknown size distribution {:?}",
-            spec.workload.sizes
-        ))
-    });
-    let w = generate(
-        &ft,
-        &routing,
-        &Scenario {
-            n_flows: spec.workload.n_flows,
-            matrix_name: spec.workload.matrix.clone(),
-            sizes,
-            sigma: spec.workload.sigma,
-            max_load: spec.workload.max_load,
-            seed: spec.seed,
-        },
-    );
+    let (topo, flows, config) = spec
+        .scenario()
+        .materialize(spec.seed)
+        .unwrap_or_else(|e| die_m3(&e));
     Materialized {
-        topo: ft.topo,
-        flows: w.flows,
-        config: spec.config.to_sim_config(),
+        topo,
+        flows,
+        config,
     }
 }
 
-fn load_model(spec: &Spec) -> m3::nn::prelude::M3Net {
-    let path = spec.model.as_deref().unwrap_or("assets/m3-model.ckpt");
+fn load_model(path: Option<&str>) -> m3::nn::prelude::M3Net {
+    let path = path.unwrap_or("assets/m3-model.ckpt");
     m3::nn::checkpoint::load_file(path).unwrap_or_else(|e| {
-        die(&format!(
-            "cannot load model {path:?} ({e}); run `cargo run --release -p m3-bench --bin train` first"
-        ))
+        die(
+            EXIT_FAULT,
+            &format!(
+                "cannot load model {path:?} ({e}); run `cargo run --release -p m3-bench --bin train` first"
+            ),
+        )
     })
 }
 
@@ -210,7 +232,7 @@ fn run_estimate(spec: &Spec) {
         let t = Instant::now();
         match method.as_str() {
             "m3" => {
-                let est = M3Estimator::new(load_model(spec));
+                let est = M3Estimator::new(load_model(spec.model.as_deref()));
                 let e = est
                     .try_estimate(
                         &m.topo,
@@ -220,7 +242,7 @@ fn run_estimate(spec: &Spec) {
                         spec.seed,
                         &EstimateOptions::default(),
                     )
-                    .unwrap_or_else(|e| die(&e.to_string()));
+                    .unwrap_or_else(|e| die_m3(&e));
                 report("m3", &e, t.elapsed());
             }
             "flowsim" => {
@@ -263,7 +285,7 @@ fn run_estimate(spec: &Spec) {
                 let e = ns3_path_estimate(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
                 report("ns3-path", &e, t.elapsed());
             }
-            other => die(&format!("unknown method {other:?}")),
+            other => die_m3(&invalid_spec(format!("unknown method {other:?}"))),
         }
     }
 }
@@ -277,14 +299,18 @@ fn run_sweep(spec: &Spec, knob_name: &str, values: &str) {
         "hpcc-rate-ai" => Knob::HpccRateAi,
         "timely-tlow" => Knob::TimelyTLow,
         "timely-thigh" => Knob::TimelyTHigh,
-        other => die(&format!("unknown knob {other:?}")),
+        other => die_m3(&invalid_spec(format!("unknown knob {other:?}"))),
     };
     let candidates: Vec<f64> = values
         .split(',')
-        .map(|v| v.trim().parse().unwrap_or_else(|_| die("bad knob value")))
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| die(EXIT_USAGE, &format!("bad knob value {v:?}")))
+        })
         .collect();
     let m = materialize(spec);
-    let estimator = M3Estimator::new(load_model(spec));
+    let estimator = M3Estimator::new(load_model(spec.model.as_deref()));
     let t = Instant::now();
     let prepared = PreparedWorkload::prepare(&m.topo, &m.flows, &m.config, spec.paths, spec.seed);
     println!("prepared {} paths in {:?}", spec.paths, t.elapsed());
@@ -314,35 +340,159 @@ fn run_sweep(spec: &Spec, knob_name: &str, values: &str) {
     );
 }
 
+fn run_serve(spec: &ServiceSpec) {
+    // Validate every request's scenario up front so a typo'd batch dies
+    // with a spec error before any job is journaled.
+    for (i, req) in spec.requests.iter().enumerate() {
+        if let Err(e) = req.scenario.materialize(req.seed) {
+            eprintln!("error: request {i} is invalid");
+            die_m3(&e);
+        }
+    }
+
+    let estimator = M3Estimator::new(load_model(spec.model.as_deref()));
+    let config = ServiceConfig {
+        workers: spec.workers,
+        queue_capacity: spec.queue_capacity,
+        retry: spec.retry.unwrap_or_default(),
+        ..ServiceConfig::default()
+    };
+
+    let (svc, already_accepted) = match (&spec.journal, spec.resume) {
+        (Some(path), true) => {
+            let (svc, replay) = Service::resume(estimator, config, path)
+                .unwrap_or_else(|e| die(EXIT_USAGE, &format!("resume journal {path}: {e}")));
+            println!(
+                "resumed journal {path}: {} accepted, {} settled, {} pending{}",
+                replay.accepted.len(),
+                replay.terminal.len(),
+                replay.pending().len(),
+                if replay.truncated_tail {
+                    " (torn tail truncated)"
+                } else {
+                    ""
+                }
+            );
+            (svc, replay.accepted.len())
+        }
+        (Some(path), false) => (
+            Service::start_journaled(estimator, config, path)
+                .unwrap_or_else(|e| die(EXIT_USAGE, &format!("create journal {path}: {e}"))),
+            0,
+        ),
+        (None, true) => die(EXIT_USAGE, "\"resume\": true requires a \"journal\" path"),
+        (None, false) => (Service::start(estimator, config), 0),
+    };
+
+    // On resume, requests the journal already accepted are not re-submitted
+    // (they either settled or are being replayed); only the tail of the
+    // batch is new work.
+    let mut ids = Vec::new();
+    for (i, req) in spec.requests.iter().enumerate().skip(already_accepted) {
+        match svc.submit(req.clone()) {
+            Ok(id) => ids.push(id),
+            Err(SubmitError::QueueFull { capacity }) => {
+                eprintln!("request {i}: shed at submit (queue full, {capacity} slots)");
+            }
+            Err(e) => die(EXIT_FAULT, &format!("request {i}: {e}")),
+        }
+    }
+
+    if !svc.wait_idle(Duration::from_secs(3600)) {
+        die(EXIT_FAULT, "service did not settle all jobs within 1 h");
+    }
+    let stats = svc.stats();
+
+    let mut failed = 0u64;
+    for id in 0..stats.accepted {
+        match svc.outcome(id) {
+            Some(JobOutcome::Completed { estimate, attempts }) => {
+                let took = Duration::from_secs_f64(estimate.timings.total_s());
+                report(&format!("job {id} ({attempts} att)"), &estimate, took);
+            }
+            Some(JobOutcome::Degraded {
+                estimate,
+                attempts,
+                via_breaker,
+            }) => {
+                let took = Duration::from_secs_f64(estimate.timings.total_s());
+                report(&format!("job {id} ({attempts} att)"), &estimate, took);
+                println!(
+                    "{:>18}  degraded{}",
+                    "",
+                    if via_breaker {
+                        " via open circuit breaker (flowSim-only path)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            Some(JobOutcome::Failed { error, attempts }) => {
+                eprintln!("job {id}: FAILED after {attempts} attempt(s): {error}");
+                failed += 1;
+            }
+            Some(JobOutcome::Shed { reason }) => {
+                eprintln!("job {id}: shed ({reason})");
+            }
+            None => {
+                eprintln!("job {id}: no terminal outcome (service bug)");
+                failed += 1;
+            }
+        }
+    }
+
+    svc.shutdown();
+    match serde_json::to_string_pretty(&stats) {
+        Ok(s) => println!("{s}"),
+        Err(e) => eprintln!("stats serialization failed: {e}"),
+    }
+    if failed > 0 {
+        die(EXIT_FAULT, &format!("{failed} job(s) failed"));
+    }
+}
+
+fn read_spec<T: Deserialize>(path: &str) -> T {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(EXIT_USAGE, &format!("read {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| die(EXIT_USAGE, &format!("parse {path}: {e}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(|s| s.as_str()) {
-        Some("example-spec") => {
-            println!("{}", serde_json::to_string_pretty(&example_spec()).unwrap());
-        }
+        Some("example-spec") => match serde_json::to_string_pretty(&example_spec()) {
+            Ok(s) => println!("{s}"),
+            Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
+        },
+        Some("example-service-spec") => match serde_json::to_string_pretty(&example_service_spec())
+        {
+            Ok(s) => println!("{s}"),
+            Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
+        },
         Some("estimate") => {
             let path = args
                 .get(2)
-                .unwrap_or_else(|| die("usage: m3 estimate <spec.json>"));
-            let text =
-                std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-            let spec: Spec =
-                serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
-            run_estimate(&spec);
+                .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 estimate <spec.json>"));
+            run_estimate(&read_spec::<Spec>(path));
         }
         Some("sweep") => {
             if args.len() < 5 {
-                die("usage: m3 sweep <spec.json> <knob> <v1,v2,...>");
+                die(EXIT_USAGE, "usage: m3 sweep <spec.json> <knob> <v1,v2,...>");
             }
-            let text = std::fs::read_to_string(&args[2])
-                .unwrap_or_else(|e| die(&format!("read {}: {e}", args[2])));
-            let spec: Spec = serde_json::from_str(&text)
-                .unwrap_or_else(|e| die(&format!("parse {}: {e}", args[2])));
+            let spec: Spec = read_spec(&args[2]);
             run_sweep(&spec, &args[3], &args[4]);
         }
+        Some("serve") => {
+            let path = args
+                .get(2)
+                .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 serve <service-spec.json>"));
+            run_serve(&read_spec::<ServiceSpec>(path));
+        }
         _ => {
-            eprintln!("usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values>>");
-            std::process::exit(2);
+            eprintln!(
+                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json>>"
+            );
+            std::process::exit(EXIT_USAGE);
         }
     }
 }

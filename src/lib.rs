@@ -8,6 +8,7 @@
 //! * [`workload`] — size distributions, traffic matrices, arrivals
 //! * [`nn`] — tensors, autograd, transformer + MLP, Adam, checkpoints
 //! * [`core`] — the m3 pipeline (decompose, featurize, correct, aggregate)
+//! * [`serve`] — supervised estimation service (job queue, journal, breakers)
 //! * [`parsimon`] — the Parsimon baseline
 //!
 //! See README.md for a quickstart and DESIGN.md for the architecture.
@@ -17,4 +18,5 @@ pub use m3_flowsim as flowsim;
 pub use m3_netsim as netsim;
 pub use m3_nn as nn;
 pub use m3_parsimon as parsimon;
+pub use m3_serve as serve;
 pub use m3_workload as workload;

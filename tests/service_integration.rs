@@ -1,0 +1,403 @@
+//! Integration suite for the supervised estimation service: crash-recovery
+//! replay, retry-until-success under transient faults, worker-panic
+//! supervision, circuit-breaker open/close, load shedding, and deadlines.
+//! Everything is seeded and fault injection is deterministic, so failures
+//! replay bit-identically.
+
+use m3::core::prelude::*;
+use m3::nn::prelude::{M3Net, ModelConfig};
+use m3::serve::prelude::*;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const PATHS: usize = 6;
+const IDLE: Duration = Duration::from_secs(180);
+
+fn untrained_estimator() -> M3Estimator {
+    let cfg = ModelConfig {
+        embed: 16,
+        heads: 2,
+        layers: 1,
+        ff_hidden: 16,
+        mlp_hidden: 32,
+        ..ModelConfig::repro_default(SPEC_DIM)
+    };
+    M3Estimator::new(M3Net::new(cfg, 3))
+}
+
+fn scenario(n_flows: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopoSpec::FatTreeSmall { oversub: 2 },
+        workload: WorkloadSpec {
+            n_flows,
+            matrix: "B".into(),
+            sizes: "WebServer".into(),
+            sigma: 1.0,
+            max_load: 0.4,
+        },
+        config: ConfigSpec::default(),
+    }
+}
+
+fn fast_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 1,
+            max_delay_ms: 4,
+            seed: 9,
+        },
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown_observations: 2,
+        },
+        cache_capacity: 64,
+    }
+}
+
+fn tmpjournal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("m3-svc-itest-{}-{name}", std::process::id()))
+}
+
+fn assert_estimates_bit_identical(a: &NetworkEstimate, b: &NetworkEstimate) {
+    assert_eq!(a.bucket_counts, b.bucket_counts);
+    assert_eq!(a.bucket_samples.len(), b.bucket_samples.len());
+    for (x, y) in a.bucket_samples.iter().zip(&b.bucket_samples) {
+        let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(xb, yb);
+    }
+}
+
+/// Run `requests` through an uninterrupted service and return the
+/// estimates, as the reference for recovery comparisons.
+fn reference_outcomes(requests: &[EstimateRequest]) -> Vec<NetworkEstimate> {
+    let svc = Service::start(untrained_estimator(), fast_config(2));
+    let ids: Vec<u64> = requests
+        .iter()
+        .map(|r| svc.submit(r.clone()).expect("reference submit"))
+        .collect();
+    assert!(svc.wait_idle(IDLE), "reference run did not settle");
+    let out = ids
+        .iter()
+        .map(|id| {
+            svc.outcome(*id)
+                .expect("reference outcome")
+                .estimate()
+                .expect("reference estimate")
+                .clone()
+        })
+        .collect();
+    svc.shutdown();
+    out
+}
+
+fn batch(n: usize) -> Vec<EstimateRequest> {
+    (0..n)
+        .map(|i| EstimateRequest::new(scenario(400 + 100 * (i % 3)), PATHS, 11 + i as u64))
+        .collect()
+}
+
+/// Tentpole acceptance: a journaled service killed mid-queue (before any
+/// job ran) replays the journal on restart and completes every accepted
+/// job with results bit-identical to an uninterrupted run.
+#[test]
+fn crash_recovery_replays_to_bit_identical_results() {
+    let requests = batch(4);
+    let reference = reference_outcomes(&requests);
+
+    let path = tmpjournal("replay-full");
+    {
+        // Zero workers: jobs are accepted and journaled, never started —
+        // then the handle is dropped ungracefully, as a crash would.
+        let svc = Service::start_journaled(untrained_estimator(), fast_config(0), &path)
+            .expect("create journal");
+        for r in &requests {
+            svc.submit(r.clone()).expect("submit");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.accepted, requests.len() as u64);
+        assert_eq!(stats.settled(), 0, "nothing may run before the crash");
+        svc.abort();
+    }
+
+    let (svc, replay) =
+        Service::resume(untrained_estimator(), fast_config(2), &path).expect("resume");
+    assert_eq!(replay.pending().len(), requests.len());
+    assert!(svc.wait_idle(IDLE), "resumed run did not settle");
+    for (i, want) in reference.iter().enumerate() {
+        let out = svc.outcome(i as u64).expect("resumed outcome");
+        let got = out.estimate().expect("resumed estimate");
+        assert_estimates_bit_identical(got, want);
+    }
+    svc.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Kill after some jobs settled: the restart replays exactly the pending
+/// tail, and the union of pre-crash and post-crash outcomes covers every
+/// accepted job bit-identically.
+#[test]
+fn partial_crash_recovery_completes_the_pending_tail() {
+    let requests = batch(5);
+    let reference = reference_outcomes(&requests);
+
+    let path = tmpjournal("replay-partial");
+    let settled_before = {
+        let svc = Service::start_journaled(untrained_estimator(), fast_config(1), &path)
+            .expect("create journal");
+        for r in &requests {
+            svc.submit(r.clone()).expect("submit");
+        }
+        // Let at least one job settle, then crash.
+        let deadline = std::time::Instant::now() + IDLE;
+        while svc.stats().settled() == 0 {
+            assert!(std::time::Instant::now() < deadline, "no job ever settled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let settled = svc.stats().settled();
+        svc.abort();
+        settled
+    };
+    assert!(settled_before >= 1);
+
+    let (svc, replay) =
+        Service::resume(untrained_estimator(), fast_config(2), &path).expect("resume");
+    assert!(
+        replay.terminal.len() as u64 >= settled_before,
+        "settled outcomes must be journaled"
+    );
+    assert!(svc.wait_idle(IDLE), "resumed run did not settle");
+    let stats = svc.stats();
+    assert_eq!(stats.accepted, requests.len() as u64);
+    assert_eq!(
+        stats.settled(),
+        stats.accepted,
+        "every accepted job settled"
+    );
+    for (i, want) in reference.iter().enumerate() {
+        let out = svc.outcome(i as u64).expect("outcome");
+        assert_estimates_bit_identical(out.estimate().expect("estimate"), want);
+    }
+    svc.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// A fault that clears after the first attempt is retried and completes
+/// *undegraded*, with the retry visible in the stats.
+#[test]
+fn transient_fault_retries_until_clean_success() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+    let mut req = EstimateRequest::new(scenario(500), PATHS, 21);
+    req.fault_plan =
+        Some(FaultPlan::new(13).with_first_attempts(InjectedFault::FlowsimBudget, 1.0, 2));
+    req.policy = Some(DegradationPolicy::FailFast);
+    let id = svc.submit(req).expect("submit");
+    assert!(svc.wait_idle(IDLE));
+    match svc.outcome(id).expect("outcome") {
+        JobOutcome::Completed { estimate, attempts } => {
+            assert_eq!(attempts, 3, "two faulted attempts, then success");
+            assert!(
+                estimate.degradation.is_clean(),
+                "success must be undegraded"
+            );
+        }
+        other => panic!("expected Completed after retries, got {other:?}"),
+    }
+    assert!(svc.stats().retries >= 2);
+    svc.shutdown();
+}
+
+/// A persistent fault (invalid input) under FailFast dies on the first
+/// attempt — no retries burned on something that cannot heal.
+#[test]
+fn persistent_fault_fails_fast_without_retries() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+    let mut req = EstimateRequest::new(scenario(500), PATHS, 22);
+    req.fault_plan = Some(FaultPlan::new(14).with(InjectedFault::FlowsimNan, 1.0));
+    req.policy = Some(DegradationPolicy::FailFast);
+    let id = svc.submit(req).expect("submit");
+    assert!(svc.wait_idle(IDLE));
+    match svc.outcome(id).expect("outcome") {
+        JobOutcome::Failed { error, attempts } => {
+            assert_eq!(attempts, 1, "persistent faults must not be retried");
+            assert!(
+                matches!(error, M3Error::StageFault { .. }),
+                "unexpected error: {error}"
+            );
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+    assert_eq!(svc.stats().retries, 0);
+    svc.shutdown();
+}
+
+/// An injected worker panic kills the thread outside the pipeline's panic
+/// isolation; the supervisor recovers the job, respawns the worker, and
+/// the retried job completes.
+#[test]
+fn worker_panic_is_supervised_and_job_recovered() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+    let mut req = EstimateRequest::new(scenario(500), PATHS, 23);
+    req.fault_plan =
+        Some(FaultPlan::new(15).with_first_attempts(InjectedFault::WorkerPanic, 1.0, 1));
+    let id = svc.submit(req).expect("submit");
+    // A clean job behind it proves the respawned worker keeps serving.
+    let id2 = svc
+        .submit(EstimateRequest::new(scenario(450), PATHS, 24))
+        .expect("submit 2");
+    assert!(svc.wait_idle(IDLE));
+    assert!(
+        matches!(
+            svc.outcome(id).expect("outcome"),
+            JobOutcome::Completed { .. }
+        ),
+        "panicked job must complete after recovery"
+    );
+    assert!(matches!(
+        svc.outcome(id2).expect("outcome 2"),
+        JobOutcome::Completed { .. }
+    ));
+    let stats = svc.stats();
+    assert!(stats.worker_panics >= 1, "panic must be observed");
+    assert!(stats.workers_respawned >= 1, "worker must be respawned");
+    svc.shutdown();
+}
+
+/// Consecutive stage failures trip the breaker; while open, jobs route to
+/// the flowSim-only degraded path instead of failing; a clean probe closes
+/// it and full service resumes.
+#[test]
+fn breaker_opens_routes_degraded_and_recloses() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+    let submit_one = |req: EstimateRequest| -> JobOutcome {
+        let id = svc.submit(req).expect("submit");
+        assert!(svc.wait_idle(IDLE), "job {id} did not settle");
+        svc.outcome(id).expect("outcome")
+    };
+    let faulty = || {
+        let mut r = EstimateRequest::new(scenario(400), PATHS, 31);
+        r.fault_plan = Some(FaultPlan::new(16).with(InjectedFault::FlowsimNan, 1.0));
+        r.policy = Some(DegradationPolicy::FailFast);
+        r
+    };
+
+    // Three consecutive failures trip the flowSim breaker.
+    for _ in 0..3 {
+        assert!(matches!(submit_one(faulty()), JobOutcome::Failed { .. }));
+    }
+    let stats = svc.stats();
+    assert!(
+        matches!(stats.flowsim_breaker, BreakerState::Open { .. }),
+        "breaker should be open, is {:?}",
+        stats.flowsim_breaker
+    );
+    assert!(!stats.healthy());
+    assert_eq!(stats.breaker_trips, 1);
+
+    // While open (cooldown = 2 observations), clean jobs are served by the
+    // degraded flowSim-only path rather than failing or waiting.
+    for i in 0..2 {
+        match submit_one(EstimateRequest::new(scenario(420), PATHS, 40 + i)) {
+            JobOutcome::Degraded {
+                via_breaker,
+                estimate,
+                ..
+            } => {
+                assert!(via_breaker, "degradation must be attributed to the breaker");
+                assert!(estimate.p99().is_finite());
+            }
+            other => panic!("expected Degraded via breaker, got {other:?}"),
+        }
+    }
+
+    // Cooldown elapsed: the next clean job is the half-open probe; its
+    // success closes the breaker and full service resumes.
+    match submit_one(EstimateRequest::new(scenario(440), PATHS, 50)) {
+        JobOutcome::Completed { .. } => {}
+        other => panic!("probe should complete fully, got {other:?}"),
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.flowsim_breaker, BreakerState::Closed);
+    assert!(stats.healthy());
+    svc.shutdown();
+}
+
+/// Admission control: a full queue sheds new submissions immediately and
+/// visibly, accepted work is unaffected, and the books balance.
+#[test]
+fn overload_sheds_at_submit_and_books_balance() {
+    let mut config = fast_config(0); // no workers: the queue can only fill
+    config.queue_capacity = 3;
+    let svc = Service::start(untrained_estimator(), config);
+    let mut accepted = 0u64;
+    let mut shed = 0u64;
+    for i in 0..8 {
+        match svc.submit(EstimateRequest::new(scenario(400), PATHS, 60 + i)) {
+            Ok(_) => accepted += 1,
+            Err(SubmitError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 3);
+                shed += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(accepted, 3);
+    assert_eq!(shed, 5);
+    let stats = svc.stats();
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.shed_at_submit, 5);
+    assert_eq!(stats.queue_depth, 3);
+    svc.abort();
+}
+
+/// A job whose deadline expired while it sat in the queue is shed at
+/// pickup, not run.
+#[test]
+fn expired_deadline_sheds_at_pickup() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+    let mut req = EstimateRequest::new(scenario(400), PATHS, 70);
+    req.deadline_ms = Some(0); // expired on arrival
+    let id = svc.submit(req).expect("submit");
+    assert!(svc.wait_idle(IDLE));
+    match svc.outcome(id).expect("outcome") {
+        JobOutcome::Shed { reason } => assert!(reason.contains("deadline")),
+        other => panic!("expected Shed, got {other:?}"),
+    }
+    // Shed jobs are terminal: the books balance.
+    let stats = svc.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.settled(), stats.accepted);
+    svc.shutdown();
+}
+
+/// Identical scenarios across jobs share the thread-safe scenario cache:
+/// the second submission hits instead of recomputing, and the hit/miss
+/// counters surface on the stats snapshot.
+#[test]
+fn shared_cache_hits_across_jobs_and_reports_stats() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+    let req = EstimateRequest::new(scenario(500), PATHS, 80);
+    let a = svc.submit(req.clone()).expect("submit a");
+    let b = svc.submit(req).expect("submit b");
+    assert!(svc.wait_idle(IDLE));
+    let ea = svc
+        .outcome(a)
+        .expect("a")
+        .estimate()
+        .expect("est a")
+        .clone();
+    let eb = svc
+        .outcome(b)
+        .expect("b")
+        .estimate()
+        .expect("est b")
+        .clone();
+    assert_estimates_bit_identical(&ea, &eb);
+    let stats = svc.stats();
+    assert!(stats.cache.hits > 0, "second job must hit the cache");
+    assert!(stats.cache.hit_rate() > 0.0);
+    svc.shutdown();
+}
