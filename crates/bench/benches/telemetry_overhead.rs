@@ -1,0 +1,97 @@
+//! Telemetry overhead benchmark.
+//!
+//! The estimation pipeline records into a call-local registry on every run
+//! (it backs the `timings` view), so the only *optional* cost of metrics
+//! is absorbing the per-call snapshot into a caller-supplied registry.
+//! This bench runs the same estimate with `metrics: None` and with a live
+//! long-lived registry and asserts the relative overhead stays under 2%.
+//!
+//! Results go to `BENCH_telemetry_overhead.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use m3_telemetry::MetricsRegistry;
+use m3_workload::prelude::*;
+use std::hint::black_box;
+
+const K_PATHS: usize = 100;
+const SEED: u64 = 13;
+/// Maximum tolerated relative overhead of live metrics vs none.
+const MAX_OVERHEAD_FRAC: f64 = 0.02;
+
+fn setup() -> (M3Estimator, FatTree, Vec<FlowSpec>, SimConfig) {
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 8_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 23,
+        },
+    );
+    let net = M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7);
+    (M3Estimator::new(net), ft, w.flows, SimConfig::default())
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let (est, ft, flows, cfg) = setup();
+    let run = |opts: &EstimateOptions| {
+        est.try_estimate(&ft.topo, &flows, &cfg, K_PATHS, SEED, opts)
+            .expect("estimate")
+    };
+
+    let baseline_opts = EstimateOptions::default();
+    c.bench_function("telemetry_overhead/no_registry", |b| {
+        b.iter(|| black_box(run(&baseline_opts)))
+    });
+    let baseline_ns = c.last_mean_ns();
+
+    let registry = MetricsRegistry::new();
+    let live_opts = EstimateOptions {
+        metrics: Some(registry.clone()),
+        ..EstimateOptions::default()
+    };
+    c.bench_function("telemetry_overhead/live_registry", |b| {
+        b.iter(|| black_box(run(&live_opts)))
+    });
+    let live_ns = c.last_mean_ns();
+
+    // The live registry must actually have accumulated the runs.
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("pipeline.sampled_paths").unwrap_or(0) >= K_PATHS as u64,
+        "live registry saw no pipeline metrics"
+    );
+
+    let overhead_frac = (live_ns - baseline_ns) / baseline_ns;
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"k_paths\": {K_PATHS},\n  \
+         \"no_registry_ms\": {:.3},\n  \"live_registry_ms\": {:.3},\n  \
+         \"overhead_frac\": {:.4},\n  \"max_overhead_frac\": {MAX_OVERHEAD_FRAC}\n}}\n",
+        baseline_ns / 1e6,
+        live_ns / 1e6,
+        overhead_frac,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_telemetry_overhead.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[telemetry_overhead] wrote {path}:\n{json}"),
+        Err(e) => eprintln!("[telemetry_overhead] could not write {path}: {e}"),
+    }
+    assert!(
+        overhead_frac < MAX_OVERHEAD_FRAC,
+        "live metrics overhead {overhead_frac:.4} exceeds {MAX_OVERHEAD_FRAC}"
+    );
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

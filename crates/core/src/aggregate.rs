@@ -186,6 +186,29 @@ impl StageTimings {
     pub fn total_s(&self) -> f64 {
         self.decompose_s + self.flowsim_s + self.features_s + self.forward_s + self.aggregate_s
     }
+
+    /// Backward-compatibility view over a telemetry snapshot: since the
+    /// registry became the pipeline's source of truth, `StageTimings` is
+    /// derived from the per-call metrics rather than populated by hand.
+    /// Metrics absent from the snapshot read as zero.
+    pub fn from_snapshot(snap: &m3_telemetry::MetricsSnapshot) -> StageTimings {
+        use crate::metrics::names;
+        let count = |n: &str| snap.counter(n).unwrap_or(0) as usize;
+        let secs = |n: &str| snap.timer_seconds(n).unwrap_or(0.0);
+        StageTimings {
+            decompose_s: secs(names::DECOMPOSE_SECONDS),
+            flowsim_s: secs(names::FLOWSIM_SECONDS),
+            features_s: secs(names::FEATURES_SECONDS),
+            forward_s: secs(names::FORWARD_SECONDS),
+            aggregate_s: secs(names::AGGREGATE_SECONDS),
+            sampled_paths: count(names::SAMPLED_PATHS),
+            unique_scenarios: count(names::UNIQUE_SCENARIOS),
+            flowsim_runs: count(names::FLOWSIM_RUNS),
+            cache_hits: count(names::CACHE_HITS),
+            cache_misses: count(names::CACHE_MISSES),
+            cache_evictions: count(names::CACHE_EVICTIONS),
+        }
+    }
 }
 
 /// The aggregated network-wide estimate.

@@ -51,6 +51,7 @@ pub mod decompose;
 pub mod error;
 pub mod faultinject;
 pub mod features;
+pub mod metrics;
 pub mod optimizer;
 pub mod pathsim;
 pub mod pipeline;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::features::{
         feature_bucket, output_bucket, FeatureMap, FEAT_DIM, OUTPUT_BUCKETS, OUT_DIM, SIZE_BUCKETS,
     };
+    pub use crate::metrics::{names as metric_names, PipelineMetrics};
     pub use crate::optimizer::{
         bucket_p99_objective, golden_section_search, sweep_knob, Knob, PreparedWorkload,
         SweepPoint, SweepResult,
@@ -83,7 +85,7 @@ pub mod prelude {
     pub use crate::spec::{path_base_rtt, spec_vector, SPEC_DIM};
     pub use crate::trainer::{
         build_dataset, evaluate, make_example, scenario_features, stage_seed, train,
-        training_point_with_hops, training_points, try_train, TrainConfig, TrainExample,
-        TrainReport,
+        training_point_with_hops, training_points, try_train, try_train_with_metrics, TrainConfig,
+        TrainExample, TrainReport,
     };
 }

@@ -158,9 +158,19 @@ impl PathScenarioData {
     /// event times, and budget exhaustion come back as typed
     /// [`FluidError`]s instead of panics.
     pub fn try_run_flowsim(&self, budget: &FluidBudget) -> Result<FlowsimResult, FluidError> {
+        self.try_run_flowsim_stats(budget).map(|(r, _)| r)
+    }
+
+    /// [`try_run_flowsim`](Self::try_run_flowsim) plus the run's
+    /// deterministic budget-consumption stats (event count, wall checks),
+    /// which the pipeline feeds into its telemetry registry.
+    pub fn try_run_flowsim_stats(
+        &self,
+        budget: &FluidBudget,
+    ) -> Result<(FlowsimResult, FluidRunStats), FluidError> {
         let (topo, flows) = self.to_fluid();
-        let records = try_simulate_fluid(&topo, &flows, budget)?;
-        Ok(self.split_records(&records))
+        let (records, stats) = try_simulate_fluid_stats(&topo, &flows, budget)?;
+        Ok((self.split_records(&records), stats))
     }
 
     /// Split raw fluid records into the foreground sample set and one

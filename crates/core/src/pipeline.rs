@@ -18,16 +18,17 @@ use crate::decompose::PathIndex;
 use crate::error::{validate_workload, FaultKind, M3Error, SpecValidation, Stage};
 use crate::faultinject::InjectedFault;
 use crate::features::output_bucket;
+use crate::metrics::PipelineMetrics;
 use crate::pathsim::{FlowsimResult, PathScenarioData};
 use crate::spec::spec_vector;
-use m3_flowsim::prelude::{try_simulate_fluid, FluidBudget, FluidError};
+use m3_flowsim::prelude::{try_simulate_fluid_stats, FluidBudget, FluidError, FluidRunStats};
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
+use m3_telemetry::MetricsRegistry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// Output-bucket counts of a foreground flow set.
 fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
@@ -80,6 +81,14 @@ pub struct EstimateOptions {
     /// Deterministic fault injection for robustness tests and benches;
     /// `None` (the default) injects nothing and adds no overhead.
     pub fault_plan: Option<crate::faultinject::FaultPlan>,
+    /// Long-lived telemetry registry to accumulate this call's metrics
+    /// into (counters and stage timers under the `pipeline.`/`flowsim.`
+    /// prefixes). The pipeline records into a private per-call registry
+    /// either way — that is what populates `NetworkEstimate::timings` —
+    /// and absorbs the call's snapshot into this one on success, so
+    /// concurrent estimates never contend on shared atomics mid-flight.
+    /// `None` (or a [`MetricsRegistry::noop`]) adds no observable cost.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 /// Classify a fluid-simulator error for degradation accounting.
@@ -289,13 +298,14 @@ impl M3Estimator {
 
     /// One slot's flowSim run, with injected faults applied. Runs inside
     /// `catch_unwind`, so a panic here (injected or real) is isolated to
-    /// the slot.
+    /// the slot. Successful runs also return their deterministic budget
+    /// consumption for telemetry.
     fn run_flowsim_slot(
         &self,
         data: &PathScenarioData,
         slot: usize,
         options: &EstimateOptions,
-    ) -> Result<FlowsimResult, (FaultKind, String)> {
+    ) -> Result<(FlowsimResult, FluidRunStats), (FaultKind, String)> {
         let plan = options.fault_plan.as_ref();
         if plan.is_some_and(|p| p.hits(InjectedFault::FlowsimPanic, slot)) {
             panic!("injected flowSim panic at slot {slot}");
@@ -312,10 +322,11 @@ impl M3Estimator {
             if let Some(f0) = fflows.first_mut() {
                 f0.rate_cap_bps = f64::NAN;
             }
-            let records = try_simulate_fluid(&ftopo, &fflows, &budget).map_err(classify)?;
-            return Ok(data.split_records(&records));
+            let (records, stats) =
+                try_simulate_fluid_stats(&ftopo, &fflows, &budget).map_err(classify)?;
+            return Ok((data.split_records(&records), stats));
         }
-        data.try_run_flowsim(&budget).map_err(classify)
+        data.try_run_flowsim_stats(&budget).map_err(classify)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -329,7 +340,13 @@ impl M3Estimator {
         mut cache: CacheRef<'_>,
         options: &EstimateOptions,
     ) -> Result<NetworkEstimate, M3Error> {
-        let mut timings = StageTimings::default();
+        // All instrumentation goes through a private per-call registry: it
+        // backs the `timings` compatibility view, and its snapshot is
+        // absorbed into `options.metrics` (if any) on success. Keeping the
+        // hot path on call-local atomics means concurrent estimates never
+        // contend on a shared registry.
+        let call_metrics = MetricsRegistry::new();
+        let m = PipelineMetrics::register(&call_metrics);
         let mut report = DegradationReport::default();
         let fail_fast = matches!(options.policy, DegradationPolicy::FailFast);
 
@@ -344,7 +361,7 @@ impl M3Estimator {
         }
 
         // Stage 1: decompose, sample, materialize scenarios in parallel.
-        let t0 = Instant::now();
+        let span = m.decompose.span();
         let index = PathIndex::build(topo, flows);
         let sampled = index.sample_paths(k_paths, seed);
         if sampled.is_empty() {
@@ -361,8 +378,8 @@ impl M3Estimator {
             .iter()
             .map(|d| spec_vector(config, d.fg_base_rtt, d.fg_bottleneck))
             .collect();
-        timings.decompose_s = t0.elapsed().as_secs_f64();
-        timings.sampled_paths = datas.len();
+        span.finish();
+        m.sampled_paths.add(datas.len() as u64);
         report.total_samples = datas.len();
 
         // Dedupe by content hash: sampling with replacement and symmetric
@@ -385,7 +402,7 @@ impl M3Estimator {
             });
             slot_of.push(slot);
         }
-        timings.unique_scenarios = uniq.len();
+        m.unique_scenarios.add(uniq.len() as u64);
         // Sampled paths represented by each unique slot (degradation of a
         // slot affects this many of the k samples).
         let mut multiplicity = vec![0usize; uniq.len()];
@@ -425,16 +442,17 @@ impl M3Estimator {
                 }
             });
         }
-        timings.cache_hits = resolved.iter().filter(|r| r.is_some()).count();
+        m.cache_hits
+            .add(resolved.iter().filter(|r| r.is_some()).count() as u64);
         let todo: Vec<usize> = (0..uniq.len()).filter(|&s| resolved[s].is_none()).collect();
         if cache.present() {
-            timings.cache_misses = todo.len();
+            m.cache_misses.add(todo.len() as u64);
         }
 
         // Stage 2: flowSim the unresolved unique scenarios in parallel,
         // each isolated (budget + panic barrier).
-        let t0 = Instant::now();
-        let sims: Vec<Result<FlowsimResult, (FaultKind, String)>> = todo
+        let span = m.flowsim.span();
+        let sims: Vec<Result<(FlowsimResult, FluidRunStats), (FaultKind, String)>> = todo
             .par_iter()
             .map(|&s| {
                 catch_unwind(AssertUnwindSafe(|| {
@@ -443,8 +461,16 @@ impl M3Estimator {
                 .unwrap_or_else(|p| Err((FaultKind::Panic, panic_detail(p))))
             })
             .collect();
-        timings.flowsim_s = t0.elapsed().as_secs_f64();
-        timings.flowsim_runs = todo.len();
+        span.finish();
+        m.flowsim_runs.add(todo.len() as u64);
+        // Budget consumption, summed sequentially over the (deterministic)
+        // slot order so the totals are independent of rayon scheduling.
+        let mut fluid_stats = FluidRunStats::default();
+        for (_, s) in sims.iter().flatten() {
+            fluid_stats.add(*s);
+        }
+        m.flowsim_events.add(fluid_stats.events);
+        m.flowsim_wall_checks.add(fluid_stats.wall_checks);
 
         // Classify flowSim faults. A faulted slot has no distribution to
         // fall back on, so its samples are dropped from the aggregate.
@@ -470,11 +496,11 @@ impl M3Estimator {
         }
 
         // Stage 3: feature maps + encoding for the surviving slots.
-        let t0 = Instant::now();
+        let span = m.features.span();
         let ok: Vec<usize> = (0..todo.len()).filter(|&j| sims[j].is_ok()).collect();
         let sim_of = |j: usize| -> &FlowsimResult {
             match &sims[j] {
-                Ok(s) => s,
+                Ok((s, _)) => s,
                 Err(_) => unreachable!("only surviving slots are consulted"),
             }
         };
@@ -491,14 +517,14 @@ impl M3Estimator {
                 }
             })
             .collect();
-        timings.features_s = t0.elapsed().as_secs_f64();
+        span.finish();
 
         // Stage 4: one batched forward pass over the surviving scenarios,
         // behind a panic barrier. Slots whose forward output is unusable
         // (panic, injected poisoning, non-finite values) fall back to the
         // uncorrected flowSim distribution; only fully-corrected results
         // are cacheable.
-        let t0 = Instant::now();
+        let span = m.forward.span();
         let plan = options.fault_plan.as_ref();
         let mut cacheable: Vec<usize> = Vec::new();
         match catch_unwind(AssertUnwindSafe(|| self.net.predict_batch(&inputs))) {
@@ -564,7 +590,7 @@ impl M3Estimator {
             }
         }
         if let Some(fp) = model_fp {
-            timings.cache_evictions = cache
+            let evicted = cache
                 .with(|c| {
                     let before = c.evictions();
                     for &s in &cacheable {
@@ -572,11 +598,12 @@ impl M3Estimator {
                             c.insert(keys[uniq[s]], fp, dist);
                         }
                     }
-                    (c.evictions() - before) as usize
+                    c.evictions() - before
                 })
                 .unwrap_or(0);
+            m.cache_evictions.add(evicted);
         }
-        timings.forward_s = t0.elapsed().as_secs_f64();
+        span.finish();
 
         // Enforce the degradation ceiling before aggregating.
         let affected = report.degraded_samples + report.dropped_samples;
@@ -593,7 +620,7 @@ impl M3Estimator {
         // Stage 5: fan the unique distributions back out to the sampled
         // paths (duplicates keep their pooling weight; dropped slots are
         // skipped) and aggregate.
-        let t0 = Instant::now();
+        let span = m.aggregate.span();
         let dists: Vec<PathDistribution> = slot_of
             .iter()
             .filter_map(|&s| resolved[s].clone())
@@ -605,9 +632,18 @@ impl M3Estimator {
         }
         report.events.sort_by_key(|e| e.scenario);
         let mut est = NetworkEstimate::aggregate(&dists);
-        timings.aggregate_s = t0.elapsed().as_secs_f64();
-        est.timings = timings;
+        span.finish();
+        m.degraded_samples.add(report.degraded_samples as u64);
+        m.dropped_samples.add(report.dropped_samples as u64);
+
+        // The compatibility view is derived from the call's snapshot; the
+        // caller's long-lived registry (if any) absorbs it only on success.
+        let snapshot = call_metrics.snapshot();
+        est.timings = StageTimings::from_snapshot(&snapshot);
         est.degradation = report;
+        if let Some(ext) = &options.metrics {
+            ext.absorb(&snapshot);
+        }
         Ok(est)
     }
 }

@@ -217,6 +217,20 @@ pub fn try_train(
     cfg: &TrainConfig,
     dataset: &[TrainExample],
 ) -> Result<(M3Net, TrainReport), crate::error::M3Error> {
+    try_train_with_metrics(cfg, dataset, &m3_telemetry::MetricsRegistry::noop())
+}
+
+/// [`try_train`] with training-health telemetry recorded on `registry`:
+/// `train.epochs` / `train.samples` counters, `train.epoch_loss` /
+/// `train.val_loss` / `train.grad_norm` gauges (last value wins), the
+/// `train.epoch_seconds` timer, and the wall-marked `train.samples_per_sec`
+/// throughput gauge. Pass [`m3_telemetry::MetricsRegistry::noop`] to opt
+/// out at zero cost.
+pub fn try_train_with_metrics(
+    cfg: &TrainConfig,
+    dataset: &[TrainExample],
+    registry: &m3_telemetry::MetricsRegistry,
+) -> Result<(M3Net, TrainReport), crate::error::M3Error> {
     use crate::error::SpecValidation;
     cfg.validate_spec()?;
     if dataset.len() < 2 {
@@ -239,23 +253,49 @@ pub fn try_train(
         n_train: train_idx.len(),
         n_val: val_idx.len(),
     };
+
+    let epochs_done = registry.counter("train.epochs");
+    let samples_seen = registry.counter("train.samples");
+    let epoch_loss_g = registry.gauge("train.epoch_loss");
+    let val_loss_g = registry.gauge("train.val_loss");
+    let grad_norm_g = registry.gauge("train.grad_norm");
+    let epoch_timer = registry.timer("train.epoch_seconds");
+    let throughput_g = registry.wall_gauge("train.samples_per_sec");
+
     let mut train_order = train_idx.to_vec();
     for _epoch in 0..cfg.epochs {
+        let span = epoch_timer.span();
+        let t_epoch = std::time::Instant::now();
         train_order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
+        let mut last_grad_norm = 0.0;
         for chunk in train_order.chunks(cfg.batch_size) {
             let batch: Vec<(SampleInput, Vec<f32>)> = chunk
                 .iter()
                 .map(|&i| (dataset[i].input.clone(), dataset[i].target.clone()))
                 .collect();
             let (grads, loss) = batch_gradients(&net, &batch);
+            last_grad_norm = grad_l2_norm(&grads);
             opt.step(&mut net.store, &grads);
             epoch_loss += loss;
             batches += 1;
         }
-        report.train_loss.push(epoch_loss / batches.max(1) as f64);
-        report.val_loss.push(evaluate(&net, dataset, val_idx));
+        let train_loss = epoch_loss / batches.max(1) as f64;
+        let val_loss = evaluate(&net, dataset, val_idx);
+        report.train_loss.push(train_loss);
+        report.val_loss.push(val_loss);
+
+        epochs_done.inc();
+        samples_seen.add(train_order.len() as u64);
+        epoch_loss_g.set(train_loss);
+        val_loss_g.set(val_loss);
+        grad_norm_g.set(last_grad_norm);
+        let secs = t_epoch.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            throughput_g.set(train_order.len() as f64 / secs);
+        }
+        span.finish();
     }
     Ok((net, report))
 }
@@ -380,6 +420,34 @@ mod tests {
             assert_eq!(x.input.fg, y.input.fg);
             assert_eq!(x.target, y.target);
         }
+    }
+
+    #[test]
+    fn training_metrics_are_recorded() {
+        let cfg = tiny_cfg();
+        let ds = build_dataset(&cfg);
+        let reg = m3_telemetry::MetricsRegistry::new();
+        let (_, report) = try_train_with_metrics(&cfg, &ds, &reg).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("train.epochs"), Some(cfg.epochs as u64));
+        assert_eq!(
+            snap.counter("train.samples"),
+            Some((report.n_train * cfg.epochs) as u64)
+        );
+        let last_loss = report.train_loss.last().copied().unwrap();
+        assert_eq!(snap.gauge("train.epoch_loss"), Some(last_loss));
+        assert_eq!(
+            snap.gauge("train.val_loss"),
+            report.val_loss.last().copied()
+        );
+        assert!(snap.gauge("train.grad_norm").unwrap() > 0.0);
+        assert!(snap.timer_seconds("train.epoch_seconds").unwrap() > 0.0);
+        // Throughput is wall-clock derived: present, but excluded from the
+        // deterministic view.
+        assert!(snap.gauge("train.samples_per_sec").is_some());
+        let det = snap.deterministic_view();
+        assert!(det.gauge("train.samples_per_sec").is_none());
+        assert!(det.gauge("train.epoch_loss").is_some());
     }
 
     #[test]

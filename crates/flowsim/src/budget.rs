@@ -10,9 +10,10 @@
 use std::fmt;
 use std::time::Duration;
 
-/// How often the wall clock is sampled (every N outer-loop events); keeps
-/// the fault-free fast path free of syscalls.
-pub(crate) const WALL_CHECK_INTERVAL: u64 = 4096;
+/// Default wall-clock sampling stride (every N outer-loop events); keeps
+/// the fault-free fast path free of syscalls. Overridable per budget via
+/// [`FluidBudget::with_wall_check_stride`].
+pub const DEFAULT_WALL_CHECK_STRIDE: u64 = 4096;
 
 /// Resource ceiling for one fluid simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,8 +22,14 @@ pub struct FluidBudget {
     /// recomputations). A parking-lot run needs roughly `2 x flows` events,
     /// so the default leaves orders of magnitude of headroom.
     pub max_events: u64,
-    /// Optional wall-clock ceiling, checked every few thousand events.
+    /// Optional wall-clock ceiling, checked every [`Self::wall_check_stride`]
+    /// events.
     pub max_wall: Option<Duration>,
+    /// How many outer-loop events pass between `Instant::now()` samples
+    /// when a wall ceiling is set. Smaller strides trip wall budgets more
+    /// promptly at the cost of more clock syscalls; values below 1 are
+    /// treated as 1.
+    pub wall_check_stride: u64,
 }
 
 impl FluidBudget {
@@ -30,6 +37,7 @@ impl FluidBudget {
     pub const UNLIMITED: FluidBudget = FluidBudget {
         max_events: u64::MAX,
         max_wall: None,
+        wall_check_stride: DEFAULT_WALL_CHECK_STRIDE,
     };
 
     /// A budget bounded only by event count.
@@ -37,12 +45,19 @@ impl FluidBudget {
         FluidBudget {
             max_events,
             max_wall: None,
+            wall_check_stride: DEFAULT_WALL_CHECK_STRIDE,
         }
     }
 
     /// Add a wall-clock ceiling.
     pub fn with_wall(mut self, limit: Duration) -> Self {
         self.max_wall = Some(limit);
+        self
+    }
+
+    /// Override how often the wall clock is sampled (in events).
+    pub fn with_wall_check_stride(mut self, stride: u64) -> Self {
+        self.wall_check_stride = stride;
         self
     }
 }
@@ -54,7 +69,26 @@ impl Default for FluidBudget {
         FluidBudget {
             max_events: 100_000_000,
             max_wall: None,
+            wall_check_stride: DEFAULT_WALL_CHECK_STRIDE,
         }
+    }
+}
+
+/// Deterministic accounting from one fluid run: how much budget it
+/// consumed. Fed into the telemetry registry by the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FluidRunStats {
+    /// Outer event-loop iterations executed.
+    pub events: u64,
+    /// Wall-clock samples actually taken (0 unless a wall ceiling was set).
+    pub wall_checks: u64,
+}
+
+impl FluidRunStats {
+    /// Element-wise sum (order-independent, for aggregating across runs).
+    pub fn add(&mut self, other: FluidRunStats) {
+        self.events += other.events;
+        self.wall_checks += other.wall_checks;
     }
 }
 
@@ -105,7 +139,9 @@ impl std::error::Error for FluidError {}
 /// Shared per-run budget accounting for both fluid engines.
 pub(crate) struct BudgetMeter {
     budget: FluidBudget,
+    stride: u64,
     events: u64,
+    wall_checks: u64,
     start: Option<std::time::Instant>,
 }
 
@@ -113,7 +149,9 @@ impl BudgetMeter {
     pub(crate) fn new(budget: FluidBudget) -> Self {
         BudgetMeter {
             budget,
+            stride: budget.wall_check_stride.max(1),
             events: 0,
+            wall_checks: 0,
             // Only sample the clock when a wall limit is actually set.
             start: budget.max_wall.map(|_| std::time::Instant::now()),
         }
@@ -121,6 +159,14 @@ impl BudgetMeter {
 
     pub(crate) fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Budget consumed so far.
+    pub(crate) fn stats(&self) -> FluidRunStats {
+        FluidRunStats {
+            events: self.events,
+            wall_checks: self.wall_checks,
+        }
     }
 
     /// Account one outer-loop event; errors when a ceiling is crossed.
@@ -131,8 +177,9 @@ impl BudgetMeter {
                 limit: self.budget.max_events,
             });
         }
-        if self.events.is_multiple_of(WALL_CHECK_INTERVAL) {
+        if self.events.is_multiple_of(self.stride) {
             if let (Some(limit), Some(start)) = (self.budget.max_wall, self.start) {
+                self.wall_checks += 1;
                 if start.elapsed() > limit {
                     return Err(FluidError::WallClockExceeded {
                         limit,
@@ -172,13 +219,79 @@ mod tests {
         let mut m = BudgetMeter::new(FluidBudget::UNLIMITED.with_wall(Duration::from_nanos(1)));
         // Spin past one check interval; the elapsed nanosecond has passed.
         let mut tripped = false;
-        for _ in 0..10 * WALL_CHECK_INTERVAL {
+        for _ in 0..10 * DEFAULT_WALL_CHECK_STRIDE {
             if m.tick().is_err() {
                 tripped = true;
                 break;
             }
         }
         assert!(tripped, "wall budget of 1ns must trip within a few ticks");
+    }
+
+    #[test]
+    fn wall_check_stride_controls_sampling_and_is_counted() {
+        // Stride 16: the clock is sampled every 16 events, so a 1ns wall
+        // budget must trip on exactly event 16.
+        let mut m = BudgetMeter::new(
+            FluidBudget::UNLIMITED
+                .with_wall(Duration::from_nanos(1))
+                .with_wall_check_stride(16),
+        );
+        for i in 1..16 {
+            assert!(m.tick().is_ok(), "event {i} is before the first check");
+        }
+        assert!(matches!(
+            m.tick(),
+            Err(FluidError::WallClockExceeded { events: 16, .. })
+        ));
+        assert_eq!(m.stats().wall_checks, 1);
+        assert_eq!(m.stats().events, 16);
+    }
+
+    #[test]
+    fn no_wall_limit_means_no_wall_checks() {
+        let mut m = BudgetMeter::new(FluidBudget::events(1 << 20).with_wall_check_stride(8));
+        for _ in 0..1000 {
+            assert!(m.tick().is_ok());
+        }
+        assert_eq!(
+            m.stats().wall_checks,
+            0,
+            "clock never sampled without a limit"
+        );
+        assert_eq!(m.stats().events, 1000);
+    }
+
+    #[test]
+    fn zero_stride_is_clamped_to_one() {
+        let mut m = BudgetMeter::new(
+            FluidBudget::UNLIMITED
+                .with_wall(Duration::from_secs(3600))
+                .with_wall_check_stride(0),
+        );
+        for _ in 0..5 {
+            assert!(m.tick().is_ok());
+        }
+        assert_eq!(m.stats().wall_checks, 5, "stride 0 checks every event");
+    }
+
+    #[test]
+    fn run_stats_add_is_elementwise() {
+        let mut a = FluidRunStats {
+            events: 3,
+            wall_checks: 1,
+        };
+        a.add(FluidRunStats {
+            events: 4,
+            wall_checks: 2,
+        });
+        assert_eq!(
+            a,
+            FluidRunStats {
+                events: 7,
+                wall_checks: 3
+            }
+        );
     }
 
     #[test]

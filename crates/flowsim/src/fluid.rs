@@ -11,7 +11,7 @@
 //! of completion targets, so the whole simulation runs in O(F log F) heap
 //! operations plus O(groups^2) waterfill work per event.
 
-use crate::budget::{BudgetMeter, FluidBudget, FluidError};
+use crate::budget::{BudgetMeter, FluidBudget, FluidError, FluidRunStats};
 use crate::types::{FluidFctRecord, FluidFlow, FluidTopology, Nanos};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -116,6 +116,17 @@ pub fn try_simulate_fluid(
     flows: &[FluidFlow],
     budget: &FluidBudget,
 ) -> Result<Vec<FluidFctRecord>, FluidError> {
+    try_simulate_fluid_stats(topo, flows, budget).map(|(records, _)| records)
+}
+
+/// [`try_simulate_fluid`] plus deterministic budget-consumption accounting:
+/// how many outer events the run executed and how often the wall clock was
+/// sampled. The records are identical to the plain entry point's.
+pub fn try_simulate_fluid_stats(
+    topo: &FluidTopology,
+    flows: &[FluidFlow],
+    budget: &FluidBudget,
+) -> Result<(Vec<FluidFctRecord>, FluidRunStats), FluidError> {
     for f in flows {
         f.check(topo)
             .map_err(|reason| FluidError::InvalidInput { flow: f.id, reason })?;
@@ -275,7 +286,7 @@ pub fn try_simulate_fluid(
     }
 
     records.sort_by_key(|r| r.id);
-    Ok(records)
+    Ok((records, meter.stats()))
 }
 
 /// Progressive-filling max-min over groups with per-group rate caps.
@@ -560,6 +571,23 @@ mod tests {
         let a = simulate_fluid(&topo, &flows);
         let b = try_simulate_fluid(&topo, &flows, &FluidBudget::default()).unwrap();
         assert_eq!(a, b, "budgeted run must be bit-identical when fault-free");
+    }
+
+    #[test]
+    fn stats_entry_point_matches_and_accounts_events() {
+        let topo = FluidTopology::new(vec![10e9]);
+        let flows: Vec<FluidFlow> = (0..50)
+            .map(|i| with_ideal(&topo, flow(i, 10_000, i as u64 * 100, 0, 0, f64::INFINITY)))
+            .collect();
+        let plain = try_simulate_fluid(&topo, &flows, &FluidBudget::default()).unwrap();
+        let (recs, stats) =
+            try_simulate_fluid_stats(&topo, &flows, &FluidBudget::default()).unwrap();
+        assert_eq!(plain, recs, "stats variant must not change results");
+        assert!(
+            stats.events >= flows.len() as u64,
+            "at least one event per flow"
+        );
+        assert_eq!(stats.wall_checks, 0, "no wall limit set");
     }
 
     #[test]

@@ -34,6 +34,11 @@
 //! assert_eq!(records[0].fct, 8_000); // 10 kB at 10 Gbps
 //! ```
 
+// Robustness policy: non-test library code must not unwrap/expect — errors
+// either propagate as typed Results or use an explicitly justified panic.
+// scripts/check.sh runs clippy with -D warnings, making these hard errors.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod budget;
 pub mod fluid;
 pub mod general;
@@ -41,8 +46,8 @@ pub mod reference;
 pub mod types;
 
 pub mod prelude {
-    pub use crate::budget::{FluidBudget, FluidError};
-    pub use crate::fluid::{simulate_fluid, try_simulate_fluid};
+    pub use crate::budget::{FluidBudget, FluidError, FluidRunStats, DEFAULT_WALL_CHECK_STRIDE};
+    pub use crate::fluid::{simulate_fluid, try_simulate_fluid, try_simulate_fluid_stats};
     pub use crate::general::{
         simulate_fluid_general, try_simulate_fluid_general, GeneralFluidFlow,
     };

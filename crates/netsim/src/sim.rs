@@ -289,6 +289,40 @@ pub struct SimOutput {
     /// Telemetry per directed channel, indexed `link.index() * 2 +
     /// (forward ? 0 : 1)`.
     pub channel_stats: Vec<ChannelStats>,
+    /// Events popped from the event queue over the whole run.
+    pub events: u64,
+    /// Data packets ECN-marked at switch egress enqueue.
+    pub ecn_marks: u64,
+    /// PFC pause assertions sent (resume messages are not counted).
+    pub pfc_pauses: u64,
+}
+
+impl SimOutput {
+    /// Queue-depth high-water mark across every directed channel, bytes.
+    pub fn max_queue_bytes(&self) -> u64 {
+        self.channel_stats
+            .iter()
+            .map(|c| c.max_qbytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Emit this run's counters into a telemetry registry under the
+    /// `netsim.` prefix. All values are deterministic for a fixed
+    /// workload (the simulator's RNG is fix-seeded); the queue high-water
+    /// gauge is raised, never lowered, so repeated runs accumulate a max.
+    pub fn record_into(&self, metrics: &m3_telemetry::MetricsRegistry) {
+        metrics.counter("netsim.events").add(self.events);
+        metrics
+            .counter("netsim.data_packets_delivered")
+            .add(self.data_packets_delivered);
+        metrics.counter("netsim.drops").add(self.drops);
+        metrics.counter("netsim.ecn_marks").add(self.ecn_marks);
+        metrics.counter("netsim.pfc_pauses").add(self.pfc_pauses);
+        metrics
+            .gauge("netsim.queue_hwm_bytes")
+            .set_max(self.max_queue_bytes() as f64);
+    }
 }
 
 /// The simulator. Construct with a topology, configuration and flow set,
@@ -306,6 +340,8 @@ pub struct Simulator<'a> {
     records: Vec<FctRecord>,
     data_packets: u64,
     drops: u64,
+    ecn_marks: u64,
+    pfc_pauses: u64,
     /// Hard stop (safety net); `None` runs to completion.
     deadline: Option<Nanos>,
     /// Resource ceiling; exceeding it is an error (see [`SimBudget`]).
@@ -358,6 +394,8 @@ impl<'a> Simulator<'a> {
             records: Vec::with_capacity(n_flows),
             data_packets: 0,
             drops: 0,
+            ecn_marks: 0,
+            pfc_pauses: 0,
             deadline: None,
             budget: SimBudget::UNLIMITED,
         };
@@ -475,6 +513,9 @@ impl<'a> Simulator<'a> {
                     drops: p.drops,
                 })
                 .collect(),
+            events: popped,
+            ecn_marks: self.ecn_marks,
+            pfc_pauses: self.pfc_pauses,
         })
     }
 
@@ -563,6 +604,7 @@ impl<'a> Simulator<'a> {
         }
         // ECN marking at switch egress enqueue, on data packets.
         if from_switch && !pkt.is_ack {
+            let already_marked = pkt.ecn;
             match self.config.cc {
                 CcProtocol::Dctcp | CcProtocol::Hpcc => {
                     if port.qbytes >= self.config.params.dctcp_k {
@@ -583,6 +625,9 @@ impl<'a> Simulator<'a> {
                 }
                 CcProtocol::Timely => {}
             }
+            if pkt.ecn && !already_marked {
+                self.ecn_marks += 1;
+            }
         }
         // PFC ingress accounting: the packet now occupies buffer space at
         // this node, attributed to the port it arrived on.
@@ -591,6 +636,7 @@ impl<'a> Simulator<'a> {
             ing.ingress_bytes += pkt.size as u64;
             if ing.ingress_bytes >= self.config.pfc_threshold && !ing.pause_sent {
                 ing.pause_sent = true;
+                self.pfc_pauses += 1;
                 let delay = self.topo.link(port_link(pkt.ingress)).delay;
                 let target = pkt.ingress;
                 self.push(self.now + delay, Ev::PfcSet(target, true));
@@ -1187,6 +1233,53 @@ mod tests {
         );
         assert_eq!(with.records.len(), 8);
         assert_eq!(with.drops, 0, "PFC should eliminate drops");
+        assert!(with.pfc_pauses > 0, "PFC must have actually paused senders");
+        assert_eq!(without.pfc_pauses, 0, "no pauses with PFC disabled");
+    }
+
+    #[test]
+    fn telemetry_counters_populated_and_recorded() {
+        // DCTCP incast: deep enough queues to guarantee ECN marks, plus a
+        // tight buffer for drops. The run's counters must round-trip into
+        // a metrics registry exactly.
+        let mut topo = Topology::new();
+        let s = topo.add_switch();
+        let dst = topo.add_host();
+        let dst_l = topo.add_link(dst, s, 10 * GBPS, USEC);
+        let mut flows = Vec::new();
+        for i in 0..16u32 {
+            let h = topo.add_host();
+            let l = topo.add_link(h, s, 10 * GBPS, USEC);
+            flows.push(FlowSpec {
+                id: i,
+                src: h,
+                dst,
+                size: 64 * KB,
+                arrival: 0,
+                path: vec![l, dst_l],
+            });
+        }
+        let out = run_simulation(&topo, SimConfig::default(), flows);
+        assert_eq!(out.records.len(), 16);
+        assert!(out.events > 0, "event counter must be populated");
+        assert!(out.ecn_marks > 0, "16-to-1 DCTCP incast must mark ECN");
+        assert!(out.max_queue_bytes() > 0);
+
+        let reg = m3_telemetry::MetricsRegistry::new();
+        out.record_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("netsim.events"), Some(out.events));
+        assert_eq!(
+            snap.counter("netsim.data_packets_delivered"),
+            Some(out.data_packets_delivered)
+        );
+        assert_eq!(snap.counter("netsim.drops"), Some(out.drops));
+        assert_eq!(snap.counter("netsim.ecn_marks"), Some(out.ecn_marks));
+        assert_eq!(snap.counter("netsim.pfc_pauses"), Some(out.pfc_pauses));
+        assert_eq!(
+            snap.gauge("netsim.queue_hwm_bytes"),
+            Some(out.max_queue_bytes() as f64)
+        );
     }
 
     #[test]

@@ -304,7 +304,7 @@ impl FatTreeSpec {
 pub struct FatTree {
     pub topo: Topology,
     pub spec: FatTreeSpec,
-    /// hosts[rack][i] = NodeId, racks numbered pod-major.
+    /// `hosts[rack][i]` = NodeId, racks numbered pod-major.
     pub hosts: Vec<Vec<NodeId>>,
     pub tors: Vec<NodeId>,
     pub aggs: Vec<Vec<NodeId>>,

@@ -41,7 +41,7 @@ pub mod tensor;
 pub mod prelude {
     pub use crate::checkpoint::{load_file, save_file};
     pub use crate::integrity::{checksum64, encode_record, scan_records, ScanResult};
-    pub use crate::model::{batch_gradients, M3Net, ModelConfig, SampleInput};
+    pub use crate::model::{batch_gradients, grad_l2_norm, M3Net, ModelConfig, SampleInput};
     pub use crate::optim::Adam;
     pub use crate::params::{Param, ParamId, ParamStore};
     pub use crate::tape::{Tape, Var};

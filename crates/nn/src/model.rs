@@ -506,6 +506,18 @@ pub fn batch_gradients(net: &M3Net, batch: &[(SampleInput, Vec<f32>)]) -> (Vec<T
     (grads, loss_sum / batch.len() as f64)
 }
 
+/// Global L2 norm of a gradient set, accumulated in f64 so the result is
+/// stable across parameter counts. Useful as a training-health telemetry
+/// signal (exploding/vanishing gradients).
+pub fn grad_l2_norm(grads: &[Tensor]) -> f64 {
+    grads
+        .iter()
+        .flat_map(|g| g.data.iter())
+        .map(|&v| v as f64 * v as f64)
+        .sum::<f64>()
+        .sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,5 +696,15 @@ mod tests {
         let net = M3Net::new(cfg.clone(), 1);
         let out = net.predict(&sample(32, &cfg)); // > block
         assert_eq!(out.len(), cfg.out_dim);
+    }
+
+    #[test]
+    fn grad_l2_norm_matches_hand_computation() {
+        let grads = vec![
+            Tensor::from_vec(1, 2, vec![3.0, 0.0]),
+            Tensor::from_vec(2, 1, vec![0.0, 4.0]),
+        ];
+        assert!((grad_l2_norm(&grads) - 5.0).abs() < 1e-12);
+        assert_eq!(grad_l2_norm(&[]), 0.0);
     }
 }

@@ -56,7 +56,7 @@ impl Tensor {
         self.data.is_empty()
     }
 
-    /// C = A * B ([n,k] x [k,m] -> [n,m]), accumulating into `out`.
+    /// C = A * B (`[n,k] x [k,m] -> [n,m]`), accumulating into `out`.
     pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         assert_eq!(a.cols, b.rows, "matmul inner dims");
         assert_eq!((out.rows, out.cols), (a.rows, b.cols));
@@ -111,7 +111,7 @@ impl Tensor {
         )
     }
 
-    /// C = A * B^T ([n,k] x [m,k]^T -> [n,m]), accumulating into `out`.
+    /// C = A * B^T (`[n,k] x [m,k]^T -> [n,m]`), accumulating into `out`.
     pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         assert_eq!(a.cols, b.cols, "matmul_nt inner dims");
         assert_eq!((out.rows, out.cols), (a.rows, b.rows));
@@ -125,7 +125,7 @@ impl Tensor {
         }
     }
 
-    /// C = A^T * B ([k,n]^T x [k,m] -> [n,m]), accumulating into `out`.
+    /// C = A^T * B (`[k,n]^T x [k,m] -> [n,m]`), accumulating into `out`.
     pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         assert_eq!(a.rows, b.rows, "matmul_tn inner dims");
         assert_eq!((out.rows, out.cols), (a.cols, b.cols));

@@ -99,6 +99,7 @@ fn main() -> ExitCode {
         },
         breaker: BreakerConfig::default(),
         cache_capacity: 64,
+        ..ServiceConfig::default()
     };
     let svc = match Service::start_journaled(small_estimator(), config, &journal) {
         Ok(s) => s,

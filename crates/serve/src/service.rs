@@ -34,10 +34,11 @@ use m3_core::prelude::{
     NetworkEstimate, SharedScenarioCache, Stage, StageBudget,
 };
 use m3_flowsim::prelude::FluidBudget;
+use m3_telemetry::{Counter, Gauge, Histogram, HistogramEdges, MetricsRegistry, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -54,6 +55,14 @@ pub struct ServiceConfig {
     pub breaker: BreakerConfig,
     /// Shared scenario-cache capacity (entries).
     pub cache_capacity: usize,
+    /// When set, the supervisor writes a JSON [`MetricsSnapshot`] of the
+    /// service registry here every
+    /// [`metrics_dump_every`](ServiceConfig::metrics_dump_every) and once
+    /// more at shutdown.
+    pub metrics_out: Option<PathBuf>,
+    /// Interval between periodic metrics dumps (only used with
+    /// [`metrics_out`](ServiceConfig::metrics_out)).
+    pub metrics_dump_every: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +73,8 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             cache_capacity: 256,
+            metrics_out: None,
+            metrics_dump_every: Duration::from_secs(1),
         }
     }
 }
@@ -137,17 +148,63 @@ struct Job {
     attempt: u32,
 }
 
-#[derive(Default)]
-struct Counters {
-    accepted: u64,
-    completed: u64,
-    degraded: u64,
-    failed: u64,
-    shed: u64,
-    shed_at_submit: u64,
-    retries: u64,
-    worker_panics: u64,
-    workers_respawned: u64,
+/// Handles to every service-level metric, registered under the `serve.`
+/// prefix on the service's live [`MetricsRegistry`]. The same registry is
+/// handed to the pipeline per job, so one snapshot covers the full stack
+/// (`serve.*`, `pipeline.*`, `flowsim.*`).
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// `serve.accepted` — jobs admitted (journaled and queued).
+    pub accepted: Counter,
+    /// `serve.completed` — jobs that settled clean.
+    pub completed: Counter,
+    /// `serve.degraded` — jobs that settled via a degraded path.
+    pub degraded: Counter,
+    /// `serve.failed` — jobs that settled with a terminal error.
+    pub failed: Counter,
+    /// `serve.shed` — accepted jobs shed (deadline expired in queue).
+    pub shed: Counter,
+    /// `serve.shed_at_submit` — submissions rejected at admission.
+    pub shed_at_submit: Counter,
+    /// `serve.retries` — retry attempts (not counting first tries).
+    pub retries: Counter,
+    /// `serve.worker_panics` — workers reaped after a panic.
+    pub worker_panics: Counter,
+    /// `serve.workers_respawned` — replacement workers spawned.
+    pub workers_respawned: Counter,
+    /// `serve.breaker_trips` — closed-to-open breaker transitions.
+    pub breaker_trips: Counter,
+    /// `serve.queue_depth` — current queue length (wall: scheduling-
+    /// dependent, excluded from the deterministic view).
+    pub queue_depth: Gauge,
+    /// `serve.in_flight` — jobs currently on a worker (wall).
+    pub in_flight: Gauge,
+    /// `serve.request_latency_seconds` — accept-to-settle latency (wall).
+    pub request_latency: Histogram,
+}
+
+impl ServeMetrics {
+    /// Register every service metric on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            accepted: registry.counter("serve.accepted"),
+            completed: registry.counter("serve.completed"),
+            degraded: registry.counter("serve.degraded"),
+            failed: registry.counter("serve.failed"),
+            shed: registry.counter("serve.shed"),
+            shed_at_submit: registry.counter("serve.shed_at_submit"),
+            retries: registry.counter("serve.retries"),
+            worker_panics: registry.counter("serve.worker_panics"),
+            workers_respawned: registry.counter("serve.workers_respawned"),
+            breaker_trips: registry.counter("serve.breaker_trips"),
+            queue_depth: registry.wall_gauge("serve.queue_depth"),
+            in_flight: registry.wall_gauge("serve.in_flight"),
+            request_latency: registry.wall_histogram(
+                "serve.request_latency_seconds",
+                HistogramEdges::latency_seconds(),
+            ),
+        }
+    }
 }
 
 struct State {
@@ -156,7 +213,10 @@ struct State {
     /// supervisor recovers these when a worker dies.
     in_flight: HashMap<usize, Job>,
     outcomes: BTreeMap<u64, JobOutcome>,
-    counters: Counters,
+    /// Accepted jobs ever (preload + submissions); mirrored by the
+    /// `serve.accepted` counter but kept under the lock because
+    /// `wait_idle` compares it against `outcomes.len()`.
+    accepted: u64,
     flowsim_breaker: CircuitBreaker,
     forward_breaker: CircuitBreaker,
     journal: Option<Journal>,
@@ -171,6 +231,10 @@ struct Inner {
     config: ServiceConfig,
     estimator: Arc<M3Estimator>,
     cache: SharedScenarioCache,
+    /// Live, always-enabled registry: service counters plus the absorbed
+    /// per-job pipeline metrics.
+    registry: MetricsRegistry,
+    metrics: ServeMetrics,
 }
 
 impl Inner {
@@ -181,9 +245,9 @@ impl Inner {
     }
 }
 
-/// Handle to a running service. Dropping it without [`shutdown`]
-/// (Service::shutdown) abandons the workers (they exit once the queue
-/// drains and the shutdown flag is set by `Drop`).
+/// Handle to a running service. Dropping it without
+/// [`shutdown`](Service::shutdown) abandons the workers (they exit once
+/// the queue drains and the shutdown flag is set by `Drop`).
 pub struct Service {
     inner: Arc<Inner>,
     supervisor: Option<thread::JoinHandle<()>>,
@@ -230,9 +294,12 @@ impl Service {
         {
             let mut st = svc.inner.lock();
             st.next_id = replay.next_id();
-            st.counters.accepted = replay.accepted.len() as u64;
+            // `build` already counted the re-enqueued pending jobs.
+            let settled = (replay.accepted.len() - replay.pending().len()) as u64;
+            st.accepted = replay.accepted.len() as u64;
+            svc.inner.metrics.accepted.add(settled);
             for (id, outcome) in &replay.terminal {
-                bump_terminal_counter(&mut st.counters, outcome);
+                bump_terminal_counter(&svc.inner.metrics, outcome);
                 st.outcomes.insert(*id, outcome.clone());
             }
         }
@@ -247,15 +314,16 @@ impl Service {
         preloaded: Vec<Job>,
     ) -> Service {
         let accepted_preload = preloaded.len() as u64;
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::register(&registry);
+        metrics.accepted.add(accepted_preload);
+        metrics.queue_depth.set(accepted_preload as f64);
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: preloaded.into(),
                 in_flight: HashMap::new(),
                 outcomes: BTreeMap::new(),
-                counters: Counters {
-                    accepted: accepted_preload,
-                    ..Counters::default()
-                },
+                accepted: accepted_preload,
                 flowsim_breaker: CircuitBreaker::new(config.breaker),
                 forward_breaker: CircuitBreaker::new(config.breaker),
                 journal,
@@ -266,6 +334,8 @@ impl Service {
             estimator: Arc::new(estimator),
             cache: SharedScenarioCache::new(config.cache_capacity),
             config,
+            registry,
+            metrics,
         });
         let supervisor = {
             let inner = Arc::clone(&inner);
@@ -288,7 +358,7 @@ impl Service {
             return Err(SubmitError::ShuttingDown);
         }
         if st.queue.len() >= self.inner.config.queue_capacity {
-            st.counters.shed_at_submit += 1;
+            self.inner.metrics.shed_at_submit.inc();
             return Err(SubmitError::QueueFull {
                 capacity: self.inner.config.queue_capacity,
             });
@@ -302,13 +372,15 @@ impl Service {
             .map_err(SubmitError::Journal)?;
         }
         st.next_id += 1;
-        st.counters.accepted += 1;
+        st.accepted += 1;
+        self.inner.metrics.accepted.inc();
         st.queue.push_back(Job {
             id,
             request,
             accepted_at: Instant::now(),
             attempt: 0,
         });
+        self.inner.metrics.queue_depth.set(st.queue.len() as f64);
         drop(st);
         self.inner.cond.notify_all();
         Ok(id)
@@ -327,7 +399,7 @@ impl Service {
         loop {
             let idle = st.queue.is_empty()
                 && st.in_flight.is_empty()
-                && st.outcomes.len() as u64 >= st.counters.accepted;
+                && st.outcomes.len() as u64 >= st.accepted;
             if idle {
                 return true;
             }
@@ -344,26 +416,40 @@ impl Service {
         }
     }
 
-    /// Health/stats snapshot.
+    /// Health/stats snapshot, built from the live metrics registry plus
+    /// the lock-protected queue/breaker state.
     pub fn stats(&self) -> ServiceStats {
         let st = self.inner.lock();
+        let m = &self.inner.metrics;
         ServiceStats {
-            accepted: st.counters.accepted,
-            completed: st.counters.completed,
-            degraded: st.counters.degraded,
-            failed: st.counters.failed,
-            shed: st.counters.shed,
-            shed_at_submit: st.counters.shed_at_submit,
+            accepted: st.accepted,
+            completed: m.completed.get(),
+            degraded: m.degraded.get(),
+            failed: m.failed.get(),
+            shed: m.shed.get(),
+            shed_at_submit: m.shed_at_submit.get(),
             queue_depth: st.queue.len(),
             in_flight: st.in_flight.len(),
-            retries: st.counters.retries,
-            worker_panics: st.counters.worker_panics,
-            workers_respawned: st.counters.workers_respawned,
+            retries: m.retries.get(),
+            worker_panics: m.worker_panics.get(),
+            workers_respawned: m.workers_respawned.get(),
             flowsim_breaker: st.flowsim_breaker.state(),
             forward_breaker: st.forward_breaker.state(),
             breaker_trips: st.flowsim_breaker.trips() + st.forward_breaker.trips(),
             cache: self.inner.cache.stats(),
         }
+    }
+
+    /// The service's live telemetry registry. The same registry backs
+    /// [`stats`](Self::stats) and accumulates the pipeline metrics of every
+    /// processed job (`pipeline.*` / `flowsim.*` prefixes).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Point-in-time snapshot of every service and pipeline metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
     }
 
     /// Drain the queue, stop all workers, and join them. Jobs still queued
@@ -408,12 +494,21 @@ impl Drop for Service {
     }
 }
 
-fn bump_terminal_counter(c: &mut Counters, outcome: &JobOutcome) {
+fn bump_terminal_counter(m: &ServeMetrics, outcome: &JobOutcome) {
     match outcome {
-        JobOutcome::Completed { .. } => c.completed += 1,
-        JobOutcome::Degraded { .. } => c.degraded += 1,
-        JobOutcome::Failed { .. } => c.failed += 1,
-        JobOutcome::Shed { .. } => c.shed += 1,
+        JobOutcome::Completed { .. } => m.completed.inc(),
+        JobOutcome::Degraded { .. } => m.degraded.inc(),
+        JobOutcome::Failed { .. } => m.failed.inc(),
+        JobOutcome::Shed { .. } => m.shed.inc(),
+    }
+}
+
+/// Write a JSON snapshot of the service registry to `config.metrics_out`,
+/// if configured. Best-effort: a failed write is not worth failing jobs
+/// over.
+fn dump_metrics(inner: &Inner) {
+    if let Some(path) = &inner.config.metrics_out {
+        let _ = std::fs::write(path, inner.registry.snapshot().to_json());
     }
 }
 
@@ -424,8 +519,15 @@ fn supervise(inner: Arc<Inner>) {
     let mut handles: Vec<(usize, thread::JoinHandle<()>)> = (0..n)
         .map(|token| (token, spawn_worker(&inner, token)))
         .collect();
+    let mut last_dump = Instant::now();
 
     loop {
+        if inner.config.metrics_out.is_some()
+            && last_dump.elapsed() >= inner.config.metrics_dump_every
+        {
+            dump_metrics(&inner);
+            last_dump = Instant::now();
+        }
         // Reap finished workers.
         let mut i = 0;
         while i < handles.len() {
@@ -434,7 +536,7 @@ fn supervise(inner: Arc<Inner>) {
                 let panicked = h.join().is_err();
                 let mut st = inner.lock();
                 if panicked {
-                    st.counters.worker_panics += 1;
+                    inner.metrics.worker_panics.inc();
                     // Recover the job the dead worker was holding: back to
                     // the front of the queue with its attempt count bumped,
                     // so attempt-bounded fault plans make progress.
@@ -442,10 +544,12 @@ fn supervise(inner: Arc<Inner>) {
                         job.attempt += 1;
                         st.queue.push_front(job);
                     }
+                    inner.metrics.queue_depth.set(st.queue.len() as f64);
+                    inner.metrics.in_flight.set(st.in_flight.len() as f64);
                 }
                 let respawn = !st.shutdown || !st.queue.is_empty();
                 if panicked && respawn {
-                    st.counters.workers_respawned += 1;
+                    inner.metrics.workers_respawned.inc();
                 }
                 drop(st);
                 if panicked {
@@ -466,12 +570,15 @@ fn supervise(inner: Arc<Inner>) {
             for (_, h) in handles {
                 let _ = h.join();
             }
+            dump_metrics(&inner);
             return;
         }
         if n == 0 {
             // No workers to supervise: just wait for shutdown.
             let st = inner.lock();
             if st.shutdown {
+                drop(st);
+                dump_metrics(&inner);
                 return;
             }
             drop(st);
@@ -500,6 +607,8 @@ fn worker_loop(inner: Arc<Inner>, token: usize) {
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     st.in_flight.insert(token, job.clone());
+                    inner.metrics.queue_depth.set(st.queue.len() as f64);
+                    inner.metrics.in_flight.set(st.in_flight.len() as f64);
                     break job;
                 }
                 if st.shutdown {
@@ -509,26 +618,32 @@ fn worker_loop(inner: Arc<Inner>, token: usize) {
             }
         };
         let outcome = process(&inner, &job);
-        settle(&inner, token, job.id, outcome);
+        settle(&inner, token, &job, outcome);
     }
 }
 
-/// Record a terminal outcome: journal it, count it, publish it, release
-/// the in-flight slot, and wake any `wait_idle` callers.
-fn settle(inner: &Arc<Inner>, token: usize, id: u64, outcome: JobOutcome) {
+/// Record a terminal outcome: journal it, count it, observe its latency,
+/// publish it, release the in-flight slot, and wake any `wait_idle`
+/// callers.
+fn settle(inner: &Arc<Inner>, token: usize, job: &Job, outcome: JobOutcome) {
     let mut st = inner.lock();
     if let Some(j) = st.journal.as_mut() {
         // A failed terminal append leaves the job pending in the journal;
         // on restart it will be replayed (idempotent by determinism), so
         // losing the record is safe, just wasteful.
         let _ = j.append(&JournalRecord::Terminal {
-            id,
+            id: job.id,
             outcome: Box::new(outcome.clone()),
         });
     }
-    bump_terminal_counter(&mut st.counters, &outcome);
-    st.outcomes.insert(id, outcome);
+    bump_terminal_counter(&inner.metrics, &outcome);
+    inner
+        .metrics
+        .request_latency
+        .observe(job.accepted_at.elapsed().as_secs_f64());
+    st.outcomes.insert(job.id, outcome);
     st.in_flight.remove(&token);
+    inner.metrics.in_flight.set(st.in_flight.len() as f64);
     drop(st);
     inner.cond.notify_all();
 }
@@ -634,6 +749,7 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
             policy: req.policy.unwrap_or_default(),
             budget,
             fault_plan: req.fault_plan.as_ref().map(|p| p.at_attempt(attempt)),
+            metrics: Some(inner.registry.clone()),
         };
 
         let result = inner.estimator.try_estimate_with_shared_cache(
@@ -659,10 +775,7 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
                 record_failure_for_breakers(inner, &e);
                 let next = attempt + 1;
                 if e.is_transient() && next < retry.max_attempts.max(1) {
-                    {
-                        let mut st = inner.lock();
-                        st.counters.retries += 1;
-                    }
+                    inner.metrics.retries.inc();
                     thread::sleep(Duration::from_millis(retry.delay_ms(job.id, attempt)));
                     attempt = next;
                     continue;
@@ -694,6 +807,7 @@ fn finish_success(estimate: NetworkEstimate, attempts: u32) -> JobOutcome {
 /// stage; the other stage's claim is released without prejudice.
 fn record_failure_for_breakers(inner: &Arc<Inner>, e: &M3Error) {
     let mut st = inner.lock();
+    let trips_before = st.flowsim_breaker.trips() + st.forward_breaker.trips();
     match e {
         M3Error::StageFault { stage, .. } => match stage {
             Stage::FlowSim => {
@@ -721,4 +835,6 @@ fn record_failure_for_breakers(inner: &Arc<Inner>, e: &M3Error) {
             st.forward_breaker.cancel_probe();
         }
     }
+    let tripped = st.flowsim_breaker.trips() + st.forward_breaker.trips() - trips_before;
+    inner.metrics.breaker_trips.add(tripped);
 }

@@ -1,0 +1,296 @@
+//! Fixed-edge log-bucketed histograms with a deterministic, associative,
+//! order-independent merge.
+//!
+//! Bucket edges are fully determined by `(lo, growth, n)`: bucket `i`
+//! covers `(upper(i-1), upper(i)]` with `upper(i) = lo * growth^i`
+//! (computed by repeated multiplication so every process derives the
+//! exact same IEEE-754 edges), bucket `0` additionally absorbs everything
+//! `<= lo`, and values above the last edge land in a dedicated overflow
+//! bucket. Because a snapshot is just per-bucket `u64` counts, merging is
+//! element-wise addition — associative and commutative by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a log-bucketed histogram: `n` buckets whose upper edges grow
+/// geometrically from `lo` by `growth`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEdges {
+    /// Upper edge of the first bucket (must be positive).
+    pub lo: f64,
+    /// Geometric growth factor between consecutive edges (must be > 1).
+    pub growth: f64,
+    /// Number of finite buckets (the overflow bucket is extra).
+    pub n: usize,
+}
+
+impl HistogramEdges {
+    /// A log-spaced edge set. Degenerate parameters are clamped to the
+    /// smallest valid histogram rather than panicking.
+    pub fn log(lo: f64, growth: f64, n: usize) -> Self {
+        let lo = if lo.is_finite() && lo > 0.0 { lo } else { 1e-9 };
+        let growth = if growth.is_finite() && growth > 1.0 {
+            growth
+        } else {
+            2.0
+        };
+        Self {
+            lo,
+            growth,
+            n: n.max(1),
+        }
+    }
+
+    /// Default edges for latency-in-seconds histograms: 1 µs .. ~4300 s
+    /// in 32 doubling buckets.
+    pub fn latency_seconds() -> Self {
+        Self::log(1e-6, 2.0, 32)
+    }
+
+    /// The upper edges, derived by repeated multiplication (deterministic
+    /// across processes; no `powf`).
+    pub fn uppers(&self) -> Vec<f64> {
+        let mut edges = Vec::with_capacity(self.n);
+        let mut e = self.lo;
+        for _ in 0..self.n {
+            edges.push(e);
+            e *= self.growth;
+        }
+        edges
+    }
+}
+
+/// The shared atomic cell behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub(crate) edges: HistogramEdges,
+    uppers: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+}
+
+impl HistogramCell {
+    pub(crate) fn new(edges: HistogramEdges) -> Self {
+        let uppers = edges.uppers();
+        let buckets = (0..edges.n).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            edges,
+            uppers,
+            buckets,
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return; // NaN carries no information; dropping it keeps counts meaningful
+        }
+        // First bucket whose upper edge is >= v; `partition_point` is a
+        // branch-light binary search over the precomputed edges.
+        let i = self.uppers.partition_point(|&u| u < v);
+        match self.buckets.get(i) {
+            Some(b) => b.fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            lo: self.edges.lo,
+            growth: self.edges.growth,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add_snapshot(&self, snap: &HistogramSnapshot) {
+        if snap.buckets.len() != self.buckets.len() {
+            return; // incompatible shape: caller registered different edges
+        }
+        for (b, &v) in self.buckets.iter().zip(&snap.buckets) {
+            b.fetch_add(v, Ordering::Relaxed);
+        }
+        self.overflow.fetch_add(snap.overflow, Ordering::Relaxed);
+    }
+}
+
+/// A clone-able handle to a registered histogram. Disabled handles (from
+/// a no-op registry) skip all work.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    /// A disconnected handle: `observe` is a no-op.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.observe(v);
+        }
+    }
+
+    /// Current contents, or `None` for a disconnected handle.
+    pub fn snapshot(&self) -> Option<HistogramSnapshot> {
+        self.0.as_ref().map(|c| c.snapshot())
+    }
+}
+
+/// Error returned by [`HistogramSnapshot::merge`] when the two snapshots
+/// were built with different edge sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeMismatch;
+
+impl std::fmt::Display for EdgeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram snapshots have different bucket edges")
+    }
+}
+
+impl std::error::Error for EdgeMismatch {}
+
+/// Point-in-time, pure-data contents of a histogram. Serializable,
+/// mergeable, and deterministic (only `u64` counts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper edge of the first bucket.
+    pub lo: f64,
+    /// Geometric growth factor between consecutive edges.
+    pub growth: f64,
+    /// Per-bucket observation counts; bucket `i` covers
+    /// `(lo * growth^(i-1), lo * growth^i]`.
+    pub buckets: Vec<u64>,
+    /// Observations above the last finite edge.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the given edges.
+    pub fn empty(edges: HistogramEdges) -> Self {
+        Self {
+            lo: edges.lo,
+            growth: edges.growth,
+            buckets: vec![0; edges.n],
+            overflow: 0,
+        }
+    }
+
+    /// The edge set this snapshot was built with.
+    pub fn edges(&self) -> HistogramEdges {
+        HistogramEdges {
+            lo: self.lo,
+            growth: self.growth,
+            n: self.buckets.len(),
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Element-wise addition of `other` into `self`. Associative and
+    /// order-independent; fails without modifying `self` if the edge sets
+    /// differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> Result<(), EdgeMismatch> {
+        if self.edges() != other.edges() {
+            return Err(EdgeMismatch);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        Ok(())
+    }
+
+    /// Upper-edge estimate of quantile `q` in `[0, 1]`: the upper edge of
+    /// the first bucket at which the cumulative count reaches `q * count`.
+    /// Returns `None` for an empty histogram; overflow observations report
+    /// `f64::INFINITY`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        let mut edge = self.lo;
+        for &b in &self.buckets {
+            cum += b;
+            if cum >= target {
+                return Some(edge);
+            }
+            edge *= self.growth;
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_buckets_and_overflow() {
+        let cell = HistogramCell::new(HistogramEdges::log(1.0, 10.0, 3)); // edges 1, 10, 100
+        cell.observe(0.5); // <= lo -> bucket 0
+        cell.observe(1.0); // == lo -> bucket 0
+        cell.observe(5.0); // bucket 1
+        cell.observe(100.0); // bucket 2 (inclusive upper edge)
+        cell.observe(101.0); // overflow
+        cell.observe(f64::NAN); // dropped
+        let s = cell.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn merge_adds_elementwise_and_rejects_mismatch() {
+        let e = HistogramEdges::log(1.0, 2.0, 4);
+        let mut a = HistogramSnapshot::empty(e);
+        a.buckets = vec![1, 2, 3, 4];
+        a.overflow = 5;
+        let mut b = HistogramSnapshot::empty(e);
+        b.buckets = vec![10, 20, 30, 40];
+        b.overflow = 50;
+        a.merge(&b).unwrap();
+        assert_eq!(a.buckets, vec![11, 22, 33, 44]);
+        assert_eq!(a.overflow, 55);
+
+        let c = HistogramSnapshot::empty(HistogramEdges::log(1.0, 2.0, 5));
+        assert_eq!(a.merge(&c), Err(EdgeMismatch));
+        assert_eq!(a.buckets, vec![11, 22, 33, 44]); // unchanged on error
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts() {
+        let mut s = HistogramSnapshot::empty(HistogramEdges::log(1.0, 10.0, 3));
+        s.buckets = vec![50, 40, 10];
+        assert_eq!(s.quantile(0.5), Some(1.0));
+        assert_eq!(s.quantile(0.9), Some(10.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        s.overflow = 100;
+        assert_eq!(s.quantile(0.99), Some(f64::INFINITY));
+        assert_eq!(
+            HistogramSnapshot::empty(HistogramEdges::log(1.0, 2.0, 2)).quantile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let h = Histogram::noop();
+        h.observe(1.0);
+        assert!(h.snapshot().is_none());
+    }
+}

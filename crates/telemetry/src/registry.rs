@@ -1,0 +1,496 @@
+//! The metrics registry and its handle types.
+//!
+//! Registration takes a short mutex; after that every handle operation is
+//! a single atomic RMW (or an early return for handles from a no-op
+//! registry). Handles and the registry itself are cheap `Arc` clones, so
+//! one registry can be shared across worker threads and absorbed into
+//! from per-call registries.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::histogram::{Histogram, HistogramCell, HistogramEdges};
+use crate::snapshot::{
+    CounterEntry, GaugeEntry, HistogramEntry, MetricsSnapshot, TimerEntry, SNAPSHOT_VERSION,
+};
+
+/// A monotonic `u64` counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A disconnected handle: all operations are no-ops.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disconnected handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-written `f64` gauge handle (stored as bits in an `AtomicU64`).
+#[derive(Debug, Clone)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A disconnected handle: all operations are no-ops.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the value to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            let mut cur = g.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match g.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Current value (0.0 for a disconnected handle).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// An accumulated wall-clock duration handle, in seconds.
+#[derive(Debug, Clone)]
+pub struct Timer(Option<Arc<AtomicU64>>);
+
+impl Timer {
+    /// A disconnected handle: all operations are no-ops.
+    pub fn noop() -> Self {
+        Timer(None)
+    }
+
+    /// Accumulate `secs` into the total.
+    pub fn add_seconds(&self, secs: f64) {
+        if let Some(t) = &self.0 {
+            let mut cur = t.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + secs).to_bits();
+                match t.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Total accumulated seconds (0.0 for a disconnected handle).
+    pub fn get_seconds(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |t| f64::from_bits(t.load(Ordering::Relaxed)))
+    }
+
+    /// Start a span; its elapsed wall time is added to this timer when it
+    /// is dropped or [`Span::finish`]ed. Disconnected timers produce
+    /// spans that never sample the clock.
+    pub fn span(&self) -> Span {
+        Span {
+            timer: self.clone(),
+            start: self.0.as_ref().map(|_| Instant::now()),
+        }
+    }
+}
+
+/// A lightweight RAII timing scope: records elapsed wall-clock seconds
+/// into its [`Timer`] on drop. Spans from no-op registries skip the clock
+/// entirely.
+#[derive(Debug)]
+pub struct Span {
+    timer: Timer,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Stop the span now and record its elapsed time (equivalent to
+    /// dropping it; provided for explicit call sites).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.timer.add_seconds(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// One registered metric cell. Gauges and histograms carry a `wall` flag
+/// (see `crate::snapshot::GaugeEntry`).
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge {
+        bits: Arc<AtomicU64>,
+        wall: bool,
+    },
+    Timer(Arc<AtomicU64>),
+    Histogram {
+        cell: Arc<HistogramCell>,
+        wall: bool,
+    },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Cell>>,
+}
+
+fn lock_metrics(inner: &Inner) -> MutexGuard<'_, BTreeMap<String, Cell>> {
+    // A poisoned metrics map only means another thread panicked mid-
+    // registration; the map itself is still structurally sound.
+    inner
+        .metrics
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A clone-able, thread-safe registry of named metrics.
+///
+/// [`MetricsRegistry::new`] creates an enabled registry;
+/// [`MetricsRegistry::noop`] creates a disabled one whose handles cost a
+/// branch and touch no shared memory — instrument once, decide at runtime.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A disabled registry: every handle it hands out is a no-op and
+    /// [`MetricsRegistry::snapshot`] is empty.
+    pub fn noop() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// True unless this is a no-op registry.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or re-attach to) a counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let mut m = lock_metrics(inner);
+        let cell = m
+            .entry(name.to_string())
+            .or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0))));
+        match cell {
+            Cell::Counter(c) => Counter(Some(Arc::clone(c))),
+            _ => Counter::noop(), // name already taken by another kind
+        }
+    }
+
+    /// Register (or re-attach to) a deterministic gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_impl(name, false)
+    }
+
+    /// Register (or re-attach to) a wall-clock/scheduling-dependent gauge,
+    /// excluded from deterministic snapshot views.
+    pub fn wall_gauge(&self, name: &str) -> Gauge {
+        self.gauge_impl(name, true)
+    }
+
+    fn gauge_impl(&self, name: &str, wall: bool) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::noop();
+        };
+        let mut m = lock_metrics(inner);
+        let cell = m.entry(name.to_string()).or_insert_with(|| Cell::Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+            wall,
+        });
+        match cell {
+            Cell::Gauge { bits, wall: w } => {
+                *w |= wall;
+                Gauge(Some(Arc::clone(bits)))
+            }
+            _ => Gauge::noop(),
+        }
+    }
+
+    /// Register (or re-attach to) a wall-clock timer.
+    pub fn timer(&self, name: &str) -> Timer {
+        let Some(inner) = &self.inner else {
+            return Timer::noop();
+        };
+        let mut m = lock_metrics(inner);
+        let cell = m
+            .entry(name.to_string())
+            .or_insert_with(|| Cell::Timer(Arc::new(AtomicU64::new(0f64.to_bits()))));
+        match cell {
+            Cell::Timer(t) => Timer(Some(Arc::clone(t))),
+            _ => Timer::noop(),
+        }
+    }
+
+    /// Register (or re-attach to) a deterministic histogram. If the name
+    /// is already registered, the existing edges win.
+    pub fn histogram(&self, name: &str, edges: HistogramEdges) -> Histogram {
+        self.histogram_impl(name, edges, false)
+    }
+
+    /// Register (or re-attach to) a wall-clock histogram (e.g. request
+    /// latency), excluded from deterministic snapshot views.
+    pub fn wall_histogram(&self, name: &str, edges: HistogramEdges) -> Histogram {
+        self.histogram_impl(name, edges, true)
+    }
+
+    fn histogram_impl(&self, name: &str, edges: HistogramEdges, wall: bool) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::noop();
+        };
+        let mut m = lock_metrics(inner);
+        let cell = m
+            .entry(name.to_string())
+            .or_insert_with(|| Cell::Histogram {
+                cell: Arc::new(HistogramCell::new(edges)),
+                wall,
+            });
+        match cell {
+            Cell::Histogram { cell, wall: w } => {
+                *w |= wall;
+                Histogram(Some(Arc::clone(cell)))
+            }
+            _ => Histogram::noop(),
+        }
+    }
+
+    /// Export every registered metric, name-sorted, at the current schema
+    /// version. A no-op registry exports an empty snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            timers: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        let m = lock_metrics(inner);
+        for (name, cell) in m.iter() {
+            match cell {
+                Cell::Counter(c) => snap.counters.push(CounterEntry {
+                    name: name.clone(),
+                    value: c.load(Ordering::Relaxed),
+                }),
+                Cell::Gauge { bits, wall } => snap.gauges.push(GaugeEntry {
+                    name: name.clone(),
+                    value: f64::from_bits(bits.load(Ordering::Relaxed)),
+                    wall: *wall,
+                }),
+                Cell::Timer(t) => snap.timers.push(TimerEntry {
+                    name: name.clone(),
+                    seconds: f64::from_bits(t.load(Ordering::Relaxed)),
+                }),
+                Cell::Histogram { cell, wall } => snap.histograms.push(HistogramEntry {
+                    name: name.clone(),
+                    wall: *wall,
+                    hist: cell.snapshot(),
+                }),
+            }
+        }
+        snap
+    }
+
+    /// Fold a snapshot into this registry: counters and timers add,
+    /// gauges overwrite, histograms add bucket-wise (registering any
+    /// metric not yet present). This is how a per-call registry's results
+    /// flow into a long-lived shared one. No-op registries ignore it.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        if self.inner.is_none() {
+            return;
+        }
+        for c in &snap.counters {
+            self.counter(&c.name).add(c.value);
+        }
+        for g in &snap.gauges {
+            let handle = if g.wall {
+                self.wall_gauge(&g.name)
+            } else {
+                self.gauge(&g.name)
+            };
+            handle.set(g.value);
+        }
+        for t in &snap.timers {
+            self.timer(&t.name).add_seconds(t.seconds);
+        }
+        for h in &snap.histograms {
+            let handle = if h.wall {
+                self.wall_histogram(&h.name, h.hist.edges())
+            } else {
+                self.histogram(&h.name, h.hist.edges())
+            };
+            if let Some(cell) = &handle.0 {
+                cell.add_snapshot(&h.hist);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_timers_round_trip_through_snapshot() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        let g = reg.gauge("a.gauge");
+        g.set(2.5);
+        g.set_max(1.0); // lower: ignored
+        g.set_max(7.0); // higher: taken
+        let t = reg.timer("a.seconds");
+        t.add_seconds(0.25);
+        t.add_seconds(0.25);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.gauge("a.gauge"), Some(7.0));
+        assert_eq!(snap.timer_seconds("a.seconds"), Some(0.5));
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 7.0);
+        assert_eq!(t.get_seconds(), 0.5);
+    }
+
+    #[test]
+    fn reattaching_by_name_shares_the_cell() {
+        let reg = MetricsRegistry::new();
+        reg.counter("shared").add(2);
+        reg.counter("shared").add(3);
+        assert_eq!(reg.snapshot().counter("shared"), Some(5));
+    }
+
+    #[test]
+    fn noop_registry_hands_out_inert_handles_and_empty_snapshots() {
+        let reg = MetricsRegistry::noop();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        reg.gauge("g").set(1.0);
+        reg.timer("t").span().finish();
+        reg.histogram("h", HistogramEdges::log(1.0, 2.0, 4))
+            .observe(1.0);
+        assert!(reg.snapshot().is_empty());
+        reg.absorb(&{
+            let mut s = MetricsSnapshot::empty();
+            s.counters.push(CounterEntry {
+                name: "x".into(),
+                value: 3,
+            });
+            s
+        });
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn span_records_elapsed_time_into_timer() {
+        let reg = MetricsRegistry::new();
+        let t = reg.timer("span.seconds");
+        {
+            let _span = t.span();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(t.get_seconds() > 0.0);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_merges_histograms() {
+        let a = MetricsRegistry::new();
+        a.counter("n").add(1);
+        a.histogram("h", HistogramEdges::log(1.0, 10.0, 3))
+            .observe(5.0);
+
+        let b = MetricsRegistry::new();
+        b.counter("n").add(2);
+        b.histogram("h", HistogramEdges::log(1.0, 10.0, 3))
+            .observe(50.0);
+
+        a.absorb(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("n"), Some(3));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn kind_conflicts_yield_noop_handles() {
+        let reg = MetricsRegistry::new();
+        reg.counter("name").inc();
+        let g = reg.gauge("name"); // same name, different kind
+        g.set(9.0);
+        assert_eq!(reg.snapshot().counter("name"), Some(1));
+        assert_eq!(reg.snapshot().gauge("name"), None);
+    }
+
+    #[test]
+    fn wall_flags_survive_snapshot_and_absorb() {
+        let reg = MetricsRegistry::new();
+        reg.wall_gauge("w").set(1.0);
+        reg.gauge("d").set(2.0);
+        reg.wall_histogram("lat", HistogramEdges::latency_seconds())
+            .observe(0.01);
+        let det = reg.snapshot().deterministic_view();
+        assert_eq!(det.gauge("w"), None);
+        assert_eq!(det.gauge("d"), Some(2.0));
+        assert!(det.histogram("lat").is_none());
+
+        let other = MetricsRegistry::new();
+        other.absorb(&reg.snapshot());
+        let det2 = other.snapshot().deterministic_view();
+        assert_eq!(det2.gauge("w"), None);
+        assert_eq!(det2.gauge("d"), Some(2.0));
+    }
+}

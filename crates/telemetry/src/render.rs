@@ -1,0 +1,116 @@
+//! Human-readable rendering of a [`MetricsSnapshot`] for `m3 stats`.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::MetricsSnapshot;
+
+fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.is_infinite() {
+        "inf".to_string()
+    } else if v.abs() >= 0.01 && v.abs() < 1e7 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Render a snapshot as an aligned plain-text report: counters, gauges,
+/// timers, then histogram summaries (count and upper-edge quantile
+/// estimates).
+pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "metrics snapshot (version {})", snap.version);
+
+    let name_width = snap
+        .counters
+        .iter()
+        .map(|e| e.name.len())
+        .chain(snap.gauges.iter().map(|e| e.name.len()))
+        .chain(snap.timers.iter().map(|e| e.name.len()))
+        .chain(snap.histograms.iter().map(|e| e.name.len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters");
+        for e in &snap.counters {
+            let _ = writeln!(out, "  {:<name_width$}  {}", e.name, e.value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges");
+        for e in &snap.gauges {
+            let wall = if e.wall { "  [wall]" } else { "" };
+            let _ = writeln!(out, "  {:<name_width$}  {}{wall}", e.name, fmt_f64(e.value));
+        }
+    }
+    if !snap.timers.is_empty() {
+        let _ = writeln!(out, "\ntimers (wall-clock seconds)");
+        for e in &snap.timers {
+            let _ = writeln!(out, "  {:<name_width$}  {}", e.name, fmt_f64(e.seconds));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "\nhistograms");
+        for e in &snap.histograms {
+            let wall = if e.wall { "  [wall]" } else { "" };
+            let count = e.hist.count();
+            if count == 0 {
+                let _ = writeln!(out, "  {:<name_width$}  count=0{wall}", e.name);
+                continue;
+            }
+            let q = |p: f64| e.hist.quantile(p).map(fmt_f64).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {:<name_width$}  count={count}  p50<={}  p90<={}  p99<={}{wall}",
+                e.name,
+                q(0.50),
+                q(0.90),
+                q(0.99),
+            );
+        }
+    }
+    if snap.is_empty() {
+        let _ = writeln!(out, "\n(no metrics recorded)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::HistogramEdges;
+
+    #[test]
+    fn renders_all_sections() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pipeline.flowsim_runs").add(12);
+        reg.gauge("netsim.queue_hwm_bytes").set(4096.0);
+        reg.timer("pipeline.flowsim_seconds").add_seconds(0.125);
+        let h = reg.wall_histogram(
+            "serve.request_latency_seconds",
+            HistogramEdges::latency_seconds(),
+        );
+        h.observe(0.003);
+        h.observe(0.004);
+
+        let text = render_snapshot(&reg.snapshot());
+        assert!(text.contains("version 1"));
+        assert!(text.contains("pipeline.flowsim_runs"));
+        assert!(text.contains("12"));
+        assert!(text.contains("netsim.queue_hwm_bytes"));
+        assert!(text.contains("pipeline.flowsim_seconds"));
+        assert!(text.contains("count=2"));
+        assert!(text.contains("[wall]"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let text = render_snapshot(&MetricsSnapshot::empty());
+        assert!(text.contains("no metrics recorded"));
+    }
+}

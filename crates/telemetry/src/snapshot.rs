@@ -1,0 +1,367 @@
+//! Versioned, serializable point-in-time exports of a metrics registry.
+//!
+//! The vendored `serde` has no map impls, so a snapshot stores its metrics
+//! as name-sorted entry vectors — which also makes the JSON output stable
+//! and diffable. `version` is bumped on any incompatible schema change and
+//! checked on load.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::HistogramSnapshot;
+
+/// Current snapshot schema version, written on export and verified by
+/// [`MetricsSnapshot::from_json`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A named monotonic count. Deterministic for deterministic workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Dotted metric name, e.g. `pipeline.flowsim_runs`.
+    pub name: String,
+    /// The count.
+    pub value: u64,
+}
+
+/// A named last-written value. `wall` marks gauges whose value depends on
+/// wall-clock time or scheduling (e.g. samples/sec, live queue depth) and
+/// is therefore excluded from [`MetricsSnapshot::deterministic_view`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Dotted metric name.
+    pub name: String,
+    /// The most recently written value.
+    pub value: f64,
+    /// True if the value is wall-clock or scheduling dependent.
+    #[serde(default)]
+    pub wall: bool,
+}
+
+/// A named accumulated wall-clock duration in seconds. Timers are always
+/// non-deterministic and never appear in a deterministic view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimerEntry {
+    /// Dotted metric name, e.g. `pipeline.flowsim_seconds`.
+    pub name: String,
+    /// Total accumulated seconds.
+    pub seconds: f64,
+}
+
+/// A named histogram. `wall` marks histograms of wall-clock quantities
+/// (e.g. request latency) excluded from deterministic views.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Dotted metric name.
+    pub name: String,
+    /// True if observations are wall-clock or scheduling dependent.
+    #[serde(default)]
+    pub wall: bool,
+    /// Bucketed counts.
+    pub hist: HistogramSnapshot,
+}
+
+/// Error from [`MetricsSnapshot::from_json`].
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The input was not valid snapshot JSON.
+    Parse(String),
+    /// The snapshot was written by an incompatible schema version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Parse(msg) => write!(f, "invalid metrics snapshot: {msg}"),
+            SnapshotError::Version { found, expected } => write!(
+                f,
+                "metrics snapshot version {found} is not supported (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A point-in-time export of every metric in a
+/// [`MetricsRegistry`](crate::registry::MetricsRegistry). Entry vectors
+/// are sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema version; see [`SNAPSHOT_VERSION`].
+    pub version: u32,
+    /// Monotonic counts, sorted by name.
+    pub counters: Vec<CounterEntry>,
+    /// Last-written values, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// Accumulated wall-clock durations, sorted by name.
+    pub timers: Vec<TimerEntry>,
+    /// Bucketed distributions, sorted by name.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl MetricsSnapshot {
+    /// A snapshot with no metrics at the current schema version.
+    pub fn empty() -> Self {
+        Self {
+            version: SNAPSHOT_VERSION,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            timers: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|e| e.name == name).map(|e| e.value)
+    }
+
+    /// Look up a timer's accumulated seconds by name.
+    pub fn timer_seconds(&self, name: &str) -> Option<f64> {
+        self.timers
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.seconds)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.hist)
+    }
+
+    /// Fold `other` into `self`: counters and timers add, gauges take
+    /// `other`'s (latest) value, histograms add bucket-wise. Metrics only
+    /// present in `other` are inserted; name ordering is preserved. A
+    /// histogram whose edges disagree with an existing same-named entry
+    /// keeps `self`'s contents (shape conflicts indicate a registration
+    /// bug, not data to guess at).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for c in &other.counters {
+            match self.counters.binary_search_by(|e| e.name.cmp(&c.name)) {
+                Ok(i) => self.counters[i].value += c.value,
+                Err(i) => self.counters.insert(i, c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.binary_search_by(|e| e.name.cmp(&g.name)) {
+                Ok(i) => {
+                    self.gauges[i].value = g.value;
+                    self.gauges[i].wall |= g.wall;
+                }
+                Err(i) => self.gauges.insert(i, g.clone()),
+            }
+        }
+        for t in &other.timers {
+            match self.timers.binary_search_by(|e| e.name.cmp(&t.name)) {
+                Ok(i) => self.timers[i].seconds += t.seconds,
+                Err(i) => self.timers.insert(i, t.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.binary_search_by(|e| e.name.cmp(&h.name)) {
+                Ok(i) => {
+                    let _ = self.histograms[i].hist.merge(&h.hist);
+                    self.histograms[i].wall |= h.wall;
+                }
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+    }
+
+    /// The deterministic subset: counters, non-wall gauges, and non-wall
+    /// histograms. Timers and wall-flagged metrics are dropped. Two runs
+    /// of the same deterministic workload produce equal deterministic
+    /// views, mirroring how `timings` is excluded from estimate
+    /// bit-equality.
+    pub fn deterministic_view(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: self.version,
+            counters: self.counters.clone(),
+            gauges: self.gauges.iter().filter(|g| !g.wall).cloned().collect(),
+            timers: Vec::new(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| !h.wall)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Only the metrics whose name starts with `prefix`.
+    pub fn filter_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: self.version,
+            counters: self
+                .counters
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            timers: self
+                .timers
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|e| e.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// True if no metrics are present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.timers.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Pretty-printed JSON at the current schema version.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"))
+    }
+
+    /// Parse a snapshot, verifying the schema version.
+    pub fn from_json(s: &str) -> Result<MetricsSnapshot, SnapshotError> {
+        let snap: MetricsSnapshot =
+            serde_json::from_str(s).map_err(|e| SnapshotError::Parse(format!("{e:?}")))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::HistogramEdges;
+
+    fn snap_with_counter(name: &str, value: u64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::empty();
+        s.counters.push(CounterEntry {
+            name: name.into(),
+            value,
+        });
+        s
+    }
+
+    #[test]
+    fn merge_adds_counters_and_inserts_missing_sorted() {
+        let mut a = snap_with_counter("b.x", 2);
+        let b = {
+            let mut s = snap_with_counter("a.y", 7);
+            s.counters.push(CounterEntry {
+                name: "b.x".into(),
+                value: 3,
+            });
+            s
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.counters
+                .iter()
+                .map(|e| (e.name.as_str(), e.value))
+                .collect::<Vec<_>>(),
+            vec![("a.y", 7), ("b.x", 5)]
+        );
+    }
+
+    #[test]
+    fn deterministic_view_drops_timers_and_wall_metrics() {
+        let mut s = snap_with_counter("c", 1);
+        s.timers.push(TimerEntry {
+            name: "t".into(),
+            seconds: 1.5,
+        });
+        s.gauges.push(GaugeEntry {
+            name: "g.det".into(),
+            value: 2.0,
+            wall: false,
+        });
+        s.gauges.push(GaugeEntry {
+            name: "g.wall".into(),
+            value: 3.0,
+            wall: true,
+        });
+        s.histograms.push(HistogramEntry {
+            name: "h.wall".into(),
+            wall: true,
+            hist: HistogramSnapshot::empty(HistogramEdges::log(1.0, 2.0, 2)),
+        });
+        let v = s.deterministic_view();
+        assert_eq!(v.counter("c"), Some(1));
+        assert!(v.timers.is_empty());
+        assert_eq!(v.gauges.len(), 1);
+        assert_eq!(v.gauge("g.det"), Some(2.0));
+        assert!(v.histograms.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_and_version_check() {
+        let mut s = snap_with_counter("pipeline.flowsim_runs", 42);
+        s.histograms.push(HistogramEntry {
+            name: "serve.request_latency_seconds".into(),
+            wall: true,
+            hist: HistogramSnapshot::empty(HistogramEdges::latency_seconds()),
+        });
+        let json = s.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, s);
+
+        let bad = json.replacen("\"version\": 1", "\"version\": 999", 1);
+        match MetricsSnapshot::from_json(&bad) {
+            Err(SnapshotError::Version { found: 999, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn filter_prefix_selects_by_name() {
+        let mut s = snap_with_counter("pipeline.a", 1);
+        s.counters.push(CounterEntry {
+            name: "serve.b".into(),
+            value: 2,
+        });
+        let p = s.filter_prefix("pipeline.");
+        assert_eq!(p.counters.len(), 1);
+        assert_eq!(p.counter("pipeline.a"), Some(1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for telemetry determinism: histogram merge must be
+//! associative and order-independent (it is element-wise `u64` addition),
+//! and observing values must agree with merging partial histograms.
+
+use m3_telemetry::prelude::*;
+use proptest::prelude::*;
+
+const EDGES: HistogramEdges = HistogramEdges {
+    lo: 1.0,
+    growth: 2.0,
+    n: 8,
+};
+
+fn arb_hist() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        prop::collection::vec(0u64..1_000_000, EDGES.n..=EDGES.n),
+        0u64..1_000_000,
+    )
+        .prop_map(|(buckets, overflow)| {
+            let mut h = HistogramSnapshot::empty(EDGES);
+            h.buckets = buckets;
+            h.overflow = overflow;
+            h
+        })
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut out = a.clone();
+    out.merge(b).expect("same edges by construction");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(a in arb_hist(), b in arb_hist(), c in arb_hist()) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊕ b == b ⊕ a, and folding a whole list forward or reversed gives
+    /// the same histogram (order independence).
+    #[test]
+    fn merge_is_order_independent(hists in prop::collection::vec(arb_hist(), 1..6)) {
+        let fold = |hs: &[HistogramSnapshot]| {
+            let mut acc = HistogramSnapshot::empty(EDGES);
+            for h in hs {
+                acc.merge(h).expect("same edges by construction");
+            }
+            acc
+        };
+        let forward = fold(&hists);
+        let reversed: Vec<_> = hists.iter().rev().cloned().collect();
+        prop_assert_eq!(forward, fold(&reversed));
+    }
+
+    /// Counts are additive under merge.
+    #[test]
+    fn merge_adds_counts(a in arb_hist(), b in arb_hist()) {
+        prop_assert_eq!(merged(&a, &b).count(), a.count() + b.count());
+    }
+
+    /// Observing a value stream into one histogram equals splitting the
+    /// stream at any point, observing the halves into two histograms, and
+    /// merging — the live path and the merge path agree.
+    #[test]
+    fn observe_then_merge_matches_single_histogram(
+        values in prop::collection::vec(0.0f64..1000.0, 0..64),
+        split in 0usize..64,
+    ) {
+        let split = split.min(values.len());
+        let reg = MetricsRegistry::new();
+        let whole = reg.histogram("whole", EDGES);
+        let left = reg.histogram("left", EDGES);
+        let right = reg.histogram("right", EDGES);
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe(v);
+            if i < split { left.observe(v) } else { right.observe(v) }
+        }
+        let snap = reg.snapshot();
+        let combined = merged(
+            snap.histogram("left").expect("registered"),
+            snap.histogram("right").expect("registered"),
+        );
+        prop_assert_eq!(snap.histogram("whole").expect("registered"), &combined);
+    }
+
+    /// MetricsSnapshot::merge adds counters name-wise regardless of the
+    /// order snapshots are folded in.
+    #[test]
+    fn snapshot_counter_merge_is_order_independent(
+        counts in prop::collection::vec((prop::sample::select(vec!["a", "b", "c"]), 0u64..1_000_000), 0..12),
+    ) {
+        let snaps: Vec<MetricsSnapshot> = counts
+            .iter()
+            .map(|(name, v)| {
+                let reg = MetricsRegistry::new();
+                reg.counter(name).add(*v);
+                reg.snapshot()
+            })
+            .collect();
+        let fold = |ss: &[MetricsSnapshot]| {
+            let mut acc = MetricsSnapshot::empty();
+            for s in ss {
+                acc.merge(s);
+            }
+            acc
+        };
+        let forward = fold(&snaps);
+        let reversed: Vec<_> = snaps.iter().rev().cloned().collect();
+        prop_assert_eq!(forward, fold(&reversed));
+    }
+}

@@ -46,7 +46,7 @@ impl CdfTable {
         self.inverse(u)
     }
 
-    /// Quantile function (u in [0,1]).
+    /// Quantile function (u in `[0,1]`).
     pub fn inverse(&self, u: f64) -> u64 {
         let u = u.clamp(0.0, 1.0);
         if u <= self.points[0].1 {

@@ -6,7 +6,15 @@
 //! m3 sweep <spec.json> <knob> <v1,v2,...>   # counterfactual knob sweep
 //! m3 example-service-spec        # print a service spec template (JSON)
 //! m3 serve <service.json>       # run a batch through the supervised service
+//! m3 example-train-spec          # print a training spec template (JSON)
+//! m3 train <train.json>         # train a model and save a checkpoint
+//! m3 stats <snapshot.json>      # pretty-print a metrics snapshot
 //! ```
+//!
+//! `estimate`, `serve`, and `train` accept `--metrics-out <path>`: a
+//! versioned JSON telemetry snapshot (counters, gauges, stage timers,
+//! latency histograms) is written there — continuously by `serve`, at exit
+//! by the others — and can be inspected with `m3 stats`.
 //!
 //! The spec file describes a topology, a workload, a network configuration,
 //! and which estimators to run (`m3`, `flowsim`, `global-flowsim`,
@@ -29,6 +37,7 @@ use m3::serve::prelude::{
     ConfigSpec, EstimateRequest, JobOutcome, RetryPolicy, ScenarioSpec, Service, ServiceConfig,
     SubmitError, TopoSpec, WorkloadSpec,
 };
+use m3::telemetry::{render_snapshot, MetricsRegistry, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -102,6 +111,24 @@ fn default_queue_capacity() -> usize {
 fn die(code: i32, msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(code);
+}
+
+/// Remove `--<flag> <value>` from `args` and return the value, if present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        die(EXIT_USAGE, &format!("{flag} requires a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
+/// Write a metrics snapshot as JSON, best-effort with a visible warning.
+fn write_snapshot(path: &str, snap: &MetricsSnapshot) {
+    if let Err(e) = std::fs::write(path, snap.to_json()) {
+        eprintln!("warning: cannot write metrics snapshot {path}: {e}");
+    }
 }
 
 /// Route a typed pipeline error to the right exit family.
@@ -220,7 +247,7 @@ fn report(name: &str, est: &NetworkEstimate, elapsed: std::time::Duration) {
     }
 }
 
-fn run_estimate(spec: &Spec) {
+fn run_estimate(spec: &Spec, metrics_out: Option<&str>) {
     let m = materialize(spec);
     println!(
         "scenario: {} flows, {} nodes, {} links",
@@ -228,6 +255,14 @@ fn run_estimate(spec: &Spec) {
         m.topo.node_count(),
         m.topo.link_count()
     );
+    // One registry across every method: the m3 pipeline absorbs its
+    // per-call metrics into it, and the packet simulator records its
+    // event/mark/drop counters directly.
+    let registry = if metrics_out.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::noop()
+    };
     for method in &spec.methods {
         let t = Instant::now();
         match method.as_str() {
@@ -240,7 +275,10 @@ fn run_estimate(spec: &Spec) {
                         &m.config,
                         spec.paths,
                         spec.seed,
-                        &EstimateOptions::default(),
+                        &EstimateOptions {
+                            metrics: Some(registry.clone()),
+                            ..EstimateOptions::default()
+                        },
                     )
                     .unwrap_or_else(|e| die_m3(&e));
                 report("m3", &e, t.elapsed());
@@ -278,6 +316,7 @@ fn run_estimate(spec: &Spec) {
             }
             "ns3" => {
                 let out = run_simulation(&m.topo, m.config, m.flows.clone());
+                out.record_into(&registry);
                 let e = ground_truth_estimate(&out.records);
                 report("ns3 (packet sim)", &e, t.elapsed());
             }
@@ -287,6 +326,10 @@ fn run_estimate(spec: &Spec) {
             }
             other => die_m3(&invalid_spec(format!("unknown method {other:?}"))),
         }
+    }
+    if let Some(path) = metrics_out {
+        write_snapshot(path, &registry.snapshot());
+        println!("metrics snapshot written to {path}");
     }
 }
 
@@ -340,7 +383,7 @@ fn run_sweep(spec: &Spec, knob_name: &str, values: &str) {
     );
 }
 
-fn run_serve(spec: &ServiceSpec) {
+fn run_serve(spec: &ServiceSpec, metrics_out: Option<&str>) {
     // Validate every request's scenario up front so a typo'd batch dies
     // with a spec error before any job is journaled.
     for (i, req) in spec.requests.iter().enumerate() {
@@ -355,6 +398,7 @@ fn run_serve(spec: &ServiceSpec) {
         workers: spec.workers,
         queue_capacity: spec.queue_capacity,
         retry: spec.retry.unwrap_or_default(),
+        metrics_out: metrics_out.map(Into::into),
         ..ServiceConfig::default()
     };
 
@@ -446,9 +490,80 @@ fn run_serve(spec: &ServiceSpec) {
         Ok(s) => println!("{s}"),
         Err(e) => eprintln!("stats serialization failed: {e}"),
     }
+    if let Some(path) = metrics_out {
+        println!("metrics snapshot written to {path}");
+    }
     if failed > 0 {
         die(EXIT_FAULT, &format!("{failed} job(s) failed"));
     }
+}
+
+/// Input to `m3 train`: training hyper-parameters plus where to save the
+/// checkpoint.
+#[derive(Debug, Serialize, Deserialize)]
+struct TrainSpec {
+    #[serde(default)]
+    train: TrainConfig,
+    /// Checkpoint output path.
+    #[serde(default = "default_model_out")]
+    model_out: String,
+}
+
+fn default_model_out() -> String {
+    "assets/m3-model.ckpt".into()
+}
+
+fn example_train_spec() -> TrainSpec {
+    TrainSpec {
+        train: TrainConfig::default(),
+        model_out: default_model_out(),
+    }
+}
+
+fn run_train(spec: &TrainSpec, metrics_out: Option<&str>) {
+    let t = Instant::now();
+    println!(
+        "building dataset: {} scenarios ({} fg + {} bg flows each)...",
+        spec.train.n_scenarios, spec.train.fg_flows, spec.train.bg_flows
+    );
+    let dataset = build_dataset(&spec.train);
+    println!("dataset built in {:?}", t.elapsed());
+
+    let registry = if metrics_out.is_some() {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::noop()
+    };
+    let t = Instant::now();
+    let (net, report) =
+        try_train_with_metrics(&spec.train, &dataset, &registry).unwrap_or_else(|e| die_m3(&e));
+    println!(
+        "trained {} epochs in {:?}: train loss {:.4} -> {:.4}, val loss {:.4}",
+        spec.train.epochs,
+        t.elapsed(),
+        report.train_loss.first().copied().unwrap_or(f64::NAN),
+        report.train_loss.last().copied().unwrap_or(f64::NAN),
+        report.val_loss.last().copied().unwrap_or(f64::NAN),
+    );
+    if let Err(e) = m3::nn::checkpoint::save_file(&net, spec.train.seed, &spec.model_out) {
+        die(
+            EXIT_FAULT,
+            &format!("cannot save checkpoint {:?}: {e}", spec.model_out),
+        );
+    }
+    println!("checkpoint saved to {}", spec.model_out);
+    if let Some(path) = metrics_out {
+        write_snapshot(path, &registry.snapshot());
+        println!("metrics snapshot written to {path}");
+    }
+}
+
+fn run_stats(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(EXIT_USAGE, &format!("read {path}: {e}")));
+    let snap = MetricsSnapshot::from_json(&text)
+        .unwrap_or_else(|e| die(EXIT_USAGE, &format!("parse {path}: {e}")));
+    print!("{}", render_snapshot(&snap));
 }
 
 fn read_spec<T: Deserialize>(path: &str) -> T {
@@ -458,7 +573,8 @@ fn read_spec<T: Deserialize>(path: &str) -> T {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let metrics_out = take_flag_value(&mut args, "--metrics-out");
     match args.get(1).map(|s| s.as_str()) {
         Some("example-spec") => match serde_json::to_string_pretty(&example_spec()) {
             Ok(s) => println!("{s}"),
@@ -469,11 +585,15 @@ fn main() {
             Ok(s) => println!("{s}"),
             Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
         },
+        Some("example-train-spec") => match serde_json::to_string_pretty(&example_train_spec()) {
+            Ok(s) => println!("{s}"),
+            Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
+        },
         Some("estimate") => {
             let path = args
                 .get(2)
                 .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 estimate <spec.json>"));
-            run_estimate(&read_spec::<Spec>(path));
+            run_estimate(&read_spec::<Spec>(path), metrics_out.as_deref());
         }
         Some("sweep") => {
             if args.len() < 5 {
@@ -486,11 +606,23 @@ fn main() {
             let path = args
                 .get(2)
                 .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 serve <service-spec.json>"));
-            run_serve(&read_spec::<ServiceSpec>(path));
+            run_serve(&read_spec::<ServiceSpec>(path), metrics_out.as_deref());
+        }
+        Some("train") => {
+            let path = args
+                .get(2)
+                .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 train <train-spec.json>"));
+            run_train(&read_spec::<TrainSpec>(path), metrics_out.as_deref());
+        }
+        Some("stats") => {
+            let path = args
+                .get(2)
+                .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 stats <snapshot.json>"));
+            run_stats(path);
         }
         _ => {
             eprintln!(
-                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json>>"
+                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json> | example-train-spec | train <train-spec.json> | stats <snapshot.json>> [--metrics-out <path>]"
             );
             std::process::exit(EXIT_USAGE);
         }

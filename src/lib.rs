@@ -3,6 +3,7 @@
 //! Re-exports every crate of the m3 (SIGCOMM 2024) reproduction under one
 //! roof, for use by the examples, the integration tests, and the `m3` CLI:
 //!
+//! * [`telemetry`] — metrics registry, spans, versioned JSON snapshots
 //! * [`netsim`] — packet-level discrete-event simulator (ground truth)
 //! * [`flowsim`] — max-min fluid simulator (flowSim, Algorithm 1)
 //! * [`workload`] — size distributions, traffic matrices, arrivals
@@ -19,4 +20,5 @@ pub use m3_netsim as netsim;
 pub use m3_nn as nn;
 pub use m3_parsimon as parsimon;
 pub use m3_serve as serve;
+pub use m3_telemetry as telemetry;
 pub use m3_workload as workload;

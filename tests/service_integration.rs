@@ -54,6 +54,7 @@ fn fast_config(workers: usize) -> ServiceConfig {
             cooldown_observations: 2,
         },
         cache_capacity: 64,
+        ..ServiceConfig::default()
     }
 }
 
@@ -371,6 +372,81 @@ fn expired_deadline_sheds_at_pickup() {
     assert_eq!(stats.shed, 1);
     assert_eq!(stats.settled(), stats.accepted);
     svc.shutdown();
+}
+
+/// Telemetry acceptance: kill a journaled service mid-batch and resume it.
+/// The deterministic (non-timing) pipeline counters of the two partial
+/// runs, merged, must equal those of an uninterrupted run — the registry
+/// never double- or under-counts across a crash/replay boundary.
+#[test]
+fn kill_and_resume_preserves_deterministic_counter_totals() {
+    let requests = batch(4);
+
+    // Uninterrupted reference run (1 worker, like the interrupted one).
+    let reference = {
+        let svc = Service::start(untrained_estimator(), fast_config(1));
+        for r in &requests {
+            svc.submit(r.clone()).expect("reference submit");
+        }
+        assert!(svc.wait_idle(IDLE), "reference run did not settle");
+        let snap = svc.metrics_snapshot();
+        svc.shutdown();
+        snap
+    };
+
+    // Interrupted run: abort once at least two jobs settled...
+    let path = tmpjournal("metrics-resume");
+    let first_half = {
+        let svc = Service::start_journaled(untrained_estimator(), fast_config(1), &path)
+            .expect("create journal");
+        for r in &requests {
+            svc.submit(r.clone()).expect("submit");
+        }
+        let deadline = std::time::Instant::now() + IDLE;
+        while svc.stats().settled() < 2 {
+            assert!(std::time::Instant::now() < deadline, "jobs never settled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The registry outlives the handle; snapshot after abort so jobs
+        // that settle while aborting are still counted.
+        let registry = svc.metrics().clone();
+        svc.abort();
+        registry.snapshot()
+    };
+
+    // ...then resume and drain the pending tail.
+    let second_half = {
+        let (svc, _replay) =
+            Service::resume(untrained_estimator(), fast_config(1), &path).expect("resume");
+        assert!(svc.wait_idle(IDLE), "resumed run did not settle");
+        let snap = svc.metrics_snapshot();
+        svc.shutdown();
+        snap
+    };
+
+    let mut merged = first_half.clone();
+    merged.merge(&second_half);
+
+    for prefix in ["pipeline.", "flowsim."] {
+        let want = reference.deterministic_view().filter_prefix(prefix);
+        let got = merged.deterministic_view().filter_prefix(prefix);
+        assert!(!want.counters.is_empty(), "reference recorded {prefix}*");
+        assert_eq!(
+            want.counters, got.counters,
+            "{prefix} counters must match the uninterrupted run"
+        );
+    }
+    // Service-level books balance too: the resumed service's view counts
+    // every job exactly once (replayed outcomes plus the drained tail).
+    assert_eq!(
+        second_half.counter("serve.completed"),
+        Some(requests.len() as u64)
+    );
+    assert_eq!(
+        reference.counter("serve.completed"),
+        Some(requests.len() as u64)
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 /// Identical scenarios across jobs share the thread-safe scenario cache:
