@@ -1,0 +1,135 @@
+//! Causal-tracing overhead benchmark.
+//!
+//! The trace plumbing is always present in the pipeline — a noop
+//! [`TraceCtx`] costs one branch per trace point — so the gate that
+//! matters is: estimates with tracing *disabled* must be indistinguishable
+//! from the default-options baseline. The enforced bound mirrors the
+//! telemetry gate: under 3% relative overhead.
+//!
+//! Mean-of-N comparisons between two identical code paths are dominated by
+//! scheduler noise at this run length, so the gate compares *interleaved
+//! minimum* times (best-case alternating A/B runs share the same quiet
+//! windows); the criterion benches report the usual mean-based view.
+//!
+//! Results go to `BENCH_tracing_overhead.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use m3_telemetry::{TraceCtx, TraceRecorder};
+use m3_workload::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+const K_PATHS: usize = 50;
+const SEED: u64 = 13;
+/// Maximum tolerated relative overhead of the (noop) trace plumbing.
+const MAX_OVERHEAD_FRAC: f64 = 0.03;
+/// Interleaved A/B measurement pairs (after warmup) for the gated compare.
+const GATE_PAIRS: usize = 12;
+
+fn setup() -> (M3Estimator, FatTree, Vec<FlowSpec>, SimConfig) {
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 4_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 23,
+        },
+    );
+    let net = M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7);
+    (M3Estimator::new(net), ft, w.flows, SimConfig::default())
+}
+
+/// Minimum wall time (ns) of `f` over interleaved calls driven by the
+/// caller's loop — just one timed invocation.
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos() as f64
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let (est, ft, flows, cfg) = setup();
+    let run = |opts: &EstimateOptions| {
+        est.try_estimate(&ft.topo, &flows, &cfg, K_PATHS, SEED, opts)
+            .expect("estimate")
+    };
+
+    // Baseline: default options (which already carry the noop TraceCtx).
+    let baseline_opts = EstimateOptions::default();
+    // Disabled tracing, explicitly constructed: the gated comparison.
+    let noop_opts = EstimateOptions {
+        trace: TraceCtx::new(TraceRecorder::noop(), 1),
+        ..EstimateOptions::default()
+    };
+    // Live recorder, coarse probe stride: informational, not gated.
+    let recorder = TraceRecorder::new(1 << 20);
+    let mut ctx = TraceCtx::new(recorder.clone(), 1);
+    ctx.probe_stride_ns = 1_000_000;
+    let live_opts = EstimateOptions {
+        trace: ctx,
+        ..EstimateOptions::default()
+    };
+
+    c.bench_function("tracing_overhead/baseline", |b| {
+        b.iter(|| black_box(run(&baseline_opts)))
+    });
+    c.bench_function("tracing_overhead/noop_trace", |b| {
+        b.iter(|| black_box(run(&noop_opts)))
+    });
+    c.bench_function("tracing_overhead/live_recorder", |b| {
+        b.iter(|| black_box(run(&live_opts)))
+    });
+    assert!(
+        !recorder.snapshot().events.is_empty(),
+        "live recorder saw no trace events"
+    );
+
+    // Gated comparison: interleaved minimum times.
+    let mut run_baseline = || {
+        black_box(run(&baseline_opts));
+    };
+    let mut run_noop = || {
+        black_box(run(&noop_opts));
+    };
+    run_baseline();
+    run_noop();
+    let (mut baseline_min, mut noop_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..GATE_PAIRS {
+        baseline_min = baseline_min.min(time_once(&mut run_baseline));
+        noop_min = noop_min.min(time_once(&mut run_noop));
+    }
+
+    let overhead_frac = (noop_min - baseline_min) / baseline_min;
+    let json = format!(
+        "{{\n  \"bench\": \"tracing_overhead\",\n  \"k_paths\": {K_PATHS},\n  \
+         \"baseline_min_ms\": {:.3},\n  \"noop_trace_min_ms\": {:.3},\n  \
+         \"overhead_frac\": {:.4},\n  \"max_overhead_frac\": {MAX_OVERHEAD_FRAC}\n}}\n",
+        baseline_min / 1e6,
+        noop_min / 1e6,
+        overhead_frac,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_tracing_overhead.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[tracing_overhead] wrote {path}:\n{json}"),
+        Err(e) => eprintln!("[tracing_overhead] could not write {path}: {e}"),
+    }
+    assert!(
+        overhead_frac < MAX_OVERHEAD_FRAC,
+        "disabled-tracing overhead {overhead_frac:.4} exceeds {MAX_OVERHEAD_FRAC}"
+    );
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

@@ -168,8 +168,21 @@ impl PathScenarioData {
         &self,
         budget: &FluidBudget,
     ) -> Result<(FlowsimResult, FluidRunStats), FluidError> {
+        self.try_run_flowsim_traced(budget, None)
+    }
+
+    /// [`try_run_flowsim_stats`](Self::try_run_flowsim_stats) with an
+    /// optional virtual-time [`FluidProbe`]: per-link utilization and
+    /// active-flow counts are sampled at the probe's stride (for the
+    /// tracing flight recorder). The probe only observes — records are
+    /// identical to the unprobed entry points.
+    pub fn try_run_flowsim_traced(
+        &self,
+        budget: &FluidBudget,
+        probe: Option<&FluidProbe<'_>>,
+    ) -> Result<(FlowsimResult, FluidRunStats), FluidError> {
         let (topo, flows) = self.to_fluid();
-        let (records, stats) = try_simulate_fluid_stats(&topo, &flows, budget)?;
+        let (records, stats) = try_simulate_fluid_traced(&topo, &flows, budget, probe)?;
         Ok((self.split_records(&records), stats))
     }
 

@@ -21,14 +21,18 @@ use crate::features::output_bucket;
 use crate::metrics::PipelineMetrics;
 use crate::pathsim::{FlowsimResult, PathScenarioData};
 use crate::spec::spec_vector;
-use m3_flowsim::prelude::{try_simulate_fluid_stats, FluidBudget, FluidError, FluidRunStats};
+use m3_flowsim::prelude::{
+    try_simulate_fluid_traced, FluidBudget, FluidError, FluidProbe, FluidProbeSink, FluidRunStats,
+};
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
+use m3_telemetry::trace::{TraceCtx, TraceSpan};
 use m3_telemetry::MetricsRegistry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Output-bucket counts of a foreground flow set.
 fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
@@ -89,6 +93,47 @@ pub struct EstimateOptions {
     /// concurrent estimates never contend on shared atomics mid-flight.
     /// `None` (or a [`MetricsRegistry::noop`]) adds no observable cost.
     pub metrics: Option<MetricsRegistry>,
+    /// Causal-tracing context. When backed by an enabled
+    /// [`TraceRecorder`](m3_telemetry::trace::TraceRecorder), the pipeline
+    /// records a span tree (root `estimate`, one child per stage, one
+    /// per-slot flowSim span) with cache/degradation/fault instants and
+    /// per-link flowSim utilization counter tracks sampled over virtual
+    /// time at [`TraceCtx::stride_ns`]. The default (noop) context costs
+    /// one branch per instrumentation site and never perturbs results.
+    pub trace: TraceCtx,
+}
+
+/// Forwards fluid-probe samples onto a slot's tracing span as counter
+/// tracks: per-hop utilization (`flowsim.util.h{n}`) and the active-flow
+/// count (`flowsim.active_flows`).
+struct SlotProbeSink<'a> {
+    span: &'a TraceSpan,
+    util_tracks: Vec<Arc<str>>,
+    active_track: Arc<str>,
+}
+
+impl SlotProbeSink<'_> {
+    fn new(span: &TraceSpan, hops: usize) -> SlotProbeSink<'_> {
+        SlotProbeSink {
+            span,
+            util_tracks: (0..hops)
+                .map(|h| Arc::from(format!("flowsim.util.h{h}")))
+                .collect(),
+            active_track: Arc::from("flowsim.active_flows"),
+        }
+    }
+}
+
+impl FluidProbeSink for SlotProbeSink<'_> {
+    fn on_link(&self, vts_ns: u64, link: u16, utilization: f64) {
+        if let Some(track) = self.util_tracks.get(link as usize) {
+            self.span.counter(track, vts_ns, utilization);
+        }
+    }
+
+    fn on_active_flows(&self, vts_ns: u64, active: u64) {
+        self.span.counter(&self.active_track, vts_ns, active as f64);
+    }
 }
 
 /// Classify a fluid-simulator error for degradation accounting.
@@ -299,13 +344,19 @@ impl M3Estimator {
     /// One slot's flowSim run, with injected faults applied. Runs inside
     /// `catch_unwind`, so a panic here (injected or real) is isolated to
     /// the slot. Successful runs also return their deterministic budget
-    /// consumption for telemetry.
+    /// consumption for telemetry. When a tracing span is attached, the
+    /// fluid engine's per-hop utilization is sampled onto it at
+    /// `stride_ns` of virtual time.
     fn run_flowsim_slot(
         &self,
         data: &PathScenarioData,
         slot: usize,
         options: &EstimateOptions,
+        span: Option<&TraceSpan>,
+        stride_ns: u64,
     ) -> Result<(FlowsimResult, FluidRunStats), (FaultKind, String)> {
+        let sink = span.map(|sp| SlotProbeSink::new(sp, data.num_hops()));
+        let probe = sink.as_ref().map(|s| FluidProbe::new(stride_ns, s));
         let plan = options.fault_plan.as_ref();
         if plan.is_some_and(|p| p.hits(InjectedFault::FlowsimPanic, slot)) {
             panic!("injected flowSim panic at slot {slot}");
@@ -323,10 +374,12 @@ impl M3Estimator {
                 f0.rate_cap_bps = f64::NAN;
             }
             let (records, stats) =
-                try_simulate_fluid_stats(&ftopo, &fflows, &budget).map_err(classify)?;
+                try_simulate_fluid_traced(&ftopo, &fflows, &budget, probe.as_ref())
+                    .map_err(classify)?;
             return Ok((data.split_records(&records), stats));
         }
-        data.try_run_flowsim_stats(&budget).map_err(classify)
+        data.try_run_flowsim_traced(&budget, probe.as_ref())
+            .map_err(classify)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -347,6 +400,12 @@ impl M3Estimator {
         // contend on a shared registry.
         let call_metrics = MetricsRegistry::new();
         let m = PipelineMetrics::register(&call_metrics);
+        // Causal trace: one root span for the whole call, one child per
+        // stage, one per-slot flowSim span. All no-ops when the context is
+        // disabled; closed by Drop on every early-return path.
+        let troot = options.trace.root("estimate");
+        let tracing = troot.is_enabled();
+        let stride_ns = options.trace.stride_ns();
         let mut report = DegradationReport::default();
         let fail_fast = matches!(options.policy, DegradationPolicy::FailFast);
 
@@ -362,7 +421,10 @@ impl M3Estimator {
 
         // Stage 1: decompose, sample, materialize scenarios in parallel.
         let span = m.decompose.span();
+        let tspan = troot.child("decompose");
         let index = PathIndex::build(topo, flows);
+        tspan.finish();
+        let tspan = troot.child("sample");
         let sampled = index.sample_paths(k_paths, seed);
         if sampled.is_empty() {
             return Err(M3Error::InvalidSpec {
@@ -378,6 +440,7 @@ impl M3Estimator {
             .iter()
             .map(|d| spec_vector(config, d.fg_base_rtt, d.fg_bottleneck))
             .collect();
+        tspan.finish();
         span.finish();
         m.sampled_paths.add(datas.len() as u64);
         report.total_samples = datas.len();
@@ -448,19 +511,43 @@ impl M3Estimator {
         if cache.present() {
             m.cache_misses.add(todo.len() as u64);
         }
+        if tracing {
+            for (slot, r) in resolved.iter().enumerate() {
+                if r.is_some() {
+                    troot.instant("cache_hit", format!("slot {slot}"));
+                }
+            }
+            for e in report.events.iter() {
+                if matches!(e.stage, Stage::Cache) {
+                    troot.instant("cache_evict", format!("slot {}: {}", e.scenario, e.detail));
+                }
+            }
+        }
 
         // Stage 2: flowSim the unresolved unique scenarios in parallel,
-        // each isolated (budget + panic barrier).
+        // each isolated (budget + panic barrier). Each slot gets its own
+        // trace span on lane `1 + slot` with an explicit child index, so
+        // span IDs stay deterministic under rayon scheduling.
         let span = m.flowsim.span();
+        let tflow = troot.child("flowsim");
         let sims: Vec<Result<(FlowsimResult, FluidRunStats), (FaultKind, String)>> = todo
             .par_iter()
             .map(|&s| {
+                let slot_span =
+                    tracing.then(|| tflow.child_on_lane("slot", s as u32, 1 + s as u32));
                 catch_unwind(AssertUnwindSafe(|| {
-                    self.run_flowsim_slot(&datas[uniq[s]], s, options)
+                    self.run_flowsim_slot(
+                        &datas[uniq[s]],
+                        s,
+                        options,
+                        slot_span.as_ref(),
+                        stride_ns,
+                    )
                 }))
                 .unwrap_or_else(|p| Err((FaultKind::Panic, panic_detail(p))))
             })
             .collect();
+        tflow.finish();
         span.finish();
         m.flowsim_runs.add(todo.len() as u64);
         // Budget consumption, summed sequentially over the (deterministic)
@@ -485,6 +572,9 @@ impl M3Estimator {
                 }
                 let s = todo[j];
                 report.dropped_samples += multiplicity[s];
+                if tracing {
+                    troot.instant("fault", format!("flowsim slot {s}: {detail}"));
+                }
                 report.events.push(DegradationEvent {
                     stage: Stage::FlowSim,
                     fault: *fault,
@@ -497,6 +587,7 @@ impl M3Estimator {
 
         // Stage 3: feature maps + encoding for the surviving slots.
         let span = m.features.span();
+        let tspan = troot.child("features");
         let ok: Vec<usize> = (0..todo.len()).filter(|&j| sims[j].is_ok()).collect();
         let sim_of = |j: usize| -> &FlowsimResult {
             match &sims[j] {
@@ -517,6 +608,7 @@ impl M3Estimator {
                 }
             })
             .collect();
+        tspan.finish();
         span.finish();
 
         // Stage 4: one batched forward pass over the surviving scenarios,
@@ -525,6 +617,7 @@ impl M3Estimator {
         // uncorrected flowSim distribution; only fully-corrected results
         // are cacheable.
         let span = m.forward.span();
+        let tspan = troot.child("forward");
         let plan = options.fault_plan.as_ref();
         let mut cacheable: Vec<usize> = Vec::new();
         match catch_unwind(AssertUnwindSafe(|| self.net.predict_batch(&inputs))) {
@@ -541,6 +634,9 @@ impl M3Estimator {
                     let s = todo[j];
                     resolved[s] = Some(PathDistribution::from_samples(&sim_of(j).fg));
                     report.degraded_samples += multiplicity[s];
+                    if tracing {
+                        troot.instant("degraded", format!("forward panic: slot {s}: {detail}"));
+                    }
                     report.events.push(DegradationEvent {
                         stage: Stage::Forward,
                         fault: FaultKind::Panic,
@@ -578,6 +674,12 @@ impl M3Estimator {
                         }
                         resolved[s] = Some(PathDistribution::from_samples(&sim_of(j).fg));
                         report.degraded_samples += multiplicity[s];
+                        if tracing {
+                            troot.instant(
+                                "degraded",
+                                format!("forward fallback: slot {s}: {detail}"),
+                            );
+                        }
                         report.events.push(DegradationEvent {
                             stage: Stage::Forward,
                             fault: FaultKind::NonFinite,
@@ -603,6 +705,7 @@ impl M3Estimator {
                 .unwrap_or(0);
             m.cache_evictions.add(evicted);
         }
+        tspan.finish();
         span.finish();
 
         // Enforce the degradation ceiling before aggregating.
@@ -621,6 +724,7 @@ impl M3Estimator {
         // paths (duplicates keep their pooling weight; dropped slots are
         // skipped) and aggregate.
         let span = m.aggregate.span();
+        let tspan = troot.child("aggregate");
         let dists: Vec<PathDistribution> = slot_of
             .iter()
             .filter_map(|&s| resolved[s].clone())
@@ -632,6 +736,7 @@ impl M3Estimator {
         }
         report.events.sort_by_key(|e| e.scenario);
         let mut est = NetworkEstimate::aggregate(&dists);
+        tspan.finish();
         span.finish();
         m.degraded_samples.add(report.degraded_samples as u64);
         m.dropped_samples.add(report.dropped_samples as u64);
@@ -644,6 +749,7 @@ impl M3Estimator {
         if let Some(ext) = &options.metrics {
             ext.absorb(&snapshot);
         }
+        troot.finish();
         Ok(est)
     }
 }

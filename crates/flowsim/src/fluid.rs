@@ -12,6 +12,7 @@
 //! operations plus O(groups^2) waterfill work per event.
 
 use crate::budget::{BudgetMeter, FluidBudget, FluidError, FluidRunStats};
+use crate::probe::FluidProbe;
 use crate::types::{FluidFctRecord, FluidFlow, FluidTopology, Nanos};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -127,6 +128,19 @@ pub fn try_simulate_fluid_stats(
     flows: &[FluidFlow],
     budget: &FluidBudget,
 ) -> Result<(Vec<FluidFctRecord>, FluidRunStats), FluidError> {
+    try_simulate_fluid_traced(topo, flows, budget, None)
+}
+
+/// [`try_simulate_fluid_stats`] with an optional virtual-time
+/// [`FluidProbe`]: per-link utilization and active-flow counts are sampled
+/// at the probe's stride and forwarded to its sink. Records are identical
+/// to the unprobed entry points — the probe only observes.
+pub fn try_simulate_fluid_traced(
+    topo: &FluidTopology,
+    flows: &[FluidFlow],
+    budget: &FluidBudget,
+    probe: Option<&FluidProbe<'_>>,
+) -> Result<(Vec<FluidFctRecord>, FluidRunStats), FluidError> {
     for f in flows {
         f.check(topo)
             .map_err(|reason| FluidError::InvalidInput { flow: f.id, reason })?;
@@ -146,6 +160,11 @@ pub fn try_simulate_fluid_stats(
     let mut now: f64 = 0.0;
     let mut next_flow = 0usize;
     let mut active_flows = 0usize;
+    // Next virtual-time stride boundary at which the probe samples.
+    let mut probe_next: u64 = match probe {
+        Some(p) => p.stride_ns.max(1),
+        None => u64::MAX,
+    };
 
     // Scratch buffers for the waterfill.
     let mut residual = vec![0.0f64; n_links];
@@ -190,6 +209,34 @@ pub fn try_simulate_fluid_stats(
             }
         }
         now = t_next;
+
+        // ---- probe: sample state over the interval that just elapsed ----
+        // Rates are constant between events, so the values at the last
+        // stride boundary crossed describe the whole interval; emitting
+        // only that boundary keeps the sample count bounded.
+        if let Some(p) = probe {
+            let now_ns = now as u64;
+            if now_ns >= probe_next {
+                let stride = p.stride_ns.max(1);
+                let boundary = (now_ns / stride) * stride;
+                for (l, &cap) in caps_bytes_ns.iter().enumerate() {
+                    let mut used = 0.0;
+                    for g in &groups {
+                        if g.n > 0 && g.first <= l && l <= g.last {
+                            used += g.rate * g.n as f64;
+                        }
+                    }
+                    let util = if cap > 0.0 {
+                        (used / cap).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    p.sink.on_link(boundary, l as u16, util);
+                }
+                p.sink.on_active_flows(boundary, active_flows as u64);
+                probe_next = boundary.saturating_add(stride);
+            }
+        }
 
         // ---- completions at `now` ----
         let mut membership_changed = false;
@@ -588,6 +635,58 @@ mod tests {
             "at least one event per flow"
         );
         assert_eq!(stats.wall_checks, 0, "no wall limit set");
+    }
+
+    #[test]
+    fn probe_samples_are_deterministic_and_do_not_change_records() {
+        use crate::probe::{FluidProbe, FluidProbeSink};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Sink {
+            samples: Mutex<Vec<(u64, u16, u64, u64)>>, // (vts, link, util_bits, active)
+        }
+        impl FluidProbeSink for Sink {
+            fn on_link(&self, vts_ns: u64, link: u16, utilization: f64) {
+                self.samples
+                    .lock()
+                    .unwrap()
+                    .push((vts_ns, link, utilization.to_bits(), u64::MAX));
+            }
+            fn on_active_flows(&self, vts_ns: u64, active: u64) {
+                self.samples.lock().unwrap().push((vts_ns, 0, 0, active));
+            }
+        }
+
+        let topo = FluidTopology::new(vec![10e9, 10e9]);
+        let flows: Vec<FluidFlow> = (0..50)
+            .map(|i| {
+                with_ideal(
+                    &topo,
+                    flow(i, 20_000, i as u64 * 700, (i % 2) as u16, 1, f64::INFINITY),
+                )
+            })
+            .collect();
+
+        let run = || {
+            let sink = Sink::default();
+            let probe = FluidProbe::new(5_000, &sink);
+            let (recs, _) =
+                try_simulate_fluid_traced(&topo, &flows, &FluidBudget::default(), Some(&probe))
+                    .unwrap();
+            (recs, sink.samples.into_inner().unwrap())
+        };
+        let (recs_a, samples_a) = run();
+        let (recs_b, samples_b) = run();
+        assert_eq!(samples_a, samples_b, "probe samples must be deterministic");
+        assert!(!samples_a.is_empty(), "stride must fire on this workload");
+        assert!(
+            samples_a.iter().all(|s| s.0 % 5_000 == 0),
+            "samples land on stride boundaries"
+        );
+        let plain = try_simulate_fluid(&topo, &flows, &FluidBudget::default()).unwrap();
+        assert_eq!(recs_a, plain, "probe must not perturb results");
+        assert_eq!(recs_a, recs_b);
     }
 
     #[test]

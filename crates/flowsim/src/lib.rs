@@ -42,15 +42,19 @@
 pub mod budget;
 pub mod fluid;
 pub mod general;
+pub mod probe;
 pub mod reference;
 pub mod types;
 
 pub mod prelude {
     pub use crate::budget::{FluidBudget, FluidError, FluidRunStats, DEFAULT_WALL_CHECK_STRIDE};
-    pub use crate::fluid::{simulate_fluid, try_simulate_fluid, try_simulate_fluid_stats};
+    pub use crate::fluid::{
+        simulate_fluid, try_simulate_fluid, try_simulate_fluid_stats, try_simulate_fluid_traced,
+    };
     pub use crate::general::{
         simulate_fluid_general, try_simulate_fluid_general, GeneralFluidFlow,
     };
+    pub use crate::probe::{FluidProbe, FluidProbeSink};
     pub use crate::reference::simulate_fluid_reference;
     pub use crate::types::{fluid_ideal_fct, FluidFctRecord, FluidFlow, FluidTopology};
 }

@@ -1,0 +1,45 @@
+//! Virtual-time probes for the fluid engine.
+//!
+//! A [`FluidProbe`] samples engine state over *virtual* (simulated) time at
+//! a configurable stride and forwards each sample to a caller-supplied
+//! [`FluidProbeSink`] — in the m3 pipeline, a tracing span that turns the
+//! samples into Perfetto counter tracks. The engine itself stays free of
+//! any telemetry dependency: the sink is a plain trait object, and a run
+//! without a probe takes exactly one extra branch per outer event.
+//!
+//! Samples are deterministic: they fire at stride boundaries of the fluid
+//! clock (which is itself deterministic for a fixed input), and carry only
+//! values derived from engine state. When an event interval crosses
+//! several stride boundaries the probe emits one sample at the *last*
+//! boundary crossed — rates are constant between events, so intermediate
+//! samples would repeat the same values.
+
+/// Receives probe samples. Implementations must tolerate being called from
+/// inside the engine's hot loop (no blocking, no panics).
+pub trait FluidProbeSink {
+    /// Utilization of `link` (fraction of capacity in use, clamped to
+    /// `[0, 1]`) over the interval ending at virtual time `vts_ns`.
+    fn on_link(&self, vts_ns: u64, link: u16, utilization: f64);
+
+    /// Number of active flows over the interval ending at `vts_ns`.
+    fn on_active_flows(&self, vts_ns: u64, active: u64);
+}
+
+/// A probe configuration: where to send samples and how often.
+pub struct FluidProbe<'a> {
+    /// Virtual-time sampling stride in nanoseconds (values below 1 are
+    /// treated as 1).
+    pub stride_ns: u64,
+    /// Destination for samples.
+    pub sink: &'a dyn FluidProbeSink,
+}
+
+impl<'a> FluidProbe<'a> {
+    /// A probe sampling every `stride_ns` of virtual time.
+    pub fn new(stride_ns: u64, sink: &'a dyn FluidProbeSink) -> Self {
+        FluidProbe {
+            stride_ns: stride_ns.max(1),
+            sink,
+        }
+    }
+}

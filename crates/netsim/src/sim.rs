@@ -19,11 +19,13 @@ use crate::config::{CcProtocol, SimConfig};
 use crate::flow::{FctRecord, FlowId, FlowSpec};
 use crate::topology::{LinkId, NodeKind, Topology};
 use crate::units::{tx_time, Bytes, Nanos};
+use m3_telemetry::trace::TraceSpan;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Index of a directed channel: `link.index() * 2 + (forward ? 0 : 1)`.
@@ -325,6 +327,30 @@ impl SimOutput {
     }
 }
 
+/// Time-series probe attached to a running simulator: per-directed-port
+/// queue depth and utilization plus global ECN/PFC/drop counters, sampled
+/// over *virtual* time at a fixed stride and emitted as counter-track
+/// events on a tracing span. Track names are precomputed `Arc<str>`s so a
+/// sample is a handful of atomic pushes; an unprobed run costs one branch
+/// per event.
+///
+/// Samples are deterministic for a fixed scenario: they fire at stride
+/// boundaries of the (deterministic) virtual clock and carry only values
+/// derived from simulation state.
+struct SimTraceProbe {
+    span: TraceSpan,
+    stride_ns: Nanos,
+    next_sample: Nanos,
+    /// Per directed port (`netsim.qbytes.l{link}.{fwd|rev}`).
+    qbytes_tracks: Vec<Arc<str>>,
+    /// Per directed port (`netsim.util.l{link}.{fwd|rev}`), cumulative
+    /// busy fraction since t=0.
+    util_tracks: Vec<Arc<str>>,
+    ecn_track: Arc<str>,
+    pfc_track: Arc<str>,
+    drops_track: Arc<str>,
+}
+
 /// The simulator. Construct with a topology, configuration and flow set,
 /// then call [`Simulator::run`].
 pub struct Simulator<'a> {
@@ -346,6 +372,8 @@ pub struct Simulator<'a> {
     deadline: Option<Nanos>,
     /// Resource ceiling; exceeding it is an error (see [`SimBudget`]).
     budget: SimBudget,
+    /// Optional virtual-time counter probe (see [`Simulator::set_trace_probe`]).
+    probe: Option<SimTraceProbe>,
 }
 
 impl<'a> Simulator<'a> {
@@ -398,6 +426,7 @@ impl<'a> Simulator<'a> {
             pfc_pauses: 0,
             deadline: None,
             budget: SimBudget::UNLIMITED,
+            probe: None,
         };
         for i in 0..sim.flows.len() {
             let t = sim.flows[i].spec.arrival;
@@ -417,6 +446,78 @@ impl<'a> Simulator<'a> {
     /// panic); the default is [`SimBudget::UNLIMITED`].
     pub fn set_budget(&mut self, budget: SimBudget) {
         self.budget = budget;
+    }
+
+    /// Attach a flight-recorder probe: every `stride_ns` of *virtual* time
+    /// the run emits counter-track events on `span` — per-directed-port
+    /// queue depth (`netsim.qbytes.l{n}.{fwd|rev}`) and cumulative
+    /// utilization (`netsim.util...`), plus global `netsim.ecn_marks`,
+    /// `netsim.pfc_pauses` and `netsim.drops`. The span is closed when the
+    /// run finishes. Samples are deterministic for a fixed scenario; a
+    /// disabled span's events are dropped at the recorder, so attaching a
+    /// noop-backed span is harmless.
+    pub fn set_trace_probe(&mut self, span: TraceSpan, stride_ns: Nanos) {
+        let stride_ns = stride_ns.max(1);
+        let n_ports = self.ports.len();
+        let dir = |p: usize| {
+            if port_forward(p as PortIdx) {
+                "fwd"
+            } else {
+                "rev"
+            }
+        };
+        let qbytes_tracks = (0..n_ports)
+            .map(|p| {
+                Arc::from(format!(
+                    "netsim.qbytes.l{}.{}",
+                    port_link(p as PortIdx).0,
+                    dir(p)
+                ))
+            })
+            .collect();
+        let util_tracks = (0..n_ports)
+            .map(|p| {
+                Arc::from(format!(
+                    "netsim.util.l{}.{}",
+                    port_link(p as PortIdx).0,
+                    dir(p)
+                ))
+            })
+            .collect();
+        self.probe = Some(SimTraceProbe {
+            span,
+            stride_ns,
+            next_sample: stride_ns,
+            qbytes_tracks,
+            util_tracks,
+            ecn_track: Arc::from("netsim.ecn_marks"),
+            pfc_track: Arc::from("netsim.pfc_pauses"),
+            drops_track: Arc::from("netsim.drops"),
+        });
+    }
+
+    /// Emit probe samples for every stride boundary the clock just crossed
+    /// (collapsed to the last one — port state is only observed at event
+    /// times, so intermediate boundaries would repeat the same values).
+    #[inline]
+    fn maybe_probe(&mut self) {
+        let Some(p) = &mut self.probe else { return };
+        if self.now < p.next_sample {
+            return;
+        }
+        let boundary = (self.now / p.stride_ns) * p.stride_ns;
+        for (i, port) in self.ports.iter().enumerate() {
+            p.span
+                .counter(&p.qbytes_tracks[i], boundary, port.qbytes as f64);
+            let util = (port.busy_ns as f64 / self.now.max(1) as f64).min(1.0);
+            p.span.counter(&p.util_tracks[i], boundary, util);
+        }
+        p.span
+            .counter(&p.ecn_track, boundary, self.ecn_marks as f64);
+        p.span
+            .counter(&p.pfc_track, boundary, self.pfc_pauses as f64);
+        p.span.counter(&p.drops_track, boundary, self.drops as f64);
+        p.next_sample = boundary.saturating_add(p.stride_ns);
     }
 
     /// Assign strict-priority classes per flow (0 = highest; the default).
@@ -478,6 +579,7 @@ impl<'a> Simulator<'a> {
                 }
             }
             self.now = time;
+            self.maybe_probe();
             if let Some(d) = self.deadline {
                 if time > d {
                     break;
@@ -1085,6 +1187,54 @@ mod tests {
         let s1: Vec<_> = o1.records.iter().map(|r| r.fct).collect();
         let s2: Vec<_> = o2.records.iter().map(|r| r.fct).collect();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn trace_probe_emits_deterministic_counters_without_perturbing_results() {
+        use m3_telemetry::trace::{TraceCtx, TraceEventKind, TraceRecorder};
+
+        let (topo, a, b, _) = two_host_topo();
+        let flows: Vec<FlowSpec> = (0..20)
+            .map(|i| flow(&topo, i, a, b, 30 * KB, i as u64 * USEC))
+            .collect();
+        let plain = run_simulation(&topo, SimConfig::default(), flows.clone());
+
+        let run_probed = || {
+            let rec = TraceRecorder::new(1 << 16);
+            let ctx = TraceCtx::new(rec.clone(), 42);
+            let root = ctx.root("netsim");
+            let mut sim = Simulator::new(&topo, SimConfig::default(), flows.clone());
+            sim.set_trace_probe(root.child("probe"), 10 * USEC);
+            let out = sim.try_run().unwrap();
+            root.finish();
+            (out, rec.snapshot())
+        };
+        let (out1, snap1) = run_probed();
+        let (out2, snap2) = run_probed();
+
+        let fct = |o: &SimOutput| o.records.iter().map(|r| r.fct).collect::<Vec<_>>();
+        assert_eq!(fct(&plain), fct(&out1), "probe must not perturb the run");
+        assert_eq!(fct(&out1), fct(&out2));
+
+        let counters = |s: &m3_telemetry::trace::FlightRecording| {
+            s.events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    TraceEventKind::Counter { track, value } => {
+                        Some((track.to_string(), e.vts, value.to_bits()))
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let c1 = counters(&snap1);
+        assert!(!c1.is_empty(), "stride must fire on this workload");
+        assert_eq!(c1, counters(&snap2), "probe samples must be deterministic");
+        assert!(c1.iter().all(|(_, vts, _)| vts % (10 * USEC) == 0));
+        assert!(c1.iter().any(|(t, _, _)| t.starts_with("netsim.qbytes.l")));
+        assert!(c1.iter().any(|(t, _, _)| t.starts_with("netsim.util.l")));
+        assert!(c1.iter().any(|(t, _, _)| t == "netsim.ecn_marks"));
+        assert_eq!(snap1.dropped, 0, "ring must have headroom in this test");
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub enum JournalRecord {
     Accepted {
         id: u64,
         request: Box<EstimateRequest>,
+        /// Trace id stamped on the request for causal-tracing correlation:
+        /// a trace exported by the service carries the same id, so a
+        /// post-crash investigation can match journal entries to trace
+        /// spans. Absent (`None`) in journals written before tracing
+        /// existed; `#[serde(default)]` keeps those readable.
+        #[serde(default)]
+        trace: Option<u64>,
     },
     Terminal {
         id: u64,
@@ -86,6 +93,9 @@ pub enum JournalRecord {
 pub struct Replay {
     /// Accepted requests by job id.
     pub accepted: BTreeMap<u64, EstimateRequest>,
+    /// Trace id recorded with each acceptance (absent for pre-tracing
+    /// journals), for correlating journal entries with exported traces.
+    pub trace_ids: BTreeMap<u64, u64>,
     /// Terminal outcomes by job id.
     pub terminal: BTreeMap<u64, JobOutcome>,
     /// True if a torn tail was truncated during recovery.
@@ -169,8 +179,11 @@ impl Journal {
             let rec: JournalRecord = serde_json::from_slice(payload)
                 .map_err(|e| bad_data(format!("{}: bad journal record: {e}", path.display())))?;
             match rec {
-                JournalRecord::Accepted { id, request } => {
+                JournalRecord::Accepted { id, request, trace } => {
                     replay.accepted.insert(id, *request);
+                    if let Some(t) = trace {
+                        replay.trace_ids.insert(id, t);
+                    }
                 }
                 JournalRecord::Terminal { id, outcome } => {
                     replay.terminal.insert(id, *outcome);
@@ -238,11 +251,13 @@ mod tests {
         j.append(&JournalRecord::Accepted {
             id: 0,
             request: Box::new(req(1)),
+            trace: Some(1),
         })
         .unwrap();
         j.append(&JournalRecord::Accepted {
             id: 1,
             request: Box::new(req(2)),
+            trace: Some(2),
         })
         .unwrap();
         j.append(&JournalRecord::Terminal {
@@ -260,6 +275,8 @@ mod tests {
         assert_eq!(replay.pending().len(), 1);
         assert_eq!(replay.pending()[0].0, 1);
         assert_eq!(replay.next_id(), 2);
+        assert_eq!(replay.trace_ids.get(&0), Some(&1));
+        assert_eq!(replay.trace_ids.get(&1), Some(&2));
         assert!(!replay.truncated_tail);
         std::fs::remove_file(&path).ok();
     }
@@ -271,6 +288,7 @@ mod tests {
         j.append(&JournalRecord::Accepted {
             id: 0,
             request: Box::new(req(1)),
+            trace: None,
         })
         .unwrap();
         drop(j);
@@ -296,6 +314,30 @@ mod tests {
         let (_j, replay) = Journal::open(&path).unwrap();
         assert!(replay.pending().is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn accepted_record_without_trace_field_still_parses() {
+        // Journals written before tracing existed have no `trace` key.
+        let json = serde_json::to_vec(&JournalRecord::Accepted {
+            id: 7,
+            request: Box::new(req(1)),
+            trace: Some(8),
+        })
+        .unwrap();
+        let text = String::from_utf8(json)
+            .unwrap()
+            .replace(",\"trace\":8", "")
+            .replace("\"trace\":8,", "");
+        assert!(!text.contains("trace"), "field not stripped: {text}");
+        let rec: JournalRecord = serde_json::from_slice(text.as_bytes()).unwrap();
+        match rec {
+            JournalRecord::Accepted { id, trace, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!(trace, None);
+            }
+            other => panic!("unexpected record: {other:?}"),
+        }
     }
 
     #[test]

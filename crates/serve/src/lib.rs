@@ -51,7 +51,9 @@ pub mod prelude {
     pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
     pub use crate::journal::{JobOutcome, Journal, JournalRecord, Replay};
     pub use crate::request::{ConfigSpec, EstimateRequest, ScenarioSpec, TopoSpec, WorkloadSpec};
-    pub use crate::service::{ServeMetrics, Service, ServiceConfig, ServiceStats, SubmitError};
+    pub use crate::service::{
+        trace_id_for, ServeMetrics, Service, ServiceConfig, ServiceStats, SubmitError,
+    };
 }
 
 pub use prelude::*;

@@ -34,6 +34,7 @@ use m3_core::prelude::{
     NetworkEstimate, SharedScenarioCache, Stage, StageBudget,
 };
 use m3_flowsim::prelude::FluidBudget;
+use m3_telemetry::trace::{TraceCtx, TraceRecorder};
 use m3_telemetry::{Counter, Gauge, Histogram, HistogramEdges, MetricsRegistry, MetricsSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -63,6 +64,15 @@ pub struct ServiceConfig {
     /// Interval between periodic metrics dumps (only used with
     /// [`metrics_out`](ServiceConfig::metrics_out)).
     pub metrics_dump_every: Duration,
+    /// Causal-tracing flight recorder. Defaults to the noop recorder
+    /// (tracing off; one branch of overhead per trace point). When
+    /// enabled, every processed job runs under trace id
+    /// [`trace_id_for`]`(job.id)`, which is also written to the journal's
+    /// `Accepted` record for post-crash correlation.
+    pub trace: TraceRecorder,
+    /// Virtual-time stride (ns) for simulator counter probes in traced
+    /// jobs; 0 means the telemetry default.
+    pub trace_stride_ns: u64,
 }
 
 impl Default for ServiceConfig {
@@ -75,8 +85,16 @@ impl Default for ServiceConfig {
             cache_capacity: 256,
             metrics_out: None,
             metrics_dump_every: Duration::from_secs(1),
+            trace: TraceRecorder::noop(),
+            trace_stride_ns: 0,
         }
     }
+}
+
+/// The trace id the service stamps on job `id`. Job ids start at 0 but
+/// trace id 0 is reserved ("no trace"), so the mapping is offset by one.
+pub fn trace_id_for(job_id: u64) -> u64 {
+    job_id + 1
 }
 
 /// Why a submission was rejected.
@@ -368,6 +386,12 @@ impl Service {
             j.append(&JournalRecord::Accepted {
                 id,
                 request: Box::new(request.clone()),
+                trace: self
+                    .inner
+                    .config
+                    .trace
+                    .is_enabled()
+                    .then(|| trace_id_for(id)),
             })
             .map_err(SubmitError::Journal)?;
         }
@@ -658,11 +682,23 @@ fn elapsed_ms(start: Instant) -> u64 {
 fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
     let req = &job.request;
 
+    // Per-job trace context: every attempt of this job (and its journal
+    // entry) shares one trace id. The serve-level span records job-scope
+    // events (shed / breaker routing / retries); the pipeline opens its
+    // own stage tree from the same context.
+    let mut tctx = TraceCtx::new(inner.config.trace.clone(), trace_id_for(job.id));
+    tctx.probe_stride_ns = inner.config.trace_stride_ns;
+    let jspan = tctx.root("serve.job");
+
     // Deadline gate at pickup: a job that waited out its whole deadline in
     // the queue is shed without burning worker time on it.
     if let Some(deadline) = req.deadline_ms {
         let waited = elapsed_ms(job.accepted_at);
         if waited >= deadline {
+            jspan.instant(
+                "shed",
+                format!("deadline {deadline} ms expired in queue ({waited} ms)"),
+            );
             return JobOutcome::Shed {
                 reason: format!("deadline {deadline} ms expired in queue ({waited} ms)"),
             };
@@ -730,6 +766,13 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
             (fs, fw)
         };
         if !(fs_ok && fw_ok) {
+            jspan.instant(
+                "degraded",
+                format!(
+                    "breaker open (flowsim granted: {fs_ok}, forward granted: {fw_ok}): \
+                     serving flowSim-only path"
+                ),
+            );
             let estimate = flowsim_estimate(&topo, &flows, &config, req.paths, req.seed);
             return JobOutcome::Degraded {
                 estimate,
@@ -750,6 +793,7 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
             budget,
             fault_plan: req.fault_plan.as_ref().map(|p| p.at_attempt(attempt)),
             metrics: Some(inner.registry.clone()),
+            trace: tctx.clone(),
         };
 
         let result = inner.estimator.try_estimate_with_shared_cache(
@@ -776,6 +820,10 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
                 let next = attempt + 1;
                 if e.is_transient() && next < retry.max_attempts.max(1) {
                     inner.metrics.retries.inc();
+                    jspan.instant(
+                        "retry",
+                        format!("attempt {next} after transient fault: {e}"),
+                    );
                     thread::sleep(Duration::from_millis(retry.delay_ms(job.id, attempt)));
                     attempt = next;
                     continue;

@@ -39,6 +39,7 @@ pub mod histogram;
 pub mod registry;
 pub mod render;
 pub mod snapshot;
+pub mod trace;
 
 pub mod prelude {
     pub use crate::histogram::{Histogram, HistogramEdges, HistogramSnapshot};
@@ -46,6 +47,11 @@ pub mod prelude {
     pub use crate::render::render_snapshot;
     pub use crate::snapshot::{
         CounterEntry, GaugeEntry, HistogramEntry, MetricsSnapshot, TimerEntry, SNAPSHOT_VERSION,
+    };
+    pub use crate::trace::{
+        render_trace_summary, summarize_chrome_json, FlightRecording, SpanStat, TraceCtx,
+        TraceEvent, TraceEventKind, TraceRecorder, TraceSpan, TraceSummary,
+        DEFAULT_PROBE_STRIDE_NS, DEFAULT_TRACE_CAPACITY,
     };
 }
 

@@ -65,11 +65,13 @@ pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
             let q = |p: f64| e.hist.quantile(p).map(fmt_f64).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "  {:<name_width$}  count={count}  p50<={}  p90<={}  p99<={}{wall}",
+                "  {:<name_width$}  count={count}  p50<={}  p90<={}  p99<={}  p99.9<={}  max<={}{wall}",
                 e.name,
                 q(0.50),
                 q(0.90),
                 q(0.99),
+                q(0.999),
+                q(1.0),
             );
         }
     }
@@ -106,6 +108,20 @@ mod tests {
         assert!(text.contains("pipeline.flowsim_seconds"));
         assert!(text.contains("count=2"));
         assert!(text.contains("[wall]"));
+    }
+
+    #[test]
+    fn histogram_line_derives_quantiles_not_raw_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pipeline.slot_events", HistogramEdges::log(1.0, 2.0, 8));
+        for v in [1.0, 1.0, 2.0, 3.0, 60.0] {
+            h.observe(v);
+        }
+        let text = render_snapshot(&reg.snapshot());
+        assert!(text.contains("p50<="), "p50 derived from buckets");
+        assert!(text.contains("p99.9<="), "tail quantile present");
+        assert!(text.contains("max<="), "upper bound present");
+        assert!(!text.contains("buckets"), "no raw bucket dump");
     }
 
     #[test]

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Repo-wide quality gate: formatting, lints, tests.
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--bench]
+#   --bench  also run the mean-based telemetry overhead gate (slow and
+#            scheduling-sensitive, so off by default).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -21,5 +31,32 @@ cargo test -q --test fault_injection
 
 echo "==> service integration suite (crash recovery, retries, shedding)"
 cargo test -q --test service_integration
+
+echo "==> tracing suite (span tree, determinism, journal correlation)"
+cargo test -q --test tracing
+
+echo "==> trace golden-file check (deterministic export must be byte-stable)"
+cargo build --release -q
+TRACE_TMP="$(mktemp /tmp/m3-trace-golden.XXXXXX.json)"
+trap 'rm -f "$TRACE_TMP"' EXIT
+./target/release/m3 estimate tests/golden/estimate_spec.json \
+  --trace-out "$TRACE_TMP" --trace-stride-ns 1000000 --trace-deterministic \
+  > /dev/null
+if ! diff -q tests/golden/estimate_trace.json "$TRACE_TMP" > /dev/null; then
+  echo "trace golden mismatch: tests/golden/estimate_trace.json vs $TRACE_TMP" >&2
+  echo "(if the trace format changed intentionally, regenerate the golden" >&2
+  echo " with the command above and commit it)" >&2
+  diff tests/golden/estimate_trace.json "$TRACE_TMP" | head -20 >&2 || true
+  exit 1
+fi
+echo "trace golden matches"
+
+echo "==> tracing overhead gate (<3% disabled-tracing overhead, writes BENCH_tracing_overhead.json)"
+cargo bench -p m3-bench --bench tracing_overhead
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "==> telemetry overhead gate (<2%, writes BENCH_telemetry_overhead.json)"
+  cargo bench -p m3-bench --bench telemetry_overhead
+fi
 
 echo "All checks passed."

@@ -9,12 +9,23 @@
 //! m3 example-train-spec          # print a training spec template (JSON)
 //! m3 train <train.json>         # train a model and save a checkpoint
 //! m3 stats <snapshot.json>      # pretty-print a metrics snapshot
+//! m3 trace <trace.json>         # summarize an exported trace file
 //! ```
 //!
 //! `estimate`, `serve`, and `train` accept `--metrics-out <path>`: a
 //! versioned JSON telemetry snapshot (counters, gauges, stage timers,
 //! latency histograms) is written there — continuously by `serve`, at exit
 //! by the others — and can be inspected with `m3 stats`.
+//!
+//! `estimate` and `serve` also accept `--trace-out <path>`: the run is
+//! recorded by the causal-tracing flight recorder and exported as Chrome
+//! trace-event JSON (open in Perfetto / `chrome://tracing`), containing
+//! the pipeline's span tree, degradation/fault/cache instants, and
+//! per-link simulator counter tracks. `--trace-stride-ns <ns>` sets the
+//! virtual-time probe sampling stride; `--trace-deterministic` zeroes the
+//! wall-clock fields so traces of a fixed seed are byte-identical (the
+//! golden-file mode used by `scripts/check.sh`). Inspect exported files
+//! with `m3 trace`.
 //!
 //! The spec file describes a topology, a workload, a network configuration,
 //! and which estimators to run (`m3`, `flowsim`, `global-flowsim`,
@@ -37,7 +48,10 @@ use m3::serve::prelude::{
     ConfigSpec, EstimateRequest, JobOutcome, RetryPolicy, ScenarioSpec, Service, ServiceConfig,
     SubmitError, TopoSpec, WorkloadSpec,
 };
-use m3::telemetry::{render_snapshot, MetricsRegistry, MetricsSnapshot};
+use m3::telemetry::{
+    render_snapshot, render_trace_summary, summarize_chrome_json, MetricsRegistry, MetricsSnapshot,
+    TraceCtx, TraceRecorder, DEFAULT_TRACE_CAPACITY,
+};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -122,6 +136,78 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let value = args.remove(i + 1);
     args.remove(i);
     Some(value)
+}
+
+/// Remove a bare `--<flag>` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Causal-tracing options shared by `estimate` and `serve`
+/// (`--trace-out <path>` plus its modifier flags).
+struct TraceOpts {
+    out: String,
+    stride_ns: u64,
+    deterministic: bool,
+}
+
+impl TraceOpts {
+    fn from_args(args: &mut Vec<String>) -> Option<TraceOpts> {
+        let stride_ns = take_flag_value(args, "--trace-stride-ns")
+            .map(|v| {
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    die(EXIT_USAGE, &format!("bad --trace-stride-ns value {v:?}"))
+                })
+            })
+            .unwrap_or(0);
+        let deterministic = take_flag(args, "--trace-deterministic");
+        match take_flag_value(args, "--trace-out") {
+            Some(out) => Some(TraceOpts {
+                out,
+                stride_ns,
+                deterministic,
+            }),
+            None if stride_ns != 0 || deterministic => die(
+                EXIT_USAGE,
+                "--trace-stride-ns / --trace-deterministic require --trace-out",
+            ),
+            None => None,
+        }
+    }
+
+    fn recorder(&self) -> TraceRecorder {
+        TraceRecorder::new(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Snapshot `recorder` and write it as Chrome trace-event JSON
+    /// (deterministic view when `--trace-deterministic` was given).
+    fn write(&self, recorder: &TraceRecorder) {
+        let rec = recorder.snapshot();
+        let json = if self.deterministic {
+            rec.to_chrome_deterministic_json()
+        } else {
+            rec.to_chrome_json()
+        };
+        if let Err(e) = std::fs::write(&self.out, json) {
+            eprintln!("warning: cannot write trace {}: {e}", self.out);
+        } else {
+            let dropped = if rec.dropped > 0 {
+                format!(", {} dropped", rec.dropped)
+            } else {
+                String::new()
+            };
+            println!(
+                "trace written to {} ({} events{dropped}); open at https://ui.perfetto.dev",
+                self.out,
+                rec.events.len()
+            );
+        }
+    }
 }
 
 /// Write a metrics snapshot as JSON, best-effort with a visible warning.
@@ -247,7 +333,7 @@ fn report(name: &str, est: &NetworkEstimate, elapsed: std::time::Duration) {
     }
 }
 
-fn run_estimate(spec: &Spec, metrics_out: Option<&str>) {
+fn run_estimate(spec: &Spec, metrics_out: Option<&str>, trace: Option<&TraceOpts>) {
     let m = materialize(spec);
     println!(
         "scenario: {} flows, {} nodes, {} links",
@@ -263,6 +349,15 @@ fn run_estimate(spec: &Spec, metrics_out: Option<&str>) {
     } else {
         MetricsRegistry::noop()
     };
+    // Likewise one flight recorder (trace id 1) across every method; the
+    // noop recorder keeps the trace plumbing free when --trace-out is off.
+    let recorder = trace
+        .map(|t| t.recorder())
+        .unwrap_or_else(TraceRecorder::noop);
+    let mut tctx = TraceCtx::new(recorder.clone(), 1);
+    if let Some(t) = trace {
+        tctx.probe_stride_ns = t.stride_ns;
+    }
     for method in &spec.methods {
         let t = Instant::now();
         match method.as_str() {
@@ -277,6 +372,7 @@ fn run_estimate(spec: &Spec, metrics_out: Option<&str>) {
                         spec.seed,
                         &EstimateOptions {
                             metrics: Some(registry.clone()),
+                            trace: tctx.clone(),
                             ..EstimateOptions::default()
                         },
                     )
@@ -315,7 +411,13 @@ fn run_estimate(spec: &Spec, metrics_out: Option<&str>) {
                 );
             }
             "ns3" => {
-                let out = run_simulation(&m.topo, m.config, m.flows.clone());
+                let mut sim = Simulator::new(&m.topo, m.config, m.flows.clone());
+                if tctx.is_enabled() {
+                    // Per-link queue/utilization/mark counter tracks,
+                    // sampled over virtual time.
+                    sim.set_trace_probe(tctx.root("ns3"), tctx.stride_ns());
+                }
+                let out = sim.run();
                 out.record_into(&registry);
                 let e = ground_truth_estimate(&out.records);
                 report("ns3 (packet sim)", &e, t.elapsed());
@@ -330,6 +432,9 @@ fn run_estimate(spec: &Spec, metrics_out: Option<&str>) {
     if let Some(path) = metrics_out {
         write_snapshot(path, &registry.snapshot());
         println!("metrics snapshot written to {path}");
+    }
+    if let Some(t) = trace {
+        t.write(&recorder);
     }
 }
 
@@ -383,7 +488,7 @@ fn run_sweep(spec: &Spec, knob_name: &str, values: &str) {
     );
 }
 
-fn run_serve(spec: &ServiceSpec, metrics_out: Option<&str>) {
+fn run_serve(spec: &ServiceSpec, metrics_out: Option<&str>, trace: Option<&TraceOpts>) {
     // Validate every request's scenario up front so a typo'd batch dies
     // with a spec error before any job is journaled.
     for (i, req) in spec.requests.iter().enumerate() {
@@ -394,11 +499,16 @@ fn run_serve(spec: &ServiceSpec, metrics_out: Option<&str>) {
     }
 
     let estimator = M3Estimator::new(load_model(spec.model.as_deref()));
+    let recorder = trace
+        .map(|t| t.recorder())
+        .unwrap_or_else(TraceRecorder::noop);
     let config = ServiceConfig {
         workers: spec.workers,
         queue_capacity: spec.queue_capacity,
         retry: spec.retry.unwrap_or_default(),
         metrics_out: metrics_out.map(Into::into),
+        trace: recorder.clone(),
+        trace_stride_ns: trace.map(|t| t.stride_ns).unwrap_or(0),
         ..ServiceConfig::default()
     };
 
@@ -493,6 +603,9 @@ fn run_serve(spec: &ServiceSpec, metrics_out: Option<&str>) {
     if let Some(path) = metrics_out {
         println!("metrics snapshot written to {path}");
     }
+    if let Some(t) = trace {
+        t.write(&recorder);
+    }
     if failed > 0 {
         die(EXIT_FAULT, &format!("{failed} job(s) failed"));
     }
@@ -558,6 +671,16 @@ fn run_train(spec: &TrainSpec, metrics_out: Option<&str>) {
     }
 }
 
+/// `m3 trace <file>`: summarize an exported Chrome trace-event file —
+/// event counts, counter tracks, and the slowest spans.
+fn run_trace(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(EXIT_USAGE, &format!("read {path}: {e}")));
+    let summary = summarize_chrome_json(&text)
+        .unwrap_or_else(|e| die(EXIT_USAGE, &format!("parse {path}: {e}")));
+    print!("{}", render_trace_summary(&summary));
+}
+
 fn run_stats(path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(EXIT_USAGE, &format!("read {path}: {e}")));
@@ -575,6 +698,7 @@ fn read_spec<T: Deserialize>(path: &str) -> T {
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let metrics_out = take_flag_value(&mut args, "--metrics-out");
+    let trace_opts = TraceOpts::from_args(&mut args);
     match args.get(1).map(|s| s.as_str()) {
         Some("example-spec") => match serde_json::to_string_pretty(&example_spec()) {
             Ok(s) => println!("{s}"),
@@ -593,7 +717,11 @@ fn main() {
             let path = args
                 .get(2)
                 .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 estimate <spec.json>"));
-            run_estimate(&read_spec::<Spec>(path), metrics_out.as_deref());
+            run_estimate(
+                &read_spec::<Spec>(path),
+                metrics_out.as_deref(),
+                trace_opts.as_ref(),
+            );
         }
         Some("sweep") => {
             if args.len() < 5 {
@@ -606,7 +734,11 @@ fn main() {
             let path = args
                 .get(2)
                 .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 serve <service-spec.json>"));
-            run_serve(&read_spec::<ServiceSpec>(path), metrics_out.as_deref());
+            run_serve(
+                &read_spec::<ServiceSpec>(path),
+                metrics_out.as_deref(),
+                trace_opts.as_ref(),
+            );
         }
         Some("train") => {
             let path = args
@@ -620,9 +752,15 @@ fn main() {
                 .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 stats <snapshot.json>"));
             run_stats(path);
         }
+        Some("trace") => {
+            let path = args
+                .get(2)
+                .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 trace <trace.json>"));
+            run_trace(path);
+        }
         _ => {
             eprintln!(
-                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json> | example-train-spec | train <train-spec.json> | stats <snapshot.json>> [--metrics-out <path>]"
+                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json> | example-train-spec | train <train-spec.json> | stats <snapshot.json> | trace <trace.json>> [--metrics-out <path>] [--trace-out <path> [--trace-stride-ns <ns>] [--trace-deterministic]]"
             );
             std::process::exit(EXIT_USAGE);
         }

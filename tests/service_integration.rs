@@ -477,3 +477,75 @@ fn shared_cache_hits_across_jobs_and_reports_stats() {
     assert!(stats.cache.hit_rate() > 0.0);
     svc.shutdown();
 }
+
+/// Satellite regression: a graceful shutdown must flush a final metrics
+/// snapshot to `metrics_out` even when the periodic dump interval never
+/// elapsed during the run.
+#[test]
+fn final_metrics_snapshot_flushes_on_graceful_shutdown() {
+    use m3::telemetry::MetricsSnapshot;
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "m3-serve-final-metrics-{}.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let config = ServiceConfig {
+        metrics_out: Some(path.clone()),
+        metrics_dump_every: Duration::from_secs(3600), // never elapses
+        ..fast_config(1)
+    };
+    let svc = Service::start(untrained_estimator(), config);
+    svc.submit(EstimateRequest::new(scenario(400), PATHS, 90))
+        .expect("submit");
+    assert!(svc.wait_idle(IDLE));
+    svc.shutdown();
+    let text = std::fs::read_to_string(&path)
+        .expect("shutdown must write a final snapshot despite the huge dump interval");
+    let snap = MetricsSnapshot::from_json(&text).expect("snapshot must parse");
+    assert_eq!(snap.counter("serve.completed"), Some(1));
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite regression: degraded and shed jobs still record into the
+/// request-latency histogram — every settled job is one observation,
+/// whatever its outcome.
+#[test]
+fn degraded_and_shed_requests_record_request_latency() {
+    let svc = Service::start(untrained_estimator(), fast_config(1));
+
+    // Job 1: degraded via an injected forward-pass poisoning the policy
+    // absorbs.
+    let mut degraded = EstimateRequest::new(scenario(400), PATHS, 91);
+    degraded.fault_plan = Some(FaultPlan::new(33).with(InjectedFault::ForwardPoison, 0.3));
+    degraded.policy = Some(DegradationPolicy::Degrade {
+        max_degraded_frac: 1.0,
+    });
+    let id_degraded = svc.submit(degraded).expect("submit degraded");
+
+    // Job 2: shed at pickup (deadline expired on arrival).
+    let mut shed = EstimateRequest::new(scenario(400), PATHS, 92);
+    shed.deadline_ms = Some(0);
+    let id_shed = svc.submit(shed).expect("submit shed");
+
+    assert!(svc.wait_idle(IDLE));
+    assert!(matches!(
+        svc.outcome(id_degraded).expect("degraded outcome"),
+        JobOutcome::Degraded { .. }
+    ));
+    assert!(matches!(
+        svc.outcome(id_shed).expect("shed outcome"),
+        JobOutcome::Shed { .. }
+    ));
+
+    let snap = svc.metrics_snapshot();
+    let latency = snap
+        .histogram("serve.request_latency_seconds")
+        .expect("latency histogram must be registered");
+    assert_eq!(
+        latency.count(),
+        2,
+        "both the degraded and the shed job must be observed"
+    );
+    svc.shutdown();
+}
