@@ -1,0 +1,272 @@
+//! Hot-path kernel/arena benchmark and regression gate.
+//!
+//! Measures the two stages the register-blocked kernels and preallocated
+//! workspaces rewrote, comparing the *retained reference implementations*
+//! against the new paths inside one binary — a machine-independent ratio:
+//!
+//! * **forward**: per-sample `predict_reference` (reference-mode tape:
+//!   scalar kernels, per-op heap allocation, parameter-value clones — the
+//!   pre-overhaul cost model) vs the no-tape, arena-backed
+//!   `predict_batch_pooled`. This ratio is **gated**: the new path must be
+//!   at least [`MIN_FORWARD_SPEEDUP`]x faster, and its outputs must match
+//!   the reference bit for bit. The batched tape reference is also timed,
+//!   informationally — it already shares the tape's internal arena.
+//! * **flowsim**: fresh-allocation runs (`try_run_flowsim_traced`, new
+//!   collections per scenario) vs warm-workspace runs
+//!   (`try_run_flowsim_traced_into` reusing one [`FluidWorkspace`] across
+//!   all scenarios). Reported, not gated — the engine was already
+//!   group-structured, so the workspace mainly removes allocator traffic.
+//!
+//! The end-to-end cold-estimate latency is also reported for context. As in
+//! the other gates, comparisons use *interleaved minimum* times: mean-of-N
+//! between two code paths at this run length is dominated by scheduler
+//! noise. Results go to `BENCH_hotpath.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3_core::prelude::*;
+use m3_flowsim::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use m3_workload::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+const K_PATHS: usize = 100;
+const SEED: u64 = 13;
+/// The forward hot path must beat the retained tape reference by this much.
+const MIN_FORWARD_SPEEDUP: f64 = 4.0;
+/// Interleaved A/B measurement pairs (after warmup) for the gated compare.
+const GATE_PAIRS: usize = 12;
+
+struct Setup {
+    net: M3Net,
+    datas: Vec<PathScenarioData>,
+    inputs: Vec<SampleInput>,
+    est: M3Estimator,
+    topo: Topology,
+    flows: Vec<FlowSpec>,
+    cfg: SimConfig,
+}
+
+fn setup() -> Setup {
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 4_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 23,
+        },
+    );
+    let cfg = SimConfig::default();
+    let net = M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7);
+
+    // Materialize the same unique scenarios the pipeline would: decompose,
+    // sample, dedupe by content, then flowSim + features for the forward
+    // inputs.
+    let index = PathIndex::build(&ft.topo, &w.flows);
+    let sampled = index.sample_paths(K_PATHS, SEED);
+    let mut datas: Vec<PathScenarioData> = sampled
+        .iter()
+        .map(|&g| PathScenarioData::from_group(&ft.topo, &w.flows, &index, g, &cfg))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut specs: Vec<Vec<f32>> = Vec::new();
+    datas.retain(|d| {
+        let spec = spec_vector(&cfg, d.fg_base_rtt, d.fg_bottleneck);
+        let key = scenario_fingerprint(d, &spec, true);
+        let fresh = seen.insert(key);
+        if fresh {
+            specs.push(spec);
+        }
+        fresh
+    });
+    let inputs: Vec<SampleInput> = datas
+        .iter()
+        .zip(&specs)
+        .map(|(d, spec)| {
+            let sim = d.run_flowsim();
+            let (fg_map, bg_maps) = d.features(&sim);
+            SampleInput {
+                fg: fg_map.encode_log(),
+                bg: bg_maps.iter().map(|m| m.encode_log()).collect(),
+                spec: spec.clone(),
+                use_context: true,
+            }
+        })
+        .collect();
+
+    let est = M3Estimator::new(M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7));
+    Setup {
+        net,
+        datas,
+        inputs,
+        est,
+        topo: ft.topo.clone(),
+        flows: w.flows,
+        cfg,
+    }
+}
+
+/// One timed invocation (ns).
+fn time_once<F: FnMut()>(f: &mut F) -> f64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos() as f64
+}
+
+/// Interleaved minimum of two closures over `GATE_PAIRS` pairs, after one
+/// warmup call each. Returns (a_min_ns, b_min_ns).
+fn interleaved_min<A: FnMut(), B: FnMut()>(mut a: A, mut b: B) -> (f64, f64) {
+    a();
+    b();
+    let (mut a_min, mut b_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..GATE_PAIRS {
+        a_min = a_min.min(time_once(&mut a));
+        b_min = b_min.min(time_once(&mut b));
+    }
+    (a_min, b_min)
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let s = setup();
+    let budget = FluidBudget::UNLIMITED;
+
+    // --- bit-identity check: the gate is meaningless if the fast path
+    // computes something else ---
+    let reference = s.net.predict_batch_reference(&s.inputs);
+    let pool = ArenaPool::new();
+    let fast = s.net.predict_batch_pooled(&s.inputs, &pool);
+    assert_eq!(reference.len(), fast.len());
+    for ((r, f), inp) in reference.iter().zip(&fast).zip(&s.inputs) {
+        let rb: Vec<u32> = r.iter().map(|v| v.to_bits()).collect();
+        let fb: Vec<u32> = f.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(rb, fb, "fast forward pass diverged from tape reference");
+        let per_sample: Vec<u32> = s
+            .net
+            .predict_reference(inp)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(per_sample, fb, "per-sample reference diverged from batch");
+    }
+
+    // --- criterion views (mean-based, informational) ---
+    c.bench_function("hotpath/forward_reference", |b| {
+        b.iter(|| black_box(s.net.predict_batch_reference(&s.inputs)))
+    });
+    c.bench_function("hotpath/forward_pooled", |b| {
+        b.iter(|| black_box(s.net.predict_batch_pooled(&s.inputs, &pool)))
+    });
+    c.bench_function("hotpath/flowsim_warm_workspace", |b| {
+        let mut ws = FluidWorkspace::new();
+        let mut records = Vec::new();
+        b.iter(|| {
+            for d in &s.datas {
+                black_box(
+                    d.try_run_flowsim_traced_into(&budget, None, &mut ws, &mut records)
+                        .expect("flowsim"),
+                );
+            }
+        })
+    });
+
+    // --- gated compare: per-sample tape reference vs pooled batch ---
+    let (fwd_ref_min, fwd_fast_min) = interleaved_min(
+        || {
+            for inp in &s.inputs {
+                black_box(s.net.predict_reference(inp));
+            }
+        },
+        || {
+            black_box(s.net.predict_batch_pooled(&s.inputs, &pool));
+        },
+    );
+    let forward_speedup = fwd_ref_min / fwd_fast_min;
+    // Informational: the batched tape reference (already shares the blocked
+    // kernels and the tape's internal arena).
+    let (fwd_batch_ref_min, _) = interleaved_min(
+        || {
+            black_box(s.net.predict_batch_reference(&s.inputs));
+        },
+        || {
+            black_box(s.net.predict_batch_pooled(&s.inputs, &pool));
+        },
+    );
+
+    // --- reported compare: flowsim fresh collections vs warm workspace ---
+    let mut ws = FluidWorkspace::new();
+    let mut records = Vec::new();
+    let (flowsim_fresh_min, flowsim_warm_min) = interleaved_min(
+        || {
+            for d in &s.datas {
+                black_box(d.try_run_flowsim_traced(&budget, None).expect("flowsim"));
+            }
+        },
+        || {
+            for d in &s.datas {
+                black_box(
+                    d.try_run_flowsim_traced_into(&budget, None, &mut ws, &mut records)
+                        .expect("flowsim"),
+                );
+            }
+        },
+    );
+    let flowsim_speedup = flowsim_fresh_min / flowsim_warm_min;
+
+    // --- end-to-end cold estimate (context; no old pipeline to compare) ---
+    let opts = EstimateOptions::default();
+    let mut run_estimate = || {
+        black_box(
+            s.est
+                .try_estimate(&s.topo, &s.flows, &s.cfg, K_PATHS, SEED, &opts)
+                .expect("estimate"),
+        );
+    };
+    run_estimate();
+    let mut estimate_min = f64::INFINITY;
+    for _ in 0..GATE_PAIRS {
+        estimate_min = estimate_min.min(time_once(&mut run_estimate));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"k_paths\": {K_PATHS},\n  \
+         \"unique_scenarios\": {},\n  \
+         \"forward_reference_min_ms\": {:.3},\n  \
+         \"forward_batch_reference_min_ms\": {:.3},\n  \
+         \"forward_pooled_min_ms\": {:.3},\n  \
+         \"forward_speedup\": {:.2},\n  \
+         \"min_forward_speedup\": {MIN_FORWARD_SPEEDUP},\n  \
+         \"flowsim_fresh_min_ms\": {:.3},\n  \
+         \"flowsim_warm_min_ms\": {:.3},\n  \
+         \"flowsim_speedup\": {:.2},\n  \
+         \"estimate_cold_min_ms\": {:.3}\n}}\n",
+        s.datas.len(),
+        fwd_ref_min / 1e6,
+        fwd_batch_ref_min / 1e6,
+        fwd_fast_min / 1e6,
+        forward_speedup,
+        flowsim_fresh_min / 1e6,
+        flowsim_warm_min / 1e6,
+        flowsim_speedup,
+        estimate_min / 1e6,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[hotpath] wrote {path}:\n{json}"),
+        Err(e) => eprintln!("[hotpath] could not write {path}: {e}"),
+    }
+    assert!(
+        forward_speedup >= MIN_FORWARD_SPEEDUP,
+        "forward hot path speedup {forward_speedup:.2}x below the \
+         {MIN_FORWARD_SPEEDUP}x gate"
+    );
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ad-hoc stage breakdown of a cold estimate (temporary profiling aid).
+
+use m3_core::prelude::*;
+use m3_netsim::prelude::*;
+use m3_nn::prelude::*;
+use m3_workload::prelude::*;
+
+fn main() {
+    let ft = FatTree::build(FatTreeSpec::small(2));
+    let routing = Routing::new(&ft.topo);
+    let w = generate(
+        &ft,
+        &routing,
+        &Scenario {
+            n_flows: 4_000,
+            matrix_name: "B".into(),
+            sizes: SizeDistribution::web_server(),
+            sigma: 1.0,
+            max_load: 0.5,
+            seed: 23,
+        },
+    );
+    let net = M3Net::new(ModelConfig::repro_default(SPEC_DIM), 7);
+    let est = M3Estimator::new(net);
+    let cfg = SimConfig::default();
+    for round in 0..5 {
+        let t0 = std::time::Instant::now();
+        let e = est.estimate(&ft.topo, &w.flows, &cfg, 100, 13);
+        let total = t0.elapsed().as_secs_f64();
+        let t = &e.timings;
+        println!(
+            "round {round}: total {:.1}ms | decompose {:.1}ms flowsim {:.1}ms features {:.1}ms forward {:.1}ms aggregate {:.1}ms | uniq {}",
+            total * 1e3,
+            t.decompose_s * 1e3,
+            t.flowsim_s * 1e3,
+            t.features_s * 1e3,
+            t.forward_s * 1e3,
+            t.aggregate_s * 1e3,
+            t.unique_scenarios
+        );
+    }
+}

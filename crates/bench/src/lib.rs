@@ -16,6 +16,8 @@
 //! Every binary prints the paper-style rows to stdout and appends a JSON
 //! record under `results/`.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use m3_core::prelude::*;
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
@@ -182,7 +184,8 @@ pub fn build_full_scenario(
     let sc = Scenario {
         n_flows: n,
         matrix_name: matrix.to_string(),
-        sizes: SizeDistribution::by_name(workload).expect("workload name"),
+        sizes: SizeDistribution::by_name(workload)
+            .unwrap_or_else(|| panic!("unknown workload size distribution {workload:?}")),
         sigma,
         max_load,
         seed,

@@ -186,6 +186,23 @@ impl PathScenarioData {
         Ok((self.split_records(&records), stats))
     }
 
+    /// [`try_run_flowsim_traced`](Self::try_run_flowsim_traced) with
+    /// caller-owned fluid-engine scratch: the simulation's internal
+    /// collections come from `ws` and the raw records land in `records`, so
+    /// repeated runs across scenarios reuse capacity instead of
+    /// reallocating. Results are bit-identical to the owning entry points.
+    pub fn try_run_flowsim_traced_into(
+        &self,
+        budget: &FluidBudget,
+        probe: Option<&FluidProbe<'_>>,
+        ws: &mut FluidWorkspace,
+        records: &mut Vec<FluidFctRecord>,
+    ) -> Result<(FlowsimResult, FluidRunStats), FluidError> {
+        let (topo, flows) = self.to_fluid();
+        let stats = try_simulate_fluid_traced_into(&topo, &flows, budget, probe, ws, records)?;
+        Ok((self.split_records(records), stats))
+    }
+
     /// Split raw fluid records into the foreground sample set and one
     /// background set per hop (a background flow contributes to every hop
     /// it crosses).

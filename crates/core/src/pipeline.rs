@@ -23,7 +23,9 @@ use crate::pathsim::{FlowsimResult, PathScenarioData};
 use crate::spec::spec_vector;
 use m3_flowsim::prelude::{
     try_simulate_fluid_traced, FluidBudget, FluidError, FluidProbe, FluidProbeSink, FluidRunStats,
+    FluidWorkspace,
 };
+use m3_flowsim::types::FluidFctRecord;
 use m3_netsim::prelude::*;
 use m3_nn::prelude::*;
 use m3_telemetry::trace::{TraceCtx, TraceSpan};
@@ -32,7 +34,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Output-bucket counts of a foreground flow set.
 fn fg_counts(data: &PathScenarioData) -> [usize; NUM_OUTPUT_BUCKETS] {
@@ -189,6 +191,14 @@ pub struct M3Estimator {
     pub net: M3Net,
     /// When false, zero the background context ("m3 w/o context", Fig. 16).
     pub use_context: bool,
+    /// Warm fluid-engine workspaces (one per concurrent flowSim slot):
+    /// repeated estimates reuse the engine's internal collections instead
+    /// of reallocating them per scenario. Lost entries (slot panic while a
+    /// workspace is checked out) are replaced lazily by `Default`.
+    fluid_scratch: Mutex<Vec<(FluidWorkspace, Vec<FluidFctRecord>)>>,
+    /// Warm tensor arenas for the batched forward pass; see
+    /// [`m3_nn::arena::ArenaPool`].
+    arena_pool: ArenaPool,
 }
 
 impl M3Estimator {
@@ -196,6 +206,8 @@ impl M3Estimator {
         M3Estimator {
             net,
             use_context: true,
+            fluid_scratch: Mutex::new(Vec::new()),
+            arena_pool: ArenaPool::new(),
         }
     }
 
@@ -378,8 +390,19 @@ impl M3Estimator {
                     .map_err(classify)?;
             return Ok((data.split_records(&records), stats));
         }
-        data.try_run_flowsim_traced(&budget, probe.as_ref())
-            .map_err(classify)
+        // Check a warm workspace out of the pool (fresh one if the pool is
+        // empty or poisoned); a panic mid-run simply loses the checkout.
+        let (mut ws, mut raw_records) = match self.fluid_scratch.lock() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            Err(_) => Default::default(),
+        };
+        let result = data
+            .try_run_flowsim_traced_into(&budget, probe.as_ref(), &mut ws, &mut raw_records)
+            .map_err(classify);
+        if let Ok(mut pool) = self.fluid_scratch.lock() {
+            pool.push((ws, raw_records));
+        }
+        result
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -620,7 +643,9 @@ impl M3Estimator {
         let tspan = troot.child("forward");
         let plan = options.fault_plan.as_ref();
         let mut cacheable: Vec<usize> = Vec::new();
-        match catch_unwind(AssertUnwindSafe(|| self.net.predict_batch(&inputs))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.net.predict_batch_pooled(&inputs, &self.arena_pool)
+        })) {
             Err(p) => {
                 let detail = panic_detail(p);
                 if fail_fast {

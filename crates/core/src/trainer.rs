@@ -263,6 +263,10 @@ pub fn try_train_with_metrics(
     let throughput_g = registry.wall_gauge("train.samples_per_sec");
 
     let mut train_order = train_idx.to_vec();
+    // Warm tensor arenas shared across every batch's per-sample tapes:
+    // steady-state training reuses node buffers instead of reallocating
+    // them on each gradient pass.
+    let arena_pool = ArenaPool::new();
     for _epoch in 0..cfg.epochs {
         let span = epoch_timer.span();
         let t_epoch = std::time::Instant::now();
@@ -275,7 +279,7 @@ pub fn try_train_with_metrics(
                 .iter()
                 .map(|&i| (dataset[i].input.clone(), dataset[i].target.clone()))
                 .collect();
-            let (grads, loss) = batch_gradients(&net, &batch);
+            let (grads, loss) = batch_gradients_pooled(&net, &batch, &arena_pool);
             last_grad_norm = grad_l2_norm(&grads);
             opt.step(&mut net.store, &grads);
             epoch_loss += loss;

@@ -93,6 +93,41 @@ impl Ord for Candidate {
     }
 }
 
+/// Reusable scratch for the fluid engine.
+///
+/// Every collection the simulation needs lives here — the arrival order,
+/// link capacities, groups (with their completion-target heaps), the group
+/// index, the candidate event heap, and the waterfill scratch. All of them
+/// are cleared, never dropped, between runs, so a warm workspace makes
+/// repeated [`try_simulate_fluid_traced_into`] calls allocation-free: after
+/// the first run on a given workload shape, steady-state simulation touches
+/// the heap zero times.
+#[derive(Debug, Default)]
+pub struct FluidWorkspace {
+    order: Vec<usize>,
+    caps_bytes_ns: Vec<f64>,
+    groups: Vec<Group>,
+    /// Emptied target heaps recycled from finished runs; fresh groups pop
+    /// one of these and inherit its capacity instead of allocating.
+    spare_heaps: Vec<BinaryHeap<std::cmp::Reverse<Target>>>,
+    group_index: HashMap<(u16, u16, u64), usize>,
+    candidates: BinaryHeap<Candidate>,
+    residual: Vec<f64>,
+    nflows: Vec<usize>,
+    unfixed: Vec<usize>,
+}
+
+impl FluidWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Release all retained capacity (memory-pressure escape hatch).
+    pub fn free_buffers(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// Run flowSim: max-min fluid simulation of `flows` over `topo`.
 ///
 /// Flows need not be sorted; results are returned sorted by flow id. Every
@@ -141,21 +176,61 @@ pub fn try_simulate_fluid_traced(
     budget: &FluidBudget,
     probe: Option<&FluidProbe<'_>>,
 ) -> Result<(Vec<FluidFctRecord>, FluidRunStats), FluidError> {
+    let mut ws = FluidWorkspace::default();
+    let mut records = Vec::new();
+    let stats = try_simulate_fluid_traced_into(topo, flows, budget, probe, &mut ws, &mut records)?;
+    Ok((records, stats))
+}
+
+/// [`try_simulate_fluid_traced`] with caller-owned scratch: `ws` supplies
+/// every internal collection and `records` receives the sorted results
+/// (cleared first). Bit-identical to the owning entry points; with a warm
+/// workspace the steady-state run performs zero heap allocations.
+pub fn try_simulate_fluid_traced_into(
+    topo: &FluidTopology,
+    flows: &[FluidFlow],
+    budget: &FluidBudget,
+    probe: Option<&FluidProbe<'_>>,
+    ws: &mut FluidWorkspace,
+    records: &mut Vec<FluidFctRecord>,
+) -> Result<FluidRunStats, FluidError> {
     for f in flows {
         f.check(topo)
             .map_err(|reason| FluidError::InvalidInput { flow: f.id, reason })?;
     }
     let mut meter = BudgetMeter::new(*budget);
-    let mut order: Vec<usize> = (0..flows.len()).collect();
-    order.sort_by_key(|&i| (flows[i].arrival, flows[i].id));
+    // Disjoint &mut borrows of every scratch collection.
+    let FluidWorkspace {
+        order,
+        caps_bytes_ns,
+        groups,
+        spare_heaps,
+        group_index,
+        candidates,
+        residual,
+        nflows,
+        unfixed,
+    } = ws;
 
-    let caps_bytes_ns: Vec<f64> = topo.link_bps.iter().map(|&b| b / 8e9).collect();
+    order.clear();
+    order.extend(0..flows.len());
+    // Unstable sort allocates nothing; the index tiebreak reproduces the
+    // stable order exactly even if (arrival, id) pairs collide.
+    order.sort_unstable_by_key(|&i| (flows[i].arrival, flows[i].id, i));
+
+    caps_bytes_ns.clear();
+    caps_bytes_ns.extend(topo.link_bps.iter().map(|&b| b / 8e9));
     let n_links = caps_bytes_ns.len();
 
-    let mut groups: Vec<Group> = Vec::new();
-    let mut group_index: HashMap<(u16, u16, u64), usize> = HashMap::new();
-    let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
-    let mut records: Vec<FluidFctRecord> = Vec::with_capacity(flows.len());
+    for g in groups.drain(..) {
+        let mut heap = g.targets;
+        heap.clear();
+        spare_heaps.push(heap);
+    }
+    group_index.clear();
+    candidates.clear();
+    records.clear();
+    records.reserve(flows.len());
 
     let mut now: f64 = 0.0;
     let mut next_flow = 0usize;
@@ -167,8 +242,10 @@ pub fn try_simulate_fluid_traced(
     };
 
     // Scratch buffers for the waterfill.
-    let mut residual = vec![0.0f64; n_links];
-    let mut nflows = vec![0usize; n_links];
+    residual.clear();
+    residual.resize(n_links, 0.0);
+    nflows.clear();
+    nflows.resize(n_links, 0);
 
     while next_flow < order.len() || active_flows > 0 {
         meter.tick()?;
@@ -221,7 +298,7 @@ pub fn try_simulate_fluid_traced(
                 let boundary = (now_ns / stride) * stride;
                 for (l, &cap) in caps_bytes_ns.iter().enumerate() {
                     let mut used = 0.0;
-                    for g in &groups {
+                    for g in groups.iter() {
                         if g.n > 0 && g.first <= l && l <= g.last {
                             used += g.rate * g.n as f64;
                         }
@@ -286,7 +363,7 @@ pub fn try_simulate_fluid_traced(
                     n: 0,
                     service: 0.0,
                     rate: 0.0,
-                    targets: BinaryHeap::new(),
+                    targets: spare_heaps.pop().unwrap_or_default(),
                     gen: 0,
                 });
                 groups.len() - 1
@@ -308,7 +385,7 @@ pub fn try_simulate_fluid_traced(
         }
 
         // ---- waterfill: recompute max-min rates over active groups ----
-        waterfill(&caps_bytes_ns, &mut groups, &mut residual, &mut nflows).map_err(|()| {
+        waterfill(caps_bytes_ns, groups, residual, nflows, unfixed).map_err(|()| {
             FluidError::Stalled {
                 events: meter.events(),
             }
@@ -332,8 +409,10 @@ pub fn try_simulate_fluid_traced(
         }
     }
 
-    records.sort_by_key(|r| r.id);
-    Ok((records, meter.stats()))
+    // Unstable sort allocates nothing; records with equal full keys are
+    // bitwise identical, so this reproduces the stable order exactly.
+    records.sort_unstable_by_key(|r| (r.id, r.arrival, r.size, r.fct, r.ideal_fct));
+    Ok(meter.stats())
 }
 
 /// Progressive-filling max-min over groups with per-group rate caps.
@@ -344,10 +423,11 @@ fn waterfill(
     groups: &mut [Group],
     residual: &mut [f64],
     nflows: &mut [usize],
+    unfixed: &mut Vec<usize>,
 ) -> Result<(), ()> {
     residual.copy_from_slice(link_caps);
     nflows.iter_mut().for_each(|c| *c = 0);
-    let mut unfixed: Vec<usize> = Vec::new();
+    unfixed.clear();
     for (gi, g) in groups.iter_mut().enumerate() {
         if g.n == 0 {
             g.rate = 0.0;
@@ -374,7 +454,7 @@ fn waterfill(
         // Minimum cap among unfixed groups.
         let mut r_cap = f64::INFINITY;
         let mut g_star = usize::MAX;
-        for &gi in &unfixed {
+        for &gi in unfixed.iter() {
             if groups[gi].cap < r_cap {
                 r_cap = groups[gi].cap;
                 g_star = gi;

@@ -57,12 +57,63 @@ impl Ord for Target {
 #[derive(Debug)]
 struct Group {
     links: Vec<u32>,
+    /// Bit pattern of the shared rate cap; part of the group identity so
+    /// equal link sets with different caps stay distinct groups.
+    cap_bits: u64,
     cap: f64,
     n: usize,
     service: f64,
     rate: f64,
     targets: BinaryHeap<std::cmp::Reverse<Target>>,
     gen: u64,
+}
+
+/// FNV-1a over the (sorted, deduplicated) link set and the cap bits. Used to
+/// bucket groups so membership can be probed with a borrowed scratch slice —
+/// a `HashMap<(Vec<u32>, u64), _>` would force an owned key allocation per
+/// arrival. Collisions are resolved by comparing the actual link sets.
+fn group_key_hash(links: &[u32], cap_bits: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in links {
+        h ^= l as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= cap_bits;
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Reusable scratch for the general fluid engine; see
+/// [`crate::fluid::FluidWorkspace`]. A warm workspace makes repeated
+/// [`try_simulate_fluid_general_into`] calls allocation-free in steady
+/// state: group link sets, target heaps, index buckets, and waterfill
+/// scratch are all recycled with their capacity intact.
+#[derive(Debug, Default)]
+pub struct GeneralFluidWorkspace {
+    order: Vec<usize>,
+    caps: Vec<f64>,
+    groups: Vec<Group>,
+    spare_heaps: Vec<BinaryHeap<std::cmp::Reverse<Target>>>,
+    spare_links: Vec<Vec<u32>>,
+    /// key hash -> indices of groups with that hash. Buckets are cleared in
+    /// place between runs (never dropped) so their capacity survives.
+    group_index: HashMap<u64, Vec<usize>>,
+    /// Scratch for the sorted/deduplicated link set of the arriving flow.
+    key_links: Vec<u32>,
+    candidates: BinaryHeap<Candidate>,
+    residual: Vec<f64>,
+    nflows: Vec<usize>,
+    unfixed: Vec<usize>,
+}
+
+impl GeneralFluidWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Release all retained capacity (memory-pressure escape hatch).
+    pub fn free_buffers(&mut self) {
+        *self = Self::default();
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +158,23 @@ pub fn try_simulate_fluid_general(
     flows: &[GeneralFluidFlow],
     budget: &FluidBudget,
 ) -> Result<Vec<FluidFctRecord>, FluidError> {
+    let mut ws = GeneralFluidWorkspace::default();
+    let mut records = Vec::new();
+    try_simulate_fluid_general_into(link_bps, flows, budget, &mut ws, &mut records)?;
+    Ok(records)
+}
+
+/// [`try_simulate_fluid_general`] with caller-owned scratch: `ws` supplies
+/// every internal collection and `records` receives the sorted results
+/// (cleared first). Bit-identical to the owning entry point; with a warm
+/// workspace the steady-state run performs zero heap allocations.
+pub fn try_simulate_fluid_general_into(
+    link_bps: &[f64],
+    flows: &[GeneralFluidFlow],
+    budget: &FluidBudget,
+    ws: &mut GeneralFluidWorkspace,
+    records: &mut Vec<FluidFctRecord>,
+) -> Result<(), FluidError> {
     if link_bps.is_empty() {
         return Err(FluidError::InvalidInput {
             flow: u32::MAX,
@@ -136,16 +204,46 @@ pub fn try_simulate_fluid_general(
         }
     }
     let mut meter = BudgetMeter::new(*budget);
-    let caps: Vec<f64> = link_bps.iter().map(|&b| b / 8e9).collect();
-    let mut order: Vec<usize> = (0..flows.len()).collect();
-    order.sort_by_key(|&i| (flows[i].arrival, flows[i].id));
+    // Disjoint &mut borrows of every scratch collection.
+    let GeneralFluidWorkspace {
+        order,
+        caps,
+        groups,
+        spare_heaps,
+        spare_links,
+        group_index,
+        key_links,
+        candidates,
+        residual,
+        nflows,
+        unfixed,
+    } = ws;
 
-    let mut groups: Vec<Group> = Vec::new();
-    let mut group_index: HashMap<(Vec<u32>, u64), usize> = HashMap::new();
-    let mut candidates: BinaryHeap<Candidate> = BinaryHeap::new();
-    let mut records = Vec::with_capacity(flows.len());
-    let mut residual = vec![0.0f64; caps.len()];
-    let mut nflows = vec![0usize; caps.len()];
+    caps.clear();
+    caps.extend(link_bps.iter().map(|&b| b / 8e9));
+    order.clear();
+    order.extend(0..flows.len());
+    // Unstable sort allocates nothing; the index tiebreak reproduces the
+    // stable order exactly even if (arrival, id) pairs collide.
+    order.sort_unstable_by_key(|&i| (flows[i].arrival, flows[i].id, i));
+
+    for g in groups.drain(..) {
+        let mut heap = g.targets;
+        heap.clear();
+        spare_heaps.push(heap);
+        spare_links.push(g.links);
+    }
+    // Clear buckets in place: dropping them would forfeit their capacity.
+    for bucket in group_index.values_mut() {
+        bucket.clear();
+    }
+    candidates.clear();
+    records.clear();
+    records.reserve(flows.len());
+    residual.clear();
+    residual.resize(caps.len(), 0.0);
+    nflows.clear();
+    nflows.resize(caps.len(), 0);
     let mut now = 0.0f64;
     let mut next_flow = 0usize;
     let mut active = 0usize;
@@ -220,22 +318,37 @@ pub fn try_simulate_fluid_general(
             next_flow += 1;
             active += 1;
             changed = true;
-            let mut key_links = f.links.clone();
+            key_links.clear();
+            key_links.extend_from_slice(&f.links);
             key_links.sort_unstable();
             key_links.dedup();
-            let key = (key_links.clone(), f.rate_cap_bps.to_bits());
-            let gi = *group_index.entry(key).or_insert_with(|| {
-                groups.push(Group {
-                    links: key_links,
-                    cap: f.rate_cap_bps / 8e9,
-                    n: 0,
-                    service: 0.0,
-                    rate: 0.0,
-                    targets: BinaryHeap::new(),
-                    gen: 0,
-                });
-                groups.len() - 1
-            });
+            let cap_bits = f.rate_cap_bps.to_bits();
+            let hash = group_key_hash(key_links, cap_bits);
+            let bucket = group_index.entry(hash).or_default();
+            let gi = match bucket
+                .iter()
+                .copied()
+                .find(|&gi| groups[gi].cap_bits == cap_bits && groups[gi].links == *key_links)
+            {
+                Some(gi) => gi,
+                None => {
+                    let mut links = spare_links.pop().unwrap_or_default();
+                    links.clear();
+                    links.extend_from_slice(key_links);
+                    groups.push(Group {
+                        links,
+                        cap_bits,
+                        cap: f.rate_cap_bps / 8e9,
+                        n: 0,
+                        service: 0.0,
+                        rate: 0.0,
+                        targets: spare_heaps.pop().unwrap_or_default(),
+                        gen: 0,
+                    });
+                    bucket.push(groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
             let g = &mut groups[gi];
             g.n += 1;
             g.targets.push(std::cmp::Reverse(Target {
@@ -251,7 +364,7 @@ pub fn try_simulate_fluid_general(
         if !changed {
             continue;
         }
-        waterfill_general(&caps, &mut groups, &mut residual, &mut nflows).map_err(|()| {
+        waterfill_general(caps, groups, residual, nflows, unfixed).map_err(|()| {
             FluidError::Stalled {
                 events: meter.events(),
             }
@@ -271,8 +384,10 @@ pub fn try_simulate_fluid_general(
             }
         }
     }
-    records.sort_by_key(|r| r.id);
-    Ok(records)
+    // Unstable sort allocates nothing; records with equal full keys are
+    // bitwise identical, so this reproduces the stable order exactly.
+    records.sort_unstable_by_key(|r| (r.id, r.arrival, r.size, r.fct, r.ideal_fct));
+    Ok(())
 }
 
 /// `Err(())` means an iteration fixed no group, which would loop forever.
@@ -281,10 +396,11 @@ fn waterfill_general(
     groups: &mut [Group],
     residual: &mut [f64],
     nflows: &mut [usize],
+    unfixed: &mut Vec<usize>,
 ) -> Result<(), ()> {
     residual.copy_from_slice(caps);
     nflows.iter_mut().for_each(|c| *c = 0);
-    let mut unfixed: Vec<usize> = Vec::new();
+    unfixed.clear();
     for (gi, g) in groups.iter_mut().enumerate() {
         if g.n == 0 {
             g.rate = 0.0;
@@ -309,7 +425,7 @@ fn waterfill_general(
         }
         let mut r_cap = f64::INFINITY;
         let mut g_star = usize::MAX;
-        for &gi in &unfixed {
+        for &gi in unfixed.iter() {
             if groups[gi].cap < r_cap {
                 r_cap = groups[gi].cap;
                 g_star = gi;

@@ -50,9 +50,11 @@ pub mod prelude {
     pub use crate::budget::{FluidBudget, FluidError, FluidRunStats, DEFAULT_WALL_CHECK_STRIDE};
     pub use crate::fluid::{
         simulate_fluid, try_simulate_fluid, try_simulate_fluid_stats, try_simulate_fluid_traced,
+        try_simulate_fluid_traced_into, FluidWorkspace,
     };
     pub use crate::general::{
-        simulate_fluid_general, try_simulate_fluid_general, GeneralFluidFlow,
+        simulate_fluid_general, try_simulate_fluid_general, try_simulate_fluid_general_into,
+        GeneralFluidFlow, GeneralFluidWorkspace,
     };
     pub use crate::probe::{FluidProbe, FluidProbeSink};
     pub use crate::reference::simulate_fluid_reference;

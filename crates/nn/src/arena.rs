@@ -1,0 +1,133 @@
+//! Preallocated tensor scratch.
+//!
+//! [`TensorArena`] is a free list of `Vec<f32>` buffers: `take` hands out a
+//! zero-filled [`Tensor`] (reusing the best-fitting retired buffer),
+//! `give` retires a tensor's buffer back to the list. After one warmup
+//! pass over every shape a workload needs, the arena serves all requests
+//! from the free list — zero steady-state heap allocation. The tape, the
+//! inference fast path, and `predict_batch` all draw from it.
+//!
+//! [`ArenaPool`] is the thread-safe variant for fork/join workers: each
+//! worker pops a whole arena, runs with exclusive access, and pushes it
+//! back. (The vendored rayon shim runs closures on scoped threads that do
+//! not persist across calls, so thread-locals cannot carry warm buffers
+//! between batches — a pool can.)
+
+use crate::tensor::Tensor;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    free: Vec<Vec<f32>>,
+}
+
+impl TensorArena {
+    pub fn new() -> Self {
+        TensorArena { free: Vec::new() }
+    }
+
+    /// Number of retired buffers currently held.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// A zero-filled `[rows, cols]` tensor, reusing a retired buffer when
+    /// one is large enough (best fit: the smallest adequate capacity, so
+    /// big buffers stay available for big requests).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Tensor {
+        let n = match rows.checked_mul(cols) {
+            Some(n) => n,
+            None => panic!("tensor shape {rows}x{cols} overflows usize"),
+        };
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= n && best.is_none_or(|b| buf.capacity() < self.free[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut data = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::with_capacity(n),
+        };
+        data.clear();
+        data.resize(n, 0.0);
+        Tensor { rows, cols, data }
+    }
+
+    /// Retire a tensor's buffer for reuse.
+    pub fn give(&mut self, t: Tensor) {
+        self.free.push(t.data);
+    }
+}
+
+/// Mutex-guarded stack of arenas for parallel workers.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    arenas: Mutex<Vec<TensorArena>>,
+}
+
+impl ArenaPool {
+    pub fn new() -> Self {
+        ArenaPool::default()
+    }
+
+    /// Pop a warm arena, or start a fresh one.
+    pub fn take(&self) -> TensorArena {
+        match self.arenas.lock() {
+            Ok(mut v) => v.pop().unwrap_or_default(),
+            Err(_) => TensorArena::new(),
+        }
+    }
+
+    /// Return an arena for the next worker.
+    pub fn put(&self, arena: TensorArena) {
+        if let Ok(mut v) = self.arenas.lock() {
+            v.push(arena);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_and_reuses_buffers() {
+        let mut arena = TensorArena::new();
+        let mut t = arena.take(2, 3);
+        assert_eq!(t.data, vec![0.0; 6]);
+        t.data.iter_mut().for_each(|v| *v = 7.0);
+        let cap = t.data.capacity();
+        arena.give(t);
+        assert_eq!(arena.free_buffers(), 1);
+        let t2 = arena.take(3, 2);
+        assert_eq!(t2.data, vec![0.0; 6], "reused buffer must be re-zeroed");
+        assert_eq!(t2.data.capacity(), cap, "buffer should be recycled");
+        assert_eq!(arena.free_buffers(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let mut arena = TensorArena::new();
+        let big = arena.take(10, 10);
+        let small = arena.take(1, 4);
+        let (big_cap, small_cap) = (big.data.capacity(), small.data.capacity());
+        arena.give(big);
+        arena.give(small);
+        let t = arena.take(2, 2);
+        assert_eq!(t.data.capacity(), small_cap);
+        let t2 = arena.take(5, 5);
+        assert_eq!(t2.data.capacity(), big_cap);
+    }
+
+    #[test]
+    fn pool_round_trips_arenas() {
+        let pool = ArenaPool::new();
+        let mut a = pool.take();
+        a.give(Tensor::zeros(1, 8));
+        pool.put(a);
+        let b = pool.take();
+        assert_eq!(b.free_buffers(), 1);
+    }
+}

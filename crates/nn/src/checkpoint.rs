@@ -111,15 +111,23 @@ pub fn load<R: Read>(mut r: R) -> io::Result<M3Net> {
     }
     let mut new_store = ParamStore::new();
     for (name, rows, cols) in &header.params {
-        let mut data = vec![0f32; rows * cols];
-        let mut bytes = vec![0u8; rows * cols * 4];
+        // Shape arithmetic stays checked even though the shapes were
+        // validated above: `rows * cols` on hostile input must never wrap.
+        let n = rows
+            .checked_mul(*cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| invalid(format!("parameter {name} shape overflows")))?;
+        let mut data = vec![0f32; n / 4];
+        let mut bytes = vec![0u8; n];
         r.read_exact(&mut bytes)?;
         for (i, chunk) in bytes.chunks_exact(4).enumerate() {
             let mut le = [0u8; 4];
             le.copy_from_slice(chunk);
             data[i] = f32::from_le_bytes(le);
         }
-        new_store.add(name.clone(), Tensor::from_vec(*rows, *cols, data));
+        let tensor = Tensor::try_from_vec(*rows, *cols, data)
+            .map_err(|e| invalid(format!("parameter {name}: {e}")))?;
+        new_store.add(name.clone(), tensor);
     }
     net.store = new_store;
     Ok(net)

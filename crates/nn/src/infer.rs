@@ -1,0 +1,318 @@
+//! No-tape inference fast path.
+//!
+//! [`crate::tape::Tape`]-based prediction records a graph node (and clones
+//! every parameter tensor it touches) purely to enable `backward` — dead
+//! weight for inference. This module re-implements the forward pass as
+//! straight-line code over the same kernels:
+//!
+//! * parameters are read by reference from the [`crate::params::ParamStore`],
+//! * every intermediate draws from a [`TensorArena`] (zero steady-state
+//!   allocation after warmup),
+//! * the SwiGLU gate is fused into one elementwise pass
+//!   (`silu(a) * b`, same two multiplies in the same order as the chained
+//!   `silu` + `mul` tape ops),
+//! * the sparsity zero-skip is gated on one finiteness scan over all
+//!   weights per call, hoisted out of the per-matmul scans.
+//!
+//! Bit-identity with the tape path holds by construction: matmuls call the
+//! same blocked kernels on the same operand values, and the elementwise
+//! stages (`rms_norm_into`, `causal_softmax_into`, bias/residual adds,
+//! SiLU) are either shared helpers or replicate the tape ops' exact
+//! per-element expressions. `predict_batch_bit_identical_to_predict` and
+//! the proptest suite (`tests/prop.rs`) verify this against the retained
+//! tape-based reference implementations in `model.rs`.
+
+use crate::arena::{ArenaPool, TensorArena};
+use crate::model::{M3Net, SampleInput};
+use crate::tape::{causal_softmax_into, rms_norm_into, sigmoid};
+use crate::tensor::{all_finite, Tensor};
+use rayon::prelude::*;
+
+/// Reusable scratch for the sequential batched forward pass. Hold one per
+/// call site and the second call performs zero heap allocations.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    arena: TensorArena,
+    ctx_flat: Vec<f32>,
+}
+
+impl InferScratch {
+    pub fn new() -> Self {
+        InferScratch::default()
+    }
+}
+
+impl M3Net {
+    /// One finiteness scan over every parameter; the result gates the
+    /// zero-skip in all matmuls of a forward pass (see `tensor.rs` module
+    /// docs: skipping is only sound when the weight side is finite).
+    fn weights_finite(&self) -> bool {
+        self.store.iter().all(|p| all_finite(&p.value.data))
+    }
+
+    /// Transformer context of one sample written into `out` (`[embed]`),
+    /// mirroring the tape-built graph in `M3Net::context` op for op.
+    fn context_into(
+        &self,
+        sample: &SampleInput,
+        arena: &mut TensorArena,
+        zero_skip: bool,
+        out: &mut [f32],
+    ) {
+        let embed = self.cfg.embed;
+        debug_assert_eq!(out.len(), embed);
+        if !sample.use_context || sample.bg.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        let l = sample.bg.len().min(self.cfg.block);
+        for hop in sample.bg.iter().take(l) {
+            assert_eq!(hop.len(), self.cfg.feat_dim, "background map width");
+        }
+
+        // x = bg · proj_w, consumed straight from the per-hop buffers (no
+        // stack_rows copy), then bias and learned positions. The tape's
+        // one-hot selector matmul reduces to the first `l` rows of `pos`.
+        let mut x = arena.take(l, embed);
+        Tensor::matmul_rows_into_gated(
+            &sample.bg[..l],
+            self.store.get(self.proj_w),
+            &mut x,
+            zero_skip,
+        );
+        {
+            let bias = self.store.get(self.proj_b);
+            let pos = self.store.get(self.pos);
+            for r in 0..l {
+                let row = &mut x.data[r * embed..(r + 1) * embed];
+                for ((v, &b), &p) in row.iter_mut().zip(&bias.data).zip(pos.row_slice(r)) {
+                    *v = (*v + b) + p;
+                }
+            }
+        }
+
+        let dh = self.cfg.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut normed = arena.take(l, embed);
+        for layer in &self.layers {
+            // Attention sublayer.
+            rms_norm_into(&x, &self.store.get(layer.norm1).data, &mut normed.data);
+            let mut attn_acc = arena.take(l, embed);
+            for h in 0..self.cfg.heads {
+                let mut q = arena.take(l, dh);
+                let mut k = arena.take(l, dh);
+                let mut v = arena.take(l, dh);
+                Tensor::matmul_into_gated(&normed, self.store.get(layer.wq[h]), &mut q, zero_skip);
+                Tensor::matmul_into_gated(&normed, self.store.get(layer.wk[h]), &mut k, zero_skip);
+                Tensor::matmul_into_gated(&normed, self.store.get(layer.wv[h]), &mut v, zero_skip);
+                let mut scores = arena.take(l, l);
+                Tensor::matmul_nt_into(&q, &k, &mut scores);
+                for s in scores.data.iter_mut() {
+                    *s *= scale;
+                }
+                // Freshly taken => zeroed, as causal_softmax_into expects.
+                let mut attn = arena.take(l, l);
+                causal_softmax_into(&scores.data, l, &mut attn.data);
+                let mut out_h = arena.take(l, dh);
+                Tensor::matmul_into_gated(&attn, &v, &mut out_h, zero_skip);
+                let mut proj = arena.take(l, embed);
+                Tensor::matmul_into_gated(
+                    &out_h,
+                    self.store.get(layer.wo[h]),
+                    &mut proj,
+                    zero_skip,
+                );
+                // Heads combine left to right, matching the tape's fold.
+                if h == 0 {
+                    attn_acc.data.copy_from_slice(&proj.data);
+                } else {
+                    for (acc, &p) in attn_acc.data.iter_mut().zip(&proj.data) {
+                        *acc += p;
+                    }
+                }
+                for t in [q, k, v, scores, attn, out_h, proj] {
+                    arena.give(t);
+                }
+            }
+            for (xv, &a) in x.data.iter_mut().zip(&attn_acc.data) {
+                *xv += a;
+            }
+            arena.give(attn_acc);
+
+            // SwiGLU feed-forward sublayer, gate fused into one pass.
+            rms_norm_into(&x, &self.store.get(layer.norm2).data, &mut normed.data);
+            let mut a = arena.take(l, self.cfg.ff_hidden);
+            let mut b = arena.take(l, self.cfg.ff_hidden);
+            Tensor::matmul_into_gated(&normed, self.store.get(layer.w1), &mut a, zero_skip);
+            Tensor::matmul_into_gated(&normed, self.store.get(layer.w3), &mut b, zero_skip);
+            for (av, &bv) in a.data.iter_mut().zip(&b.data) {
+                let xv = *av;
+                *av = (xv * sigmoid(xv)) * bv;
+            }
+            let mut ff = arena.take(l, embed);
+            Tensor::matmul_into_gated(&a, self.store.get(layer.w2), &mut ff, zero_skip);
+            for (xv, &f) in x.data.iter_mut().zip(&ff.data) {
+                *xv += f;
+            }
+            for t in [a, b, ff] {
+                arena.give(t);
+            }
+        }
+
+        rms_norm_into(&x, &self.store.get(self.final_norm).data, &mut normed.data);
+        out.copy_from_slice(&normed.data[(l - 1) * embed..l * embed]);
+        arena.give(x);
+        arena.give(normed);
+    }
+
+    /// Batched MLP head over pre-joined rows; returns the `[k, out_dim]`
+    /// output (caller gives it back to the arena).
+    fn mlp_head(&self, joined: &Tensor, arena: &mut TensorArena, zero_skip: bool) -> Tensor {
+        let mut h = arena.take(joined.rows, self.cfg.mlp_hidden);
+        Tensor::matmul_into_gated(joined, self.store.get(self.mlp_w1), &mut h, zero_skip);
+        {
+            let b1 = self.store.get(self.mlp_b1);
+            for r in 0..h.rows {
+                let row = &mut h.data[r * h.cols..(r + 1) * h.cols];
+                for (v, &b) in row.iter_mut().zip(&b1.data) {
+                    *v = (*v + b).max(0.0);
+                }
+            }
+        }
+        let mut out = arena.take(joined.rows, self.cfg.out_dim);
+        Tensor::matmul_into_gated(&h, self.store.get(self.mlp_w2), &mut out, zero_skip);
+        {
+            let b2 = self.store.get(self.mlp_b2);
+            for r in 0..out.rows {
+                let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+                for (v, &b) in row.iter_mut().zip(&b2.data) {
+                    *v += b;
+                }
+            }
+        }
+        arena.give(h);
+        out
+    }
+
+    fn check_sample_widths(&self, samples: &[SampleInput]) {
+        for s in samples {
+            assert_eq!(s.fg.len(), self.cfg.feat_dim, "foreground map width");
+            assert_eq!(s.spec.len(), self.cfg.spec_dim, "spec vector width");
+        }
+    }
+
+    fn fill_joined(&self, joined: &mut Tensor, samples: &[SampleInput], ctx_flat: &[f32]) {
+        let embed = self.cfg.embed;
+        let mlp_in = joined.cols;
+        for (i, s) in samples.iter().enumerate() {
+            let row = &mut joined.data[i * mlp_in..(i + 1) * mlp_in];
+            row[..self.cfg.feat_dim].copy_from_slice(&s.fg);
+            row[self.cfg.feat_dim..self.cfg.feat_dim + embed]
+                .copy_from_slice(&ctx_flat[i * embed..(i + 1) * embed]);
+            row[self.cfg.feat_dim + embed..].copy_from_slice(&s.spec);
+        }
+    }
+
+    /// Inference: run the forward pass and return the output vector.
+    /// Bit-identical to the retained tape path ([`M3Net::predict_reference`]).
+    pub fn predict(&self, sample: &SampleInput) -> Vec<f32> {
+        let mut scratch = InferScratch::new();
+        let mut out = Vec::new();
+        self.predict_batch_into(std::slice::from_ref(sample), &mut scratch, &mut out);
+        out.pop().unwrap_or_default()
+    }
+
+    /// Sequential batched inference into reused buffers: with a warm
+    /// `scratch` and `out`, a repeat call over the same shapes performs
+    /// zero heap allocations (asserted by `tests/alloc.rs`).
+    pub fn predict_batch_into(
+        &self,
+        samples: &[SampleInput],
+        scratch: &mut InferScratch,
+        out: &mut Vec<Vec<f32>>,
+    ) {
+        if samples.is_empty() {
+            out.clear();
+            return;
+        }
+        self.check_sample_widths(samples);
+        let zero_skip = self.weights_finite();
+        let embed = self.cfg.embed;
+        let k = samples.len();
+        scratch.ctx_flat.clear();
+        scratch.ctx_flat.resize(k * embed, 0.0);
+        for (i, s) in samples.iter().enumerate() {
+            let dst = &mut scratch.ctx_flat[i * embed..(i + 1) * embed];
+            self.context_into(s, &mut scratch.arena, zero_skip, dst);
+        }
+        let mlp_in = self.cfg.feat_dim + embed + self.cfg.spec_dim;
+        let mut joined = scratch.arena.take(k, mlp_in);
+        self.fill_joined(&mut joined, samples, &scratch.ctx_flat);
+        let o = self.mlp_head(&joined, &mut scratch.arena, zero_skip);
+        scratch.arena.give(joined);
+        out.resize_with(k, Vec::new);
+        for (i, dst) in out.iter_mut().enumerate() {
+            dst.clear();
+            dst.extend_from_slice(o.row_slice(i));
+        }
+        scratch.arena.give(o);
+    }
+
+    /// Batched inference: one output vector per sample, bit-for-bit equal
+    /// to calling [`M3Net::predict`] on each sample individually.
+    ///
+    /// The per-hop background sequences have different lengths, so the
+    /// transformer contexts are computed per sample (in parallel, each
+    /// worker drawing a warm arena from a transient pool); the sample rows
+    /// `[fg ∥ context ∥ spec]` then go through a single batched MLP head.
+    pub fn predict_batch(&self, samples: &[SampleInput]) -> Vec<Vec<f32>> {
+        self.predict_batch_pooled(samples, &ArenaPool::new())
+    }
+
+    /// [`M3Net::predict_batch`] drawing all scratch from a caller-held
+    /// [`ArenaPool`], so repeated estimates reuse warm buffers.
+    pub fn predict_batch_pooled(&self, samples: &[SampleInput], pool: &ArenaPool) -> Vec<Vec<f32>> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        self.check_sample_widths(samples);
+        let zero_skip = self.weights_finite();
+        let embed = self.cfg.embed;
+
+        // Contiguous chunks, one per worker; the vendored rayon preserves
+        // chunk order, so the concatenated contexts are in sample order.
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let chunk_len = samples.len().div_ceil(workers);
+        let chunks: Vec<&[SampleInput]> = samples.chunks(chunk_len).collect();
+        let ctx_parts: Vec<Vec<f32>> = chunks
+            .par_iter()
+            .map(|part| {
+                let mut arena = pool.take();
+                let mut flat = vec![0.0f32; part.len() * embed];
+                for (i, s) in part.iter().enumerate() {
+                    let dst = &mut flat[i * embed..(i + 1) * embed];
+                    self.context_into(s, &mut arena, zero_skip, dst);
+                }
+                pool.put(arena);
+                flat
+            })
+            .collect();
+        let mut ctx_flat = Vec::with_capacity(samples.len() * embed);
+        for part in &ctx_parts {
+            ctx_flat.extend_from_slice(part);
+        }
+
+        let mut arena = pool.take();
+        let mlp_in = self.cfg.feat_dim + embed + self.cfg.spec_dim;
+        let mut joined = arena.take(samples.len(), mlp_in);
+        self.fill_joined(&mut joined, samples, &ctx_flat);
+        let o = self.mlp_head(&joined, &mut arena, zero_skip);
+        arena.give(joined);
+        let outputs = (0..o.rows).map(|r| o.row_slice(r).to_vec()).collect();
+        arena.give(o);
+        pool.put(arena);
+        outputs
+    }
+}

@@ -30,7 +30,9 @@
 // scripts/check.sh runs clippy with -D warnings, making these hard errors.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 pub mod checkpoint;
+pub mod infer;
 pub mod integrity;
 pub mod model;
 pub mod optim;
@@ -39,11 +41,15 @@ pub mod tape;
 pub mod tensor;
 
 pub mod prelude {
+    pub use crate::arena::{ArenaPool, TensorArena};
     pub use crate::checkpoint::{load_file, save_file};
+    pub use crate::infer::InferScratch;
     pub use crate::integrity::{checksum64, encode_record, scan_records, ScanResult};
-    pub use crate::model::{batch_gradients, grad_l2_norm, M3Net, ModelConfig, SampleInput};
+    pub use crate::model::{
+        batch_gradients, batch_gradients_pooled, grad_l2_norm, M3Net, ModelConfig, SampleInput,
+    };
     pub use crate::optim::Adam;
     pub use crate::params::{Param, ParamId, ParamStore};
     pub use crate::tape::{Tape, Var};
-    pub use crate::tensor::Tensor;
+    pub use crate::tensor::{Tensor, TensorError};
 }

@@ -130,16 +130,16 @@ impl ModelConfig {
 
 /// Parameter layout of one transformer layer.
 #[derive(Debug, Clone)]
-struct LayerIds {
-    norm1: ParamId,
-    wq: Vec<ParamId>,
-    wk: Vec<ParamId>,
-    wv: Vec<ParamId>,
-    wo: Vec<ParamId>,
-    norm2: ParamId,
-    w1: ParamId,
-    w3: ParamId,
-    w2: ParamId,
+pub(crate) struct LayerIds {
+    pub(crate) norm1: ParamId,
+    pub(crate) wq: Vec<ParamId>,
+    pub(crate) wk: Vec<ParamId>,
+    pub(crate) wv: Vec<ParamId>,
+    pub(crate) wo: Vec<ParamId>,
+    pub(crate) norm2: ParamId,
+    pub(crate) w1: ParamId,
+    pub(crate) w3: ParamId,
+    pub(crate) w2: ParamId,
 }
 
 /// One training/inference sample.
@@ -161,15 +161,15 @@ pub struct SampleInput {
 pub struct M3Net {
     pub cfg: ModelConfig,
     pub store: ParamStore,
-    proj_w: ParamId,
-    proj_b: ParamId,
-    pos: ParamId,
-    layers: Vec<LayerIds>,
-    final_norm: ParamId,
-    mlp_w1: ParamId,
-    mlp_b1: ParamId,
-    mlp_w2: ParamId,
-    mlp_b2: ParamId,
+    pub(crate) proj_w: ParamId,
+    pub(crate) proj_b: ParamId,
+    pub(crate) pos: ParamId,
+    pub(crate) layers: Vec<LayerIds>,
+    pub(crate) final_norm: ParamId,
+    pub(crate) mlp_w1: ParamId,
+    pub(crate) mlp_b1: ParamId,
+    pub(crate) mlp_w2: ParamId,
+    pub(crate) mlp_b2: ParamId,
 }
 
 impl M3Net {
@@ -333,22 +333,28 @@ impl M3Net {
         (pred, loss)
     }
 
-    /// Inference: run the forward pass and return the output vector.
-    pub fn predict(&self, sample: &SampleInput) -> Vec<f32> {
-        let mut tape = Tape::new(&self.store);
+    /// Retained tape-based inference path. Semantically (and bit-for-bit)
+    /// equal to [`M3Net::predict`]; kept as the reference implementation
+    /// for the proptest bit-identity suite and as the "before" side of the
+    /// hotpath benchmark gate.
+    pub fn predict_reference(&self, sample: &SampleInput) -> Vec<f32> {
+        let mut tape = Tape::new_reference(&self.store);
         let pred = self.forward(&mut tape, sample);
         tape.value(pred).data.clone()
     }
 
     /// The transformer context of one sample as a plain `[embed]` vector.
     fn context_vector(&self, sample: &SampleInput) -> Vec<f32> {
-        let mut tape = Tape::new(&self.store);
+        let mut tape = Tape::new_reference(&self.store);
         let ctx = self.context(&mut tape, sample);
         tape.value(ctx).data.clone()
     }
 
-    /// Batched inference: one output vector per sample, bit-for-bit equal
-    /// to calling [`M3Net::predict`] on each sample individually.
+    /// Retained pre-overhaul batched inference path: reference-mode tape
+    /// contexts (scalar kernels, per-op heap allocation, param clones)
+    /// plus a stacked MLP through the scalar reference kernels; the
+    /// "before" side of the hotpath benchmark gate. Bit-identical to
+    /// [`M3Net::predict_batch`].
     ///
     /// The per-hop background sequences have different lengths, so the
     /// transformer contexts are computed per sample (in parallel); the
@@ -357,7 +363,7 @@ impl M3Net {
     /// forward. Equivalence holds because every matmul/bias/ReLU output row
     /// depends only on its own input row, evaluated in the same order as
     /// the single-sample path (see `Tensor::stack_rows`).
-    pub fn predict_batch(&self, samples: &[SampleInput]) -> Vec<Vec<f32>> {
+    pub fn predict_batch_reference(&self, samples: &[SampleInput]) -> Vec<Vec<f32>> {
         if samples.is_empty() {
             return Vec::new();
         }
@@ -380,7 +386,8 @@ impl M3Net {
         let b1 = self.store.get(self.mlp_b1);
         let w2 = self.store.get(self.mlp_w2);
         let b2 = self.store.get(self.mlp_b2);
-        let mut h = Tensor::matmul(&joined, w1);
+        let mut h = Tensor::zeros(joined.rows, w1.cols);
+        Tensor::matmul_into_reference(&joined, w1, &mut h);
         for r in 0..h.rows {
             for c in 0..h.cols {
                 *h.at_mut(r, c) += b1.at(0, c);
@@ -389,7 +396,8 @@ impl M3Net {
         for v in h.data.iter_mut() {
             *v = v.max(0.0);
         }
-        let mut out = Tensor::matmul(&h, w2);
+        let mut out = Tensor::zeros(h.rows, w2.cols);
+        Tensor::matmul_into_reference(&h, w2, &mut out);
         for r in 0..out.rows {
             for c in 0..out.cols {
                 *out.at_mut(r, c) += b2.at(0, c);
@@ -464,15 +472,30 @@ impl Fnv {
 /// so the floating-point accumulation order, and therefore every trained
 /// parameter, is bit-for-bit reproducible across runs and thread counts.
 pub fn batch_gradients(net: &M3Net, batch: &[(SampleInput, Vec<f32>)]) -> (Vec<Tensor>, f64) {
+    batch_gradients_pooled(net, batch, &crate::arena::ArenaPool::new())
+}
+
+/// [`batch_gradients`] with tape scratch drawn from a caller-held arena
+/// pool: each worker's tape recycles its node buffers through the pool, so
+/// batch members (and repeated steps sharing the pool) reuse warm buffers.
+/// Per-sample values and the reduction order are unchanged, so results are
+/// bit-identical to the unpooled path.
+pub fn batch_gradients_pooled(
+    net: &M3Net,
+    batch: &[(SampleInput, Vec<f32>)],
+    pool: &crate::arena::ArenaPool,
+) -> (Vec<Tensor>, f64) {
     assert!(!batch.is_empty());
     let mut partial: Vec<(Vec<Tensor>, f64)> = batch
         .par_iter()
         .map(|(sample, target)| {
             let mut grads = net.store.zero_grads();
-            let mut tape = Tape::new(&net.store);
+            let mut tape = Tape::with_arena(&net.store, pool.take());
             let (_, loss) = net.loss(&mut tape, sample, target);
             tape.backward(loss, &mut grads);
-            (grads, tape.value(loss).data[0] as f64)
+            let loss_val = tape.value(loss).data[0] as f64;
+            pool.put(tape.recycle());
+            (grads, loss_val)
         })
         .collect();
 
@@ -637,7 +660,13 @@ mod tests {
             let got: Vec<u32> = batched[i].iter().map(|v| v.to_bits()).collect();
             let want: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
             assert_eq!(got, want, "sample {i}");
+            // The no-tape fast path must match the retained tape path.
+            let reference = net.predict_reference(s);
+            let refb: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, refb, "fast path diverged from tape path, sample {i}");
         }
+        let ref_batched = net.predict_batch_reference(&samples);
+        assert_eq!(batched, ref_batched);
         assert!(net.predict_batch(&[]).is_empty());
     }
 

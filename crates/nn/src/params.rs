@@ -44,10 +44,13 @@ impl ParamStore {
         rng: &mut SmallRng,
     ) -> ParamId {
         let bound = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-bound..bound))
-            .collect();
-        self.add(name, Tensor::from_vec(rows, cols, data))
+        // Allocate through the checked constructor first so an overflowing
+        // shape panics identically in debug and release.
+        let mut t = Tensor::zeros(rows, cols);
+        for v in t.data.iter_mut() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        self.add(name, t)
     }
 
     pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
@@ -55,7 +58,9 @@ impl ParamStore {
     }
 
     pub fn add_ones(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
-        self.add(name, Tensor::from_vec(rows, cols, vec![1.0; rows * cols]))
+        let mut t = Tensor::zeros(rows, cols);
+        t.data.fill(1.0);
+        self.add(name, t)
     }
 
     pub fn get(&self, id: ParamId) -> &Tensor {

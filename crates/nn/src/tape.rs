@@ -3,7 +3,15 @@
 //! RMSNorm, causal softmax, concatenation, L1 loss). Each forward call
 //! appends a node; `backward` walks the tape in reverse and accumulates
 //! parameter gradients into caller-provided buffers.
+//!
+//! Allocation discipline: parameter nodes borrow their value from the
+//! [`ParamStore`] (no per-sample clone of the weights), and every op output
+//! is drawn from a [`TensorArena`] owned by the tape. [`Tape::reset`]
+//! retires all node buffers back to the arena, so a tape reused across
+//! batch members reaches zero steady-state allocation after one warmup
+//! sample.
 
+use crate::arena::TensorArena;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -46,32 +54,95 @@ enum Op {
 
 struct Node {
     op: Op,
-    value: Tensor,
+    /// `None` only for `Param` nodes, whose value lives in the store.
+    value: Option<Tensor>,
 }
 
-const RMS_EPS: f32 = 1e-5;
+pub(crate) const RMS_EPS: f32 = 1e-5;
 
-/// One forward/backward tape. Create per sample; cheap to drop.
+/// One forward/backward tape. Reusable via [`Tape::reset`]; cheap to drop.
 pub struct Tape<'p> {
     store: &'p ParamStore,
     nodes: Vec<Node>,
+    arena: TensorArena,
+    /// Pre-overhaul cost model: scalar reference matmul kernels, a fresh
+    /// heap allocation per node, and parameter values cloned onto the
+    /// tape. Numerically (bitwise) identical to the fast configuration;
+    /// retained as the "before" side of the hotpath benchmark gate.
+    reference_kernels: bool,
 }
 
 impl<'p> Tape<'p> {
     pub fn new(store: &'p ParamStore) -> Self {
+        Tape::with_arena(store, TensorArena::new())
+    }
+
+    /// Build a tape around a warm arena (e.g. one recycled from a previous
+    /// sample of the same batch).
+    pub fn with_arena(store: &'p ParamStore, arena: TensorArena) -> Self {
         Tape {
             store,
             nodes: Vec::with_capacity(256),
+            arena,
+            reference_kernels: false,
         }
     }
 
+    /// A tape that faithfully reproduces the pre-overhaul implementation:
+    /// scalar reference kernels, per-op heap allocation, param clones.
+    pub fn new_reference(store: &'p ParamStore) -> Self {
+        Tape {
+            reference_kernels: true,
+            ..Tape::new(store)
+        }
+    }
+
+    /// A fresh value buffer: from the arena normally, from the heap in
+    /// reference mode (replicating the pre-overhaul per-op allocation).
+    fn fresh(&mut self, rows: usize, cols: usize) -> Tensor {
+        if self.reference_kernels {
+            Tensor::zeros(rows, cols)
+        } else {
+            self.arena.take(rows, cols)
+        }
+    }
+
+    /// Clear the graph, retiring every node buffer into the arena. The
+    /// next forward pass over similar shapes allocates nothing.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if let Some(t) = node.value {
+                self.arena.give(t);
+            }
+        }
+    }
+
+    /// Tear down the tape, recovering its warm arena for the next tape.
+    pub fn recycle(mut self) -> TensorArena {
+        self.reset();
+        self.arena
+    }
+
     fn push(&mut self, op: Op, value: Tensor) -> Var {
-        self.nodes.push(Node { op, value });
+        self.nodes.push(Node {
+            op,
+            value: Some(value),
+        });
         Var(self.nodes.len() - 1)
     }
 
+    /// Resolve a node's value (parameters resolve into the store).
+    fn val(&self, v: Var) -> &Tensor {
+        let node = &self.nodes[v.0];
+        match (&node.op, &node.value) {
+            (_, Some(t)) => t,
+            (Op::Param(id), None) => self.store.get(*id),
+            _ => unreachable!("non-param node without a value"),
+        }
+    }
+
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.0].value
+        self.val(v)
     }
 
     // ---- graph constructors -------------------------------------------------
@@ -81,154 +152,191 @@ impl<'p> Tape<'p> {
     }
 
     pub fn param(&mut self, id: ParamId) -> Var {
-        let value = self.store.get(id).clone();
-        self.push(Op::Param(id), value)
+        // No clone: the value is read from the store on demand (reference
+        // mode keeps the pre-overhaul per-use clone).
+        let value = if self.reference_kernels {
+            Some(self.store.get(id).clone())
+        } else {
+            None
+        };
+        self.nodes.push(Node {
+            op: Op::Param(id),
+            value,
+        });
+        Var(self.nodes.len() - 1)
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = Tensor::matmul(self.value(a), self.value(b));
-        self.push(Op::MatMul(a, b), v)
+        let (r, c) = (self.val(a).rows, self.val(b).cols);
+        let mut out = self.fresh(r, c);
+        if self.reference_kernels {
+            Tensor::matmul_into_reference(self.val(a), self.val(b), &mut out);
+        } else {
+            Tensor::matmul_into(self.val(a), self.val(b), &mut out);
+        }
+        self.push(Op::MatMul(a, b), out)
     }
 
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        let mut out = Tensor::zeros(av.rows, bv.rows);
-        Tensor::matmul_nt_into(av, bv, &mut out);
+        let (r, c) = (self.val(a).rows, self.val(b).rows);
+        let mut out = self.fresh(r, c);
+        Tensor::matmul_nt_into(self.val(a), self.val(b), &mut out);
         self.push(Op::MatMulNT(a, b), out)
     }
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape(), "add shape mismatch");
-        let data = av.data.iter().zip(&bv.data).map(|(x, y)| x + y).collect();
-        let v = Tensor::from_vec(av.rows, av.cols, data);
+        let (r, c) = {
+            let (av, bv) = (self.val(a), self.val(b));
+            assert_eq!(av.shape(), bv.shape(), "add shape mismatch");
+            av.shape()
+        };
+        let mut v = self.fresh(r, c);
+        for ((o, &x), &y) in v
+            .data
+            .iter_mut()
+            .zip(&self.val(a).data)
+            .zip(&self.val(b).data)
+        {
+            *o = x + y;
+        }
         self.push(Op::Add(a, b), v)
     }
 
     pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(bias));
-        assert_eq!(bv.rows, 1, "bias must be a row vector");
-        assert_eq!(av.cols, bv.cols, "bias width mismatch");
-        let mut v = av.clone();
-        for r in 0..v.rows {
-            for c in 0..v.cols {
-                *v.at_mut(r, c) += bv.at(0, c);
+        let (r, c) = {
+            let (av, bv) = (self.val(a), self.val(bias));
+            assert_eq!(bv.rows, 1, "bias must be a row vector");
+            assert_eq!(av.cols, bv.cols, "bias width mismatch");
+            av.shape()
+        };
+        let mut v = self.fresh(r, c);
+        {
+            let (av, bv) = (self.val(a), self.val(bias));
+            for row in 0..r {
+                let src = &av.data[row * c..(row + 1) * c];
+                let dst = &mut v.data[row * c..(row + 1) * c];
+                for ((o, &x), &b) in dst.iter_mut().zip(src).zip(&bv.data) {
+                    *o = x + b;
+                }
             }
         }
         self.push(Op::AddBias(a, bias), v)
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
-        let data = av.data.iter().zip(&bv.data).map(|(x, y)| x * y).collect();
-        let v = Tensor::from_vec(av.rows, av.cols, data);
+        let (r, c) = {
+            let (av, bv) = (self.val(a), self.val(b));
+            assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
+            av.shape()
+        };
+        let mut v = self.fresh(r, c);
+        for ((o, &x), &y) in v
+            .data
+            .iter_mut()
+            .zip(&self.val(a).data)
+            .zip(&self.val(b).data)
+        {
+            *o = x * y;
+        }
         self.push(Op::Mul(a, b), v)
     }
 
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let av = self.value(a);
-        let v = Tensor::from_vec(av.rows, av.cols, av.data.iter().map(|x| x * c).collect());
+        let (rows, cols) = self.val(a).shape();
+        let mut v = self.fresh(rows, cols);
+        for (o, &x) in v.data.iter_mut().zip(&self.val(a).data) {
+            *o = x * c;
+        }
         self.push(Op::Scale(a, c), v)
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
-        let av = self.value(a);
-        let v = Tensor::from_vec(
-            av.rows,
-            av.cols,
-            av.data.iter().map(|x| x.max(0.0)).collect(),
-        );
+        let (rows, cols) = self.val(a).shape();
+        let mut v = self.fresh(rows, cols);
+        for (o, &x) in v.data.iter_mut().zip(&self.val(a).data) {
+            *o = x.max(0.0);
+        }
         self.push(Op::Relu(a), v)
     }
 
     pub fn silu(&mut self, a: Var) -> Var {
-        let av = self.value(a);
-        let v = Tensor::from_vec(
-            av.rows,
-            av.cols,
-            av.data.iter().map(|&x| x * sigmoid(x)).collect(),
-        );
+        let (rows, cols) = self.val(a).shape();
+        let mut v = self.fresh(rows, cols);
+        for (o, &x) in v.data.iter_mut().zip(&self.val(a).data) {
+            *o = x * sigmoid(x);
+        }
         self.push(Op::Silu(a), v)
     }
 
     pub fn causal_softmax(&mut self, a: Var) -> Var {
-        let av = self.value(a);
-        assert_eq!(av.rows, av.cols, "causal softmax expects square scores");
-        let n = av.rows;
-        let mut v = Tensor::zeros(n, n);
-        for i in 0..n {
-            let row = &av.data[i * n..(i + 1) * n];
-            let max = row[..=i].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            let out = &mut v.data[i * n..i * n + i + 1];
-            for (o, &x) in out.iter_mut().zip(&row[..=i]) {
-                let e = (x - max).exp();
-                *o = e;
-                denom += e;
-            }
-            for o in out.iter_mut() {
-                *o /= denom;
-            }
-        }
+        let n = {
+            let av = self.val(a);
+            assert_eq!(av.rows, av.cols, "causal softmax expects square scores");
+            av.rows
+        };
+        let mut v = self.fresh(n, n);
+        causal_softmax_into(&self.val(a).data, n, &mut v.data);
         self.push(Op::CausalSoftmax(a), v)
     }
 
     pub fn rms_norm(&mut self, a: Var, gain: Var) -> Var {
-        let (av, gv) = (self.value(a), self.value(gain));
-        assert_eq!(gv.rows, 1, "rmsnorm gain must be a row");
-        assert_eq!(gv.cols, av.cols, "rmsnorm gain width mismatch");
-        let mut v = Tensor::zeros(av.rows, av.cols);
-        for r in 0..av.rows {
-            let row = &av.data[r * av.cols..(r + 1) * av.cols];
-            let ms = row.iter().map(|x| x * x).sum::<f32>() / av.cols as f32;
-            let inv = 1.0 / (ms + RMS_EPS).sqrt();
-            for (c, &x) in row.iter().enumerate() {
-                v.data[r * av.cols + c] = x * inv * gv.at(0, c);
-            }
-        }
+        let (r, c) = {
+            let (av, gv) = (self.val(a), self.val(gain));
+            assert_eq!(gv.rows, 1, "rmsnorm gain must be a row");
+            assert_eq!(gv.cols, av.cols, "rmsnorm gain width mismatch");
+            av.shape()
+        };
+        let mut v = self.fresh(r, c);
+        rms_norm_into(self.val(a), &self.val(gain).data, &mut v.data);
         self.push(Op::RmsNorm(a, gain), v)
     }
 
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.rows, bv.rows, "concat row mismatch");
-        let mut v = Tensor::zeros(av.rows, av.cols + bv.cols);
-        for r in 0..av.rows {
-            for c in 0..av.cols {
-                *v.at_mut(r, c) = av.at(r, c);
-            }
-            for c in 0..bv.cols {
-                *v.at_mut(r, av.cols + c) = bv.at(r, c);
+        let (r, ac, bc) = {
+            let (av, bv) = (self.val(a), self.val(b));
+            assert_eq!(av.rows, bv.rows, "concat row mismatch");
+            (av.rows, av.cols, bv.cols)
+        };
+        let mut v = self.fresh(r, ac + bc);
+        {
+            let (av, bv) = (self.val(a), self.val(b));
+            for row in 0..r {
+                let dst = &mut v.data[row * (ac + bc)..(row + 1) * (ac + bc)];
+                dst[..ac].copy_from_slice(&av.data[row * ac..(row + 1) * ac]);
+                dst[ac..].copy_from_slice(&bv.data[row * bc..(row + 1) * bc]);
             }
         }
         self.push(Op::ConcatCols(a, b), v)
     }
 
     pub fn slice_row(&mut self, a: Var, row: usize) -> Var {
-        let av = self.value(a);
-        assert!(row < av.rows, "row out of range");
-        let v = Tensor::from_vec(
-            1,
-            av.cols,
-            av.data[row * av.cols..(row + 1) * av.cols].to_vec(),
-        );
+        let cols = {
+            let av = self.val(a);
+            assert!(row < av.rows, "row out of range");
+            av.cols
+        };
+        let mut v = self.fresh(1, cols);
+        v.data
+            .copy_from_slice(&self.val(a).data[row * cols..(row + 1) * cols]);
         self.push(Op::SliceRow(a, row), v)
     }
 
     /// Mean absolute error; `target` must be an Input of the same shape.
     pub fn l1_loss(&mut self, pred: Var, target: Var) -> Var {
-        let (pv, tv) = (self.value(pred), self.value(target));
-        assert_eq!(pv.shape(), tv.shape(), "loss shape mismatch");
-        let n = pv.len() as f32;
-        let loss = pv
-            .data
-            .iter()
-            .zip(&tv.data)
-            .map(|(p, t)| (p - t).abs())
-            .sum::<f32>()
-            / n;
-        self.push(Op::L1Loss(pred, target), Tensor::from_vec(1, 1, vec![loss]))
+        let loss = {
+            let (pv, tv) = (self.val(pred), self.val(target));
+            assert_eq!(pv.shape(), tv.shape(), "loss shape mismatch");
+            let n = pv.len() as f32;
+            pv.data
+                .iter()
+                .zip(&tv.data)
+                .map(|(p, t)| (p - t).abs())
+                .sum::<f32>()
+                / n
+        };
+        let mut v = self.fresh(1, 1);
+        v.data[0] = loss;
+        self.push(Op::L1Loss(pred, target), v)
     }
 
     // ---- backward -----------------------------------------------------------
@@ -238,7 +346,7 @@ impl<'p> Tape<'p> {
     /// gradient accumulation across samples.
     pub fn backward(&self, root: Var, param_grads: &mut [Tensor]) {
         assert_eq!(param_grads.len(), self.store.len(), "grad buffer mismatch");
-        assert_eq!(self.value(root).len(), 1, "backward root must be scalar");
+        assert_eq!(self.val(root).len(), 1, "backward root must be scalar");
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[root.0] = Some(Tensor::from_vec(1, 1, vec![1.0]));
 
@@ -255,7 +363,7 @@ impl<'p> Tape<'p> {
                 }
                 Op::MatMul(a, b) => {
                     // dA += G B^T ; dB += A^T G
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (av, bv) = (self.val(*a), self.val(*b));
                     {
                         let da = ensure(&mut grads, *a, av.rows, av.cols);
                         Tensor::matmul_nt_into(&g, bv, da);
@@ -267,7 +375,7 @@ impl<'p> Tape<'p> {
                 }
                 Op::MatMulNT(a, b) => {
                     // C = A B^T: dA += G B ; dB += G^T A
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (av, bv) = (self.val(*a), self.val(*b));
                     {
                         let da = ensure(&mut grads, *a, av.rows, av.cols);
                         Tensor::matmul_into(&g, bv, da);
@@ -283,7 +391,7 @@ impl<'p> Tape<'p> {
                 }
                 Op::AddBias(a, bias) => {
                     accumulate(&mut grads, *a, &g);
-                    let bv = &self.nodes[bias.0].value;
+                    let bv = self.val(*bias);
                     let db = ensure(&mut grads, *bias, 1, bv.cols);
                     for r in 0..g.rows {
                         for c in 0..g.cols {
@@ -292,7 +400,7 @@ impl<'p> Tape<'p> {
                     }
                 }
                 Op::Mul(a, b) => {
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (av, bv) = (self.val(*a), self.val(*b));
                     {
                         let da = ensure(&mut grads, *a, av.rows, av.cols);
                         for ((d, &gv), &o) in da.data.iter_mut().zip(&g.data).zip(&bv.data) {
@@ -307,14 +415,14 @@ impl<'p> Tape<'p> {
                     }
                 }
                 Op::Scale(a, c) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = self.val(*a);
                     let da = ensure(&mut grads, *a, av.rows, av.cols);
                     for (d, &gv) in da.data.iter_mut().zip(&g.data) {
                         *d += gv * c;
                     }
                 }
                 Op::Relu(a) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = self.val(*a);
                     let da = ensure(&mut grads, *a, av.rows, av.cols);
                     for ((d, &gv), &x) in da.data.iter_mut().zip(&g.data).zip(&av.data) {
                         if x > 0.0 {
@@ -323,7 +431,7 @@ impl<'p> Tape<'p> {
                     }
                 }
                 Op::Silu(a) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = self.val(*a);
                     let da = ensure(&mut grads, *a, av.rows, av.cols);
                     for ((d, &gv), &x) in da.data.iter_mut().zip(&g.data).zip(&av.data) {
                         let s = sigmoid(x);
@@ -331,9 +439,9 @@ impl<'p> Tape<'p> {
                     }
                 }
                 Op::CausalSoftmax(a) => {
-                    let y = &node.value;
+                    let y = self.val(Var(idx));
                     let n = y.rows;
-                    let av = &self.nodes[a.0].value;
+                    let av = self.val(*a);
                     let da = ensure(&mut grads, *a, av.rows, av.cols);
                     for i in 0..n {
                         let yr = &y.data[i * n..(i + 1) * n];
@@ -345,8 +453,8 @@ impl<'p> Tape<'p> {
                     }
                 }
                 Op::RmsNorm(a, gain) => {
-                    let av = &self.nodes[a.0].value;
-                    let gv = &self.nodes[gain.0].value;
+                    let av = self.val(*a);
+                    let gv = self.val(*gain);
                     let cols = av.cols;
                     // Gradients w.r.t. x and gain, row by row.
                     let mut dx = Tensor::zeros(av.rows, cols);
@@ -368,7 +476,7 @@ impl<'p> Tape<'p> {
                     accumulate(&mut grads, *gain, &dgain);
                 }
                 Op::ConcatCols(a, b) => {
-                    let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let (av, bv) = (self.val(*a), self.val(*b));
                     let mut da = Tensor::zeros(av.rows, av.cols);
                     let mut db = Tensor::zeros(bv.rows, bv.cols);
                     for r in 0..g.rows {
@@ -383,14 +491,14 @@ impl<'p> Tape<'p> {
                     accumulate(&mut grads, *b, &db);
                 }
                 Op::SliceRow(a, row) => {
-                    let av = &self.nodes[a.0].value;
+                    let av = self.val(*a);
                     let da = ensure(&mut grads, *a, av.rows, av.cols);
                     for c in 0..av.cols {
                         da.data[row * av.cols + c] += g.at(0, c);
                     }
                 }
                 Op::L1Loss(pred, target) => {
-                    let (pv, tv) = (&self.nodes[pred.0].value, &self.nodes[target.0].value);
+                    let (pv, tv) = (self.val(*pred), self.val(*target));
                     let n = pv.len() as f32;
                     let scale = g.data[0] / n;
                     let dp = ensure(&mut grads, *pred, pv.rows, pv.cols);
@@ -404,8 +512,44 @@ impl<'p> Tape<'p> {
 }
 
 #[inline]
-fn sigmoid(x: f32) -> f32 {
+pub(crate) fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// Row-wise causal softmax of an `[n, n]` score matrix into `out` (which
+/// must be zeroed: entries above the diagonal are left untouched). Shared
+/// by the tape op and the no-tape inference fast path so the two are
+/// bit-identical by construction.
+pub(crate) fn causal_softmax_into(scores: &[f32], n: usize, out: &mut [f32]) {
+    for i in 0..n {
+        let row = &scores[i * n..(i + 1) * n];
+        let max = row[..=i].iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        let o = &mut out[i * n..i * n + i + 1];
+        for (o, &x) in o.iter_mut().zip(&row[..=i]) {
+            let e = (x - max).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in o.iter_mut() {
+            *o /= denom;
+        }
+    }
+}
+
+/// Row-wise RMS norm with a gain row, shared by the tape op and the
+/// inference fast path (overwrites `out`).
+pub(crate) fn rms_norm_into(a: &Tensor, gain: &[f32], out: &mut [f32]) {
+    let cols = a.cols;
+    for r in 0..a.rows {
+        let row = &a.data[r * cols..(r + 1) * cols];
+        let ms = row.iter().map(|x| x * x).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + RMS_EPS).sqrt();
+        let o = &mut out[r * cols..(r + 1) * cols];
+        for ((o, &x), &g) in o.iter_mut().zip(row).zip(gain) {
+            *o = x * inv * g;
+        }
+    }
 }
 
 fn ensure(grads: &mut [Option<Tensor>], v: Var, rows: usize, cols: usize) -> &mut Tensor {
@@ -632,5 +776,20 @@ mod tests {
         tape.backward(loss, &mut grads);
         assert_eq!(grads[0].data[0], 0.0, "negative input blocks gradient");
         assert!(grads[0].data[1] != 0.0);
+    }
+
+    #[test]
+    fn reset_recycles_node_buffers() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(fixed_input(2, 3, 0.1));
+        let y = tape.relu(x);
+        let _ = tape.scale(y, 2.0);
+        tape.reset();
+        let arena = tape.recycle();
+        assert!(
+            arena.free_buffers() >= 3,
+            "node buffers must return to the arena"
+        );
     }
 }

@@ -2,6 +2,112 @@
 //! sequence of embeddings `[L, D]`, a feature map `[1, 1000]`, a weight
 //! `[in, out]`). Row-major `Vec<f32>` storage, no strides, no views —
 //! simplicity over cleverness, per this repo's networking-guide idioms.
+//!
+//! # Kernel design
+//!
+//! The matmul kernels are register-blocked over output-column panels of
+//! `JB = 64` floats: for one row of `C`, a `[f32; JB]` accumulator panel is
+//! loaded once, the whole `k` loop runs against it (one broadcast of
+//! `a[i,k]` FMA'd into the panel per step), and the panel is stored once.
+//! The naive ikj loop instead re-loads and re-stores the `C` row on every
+//! `k` step — three memory streams per FMA sweep versus one — which is
+//! what made it memory-bound. The fixed-size panel is the whole trick: the
+//! autovectorizer keeps it in vector registers across the `k` loop.
+//! Each output element still accumulates its `k` terms in ascending
+//! order from its initial value, so blocked results are bit-identical to
+//! the retained scalar reference kernels (see `matmul_into_reference` and
+//! the proptest suite).
+//!
+//! Sparsity fast path: feature maps are mostly exact zeros (empty
+//! percentile buckets), so skipping `a[i,k] == 0.0` rows of `B` is a large
+//! win — but `0.0 * NaN` must be `NaN`, and an unconditional skip would
+//! silently swallow a poisoned weight. The skip is therefore gated on a
+//! branchless finiteness scan of `B`: when `B` contains any NaN/Inf the
+//! kernel runs dense and the poison propagates IEEE-correctly. When `B` is
+//! finite the skipped terms are exact `±0.0` products which provably never
+//! change the accumulator (it starts at `+0.0` and `x + ±0.0 == x` for all
+//! `x != -0.0`; the accumulator can never become `-0.0` because round-to-
+//! nearest only yields `-0.0` from `-0.0 + -0.0`), so gating the skip on
+//! finiteness changes no bits.
+
+use std::fmt;
+
+/// Output-column panel width for the register-blocked kernels: one panel
+/// of `f32` accumulators (8 AVX2 vectors' worth) held in registers across
+/// the entire `k` loop.
+const JB: usize = 64;
+
+/// One row of `C += a_row * B`, register-blocked over [`JB`]-wide output
+/// panels. Per element the accumulation runs in ascending `k` from the
+/// row's current value — bit-identical to the naive ikj loop.
+#[inline]
+fn row_times_b(a_row: &[f32], b_data: &[f32], m: usize, c_row: &mut [f32], zero_skip: bool) {
+    let mut jb = 0;
+    while jb + JB <= m {
+        let mut acc = [0.0f32; JB];
+        acc.copy_from_slice(&c_row[jb..jb + JB]);
+        for (k, &aik) in a_row.iter().enumerate() {
+            if zero_skip && aik == 0.0 {
+                continue;
+            }
+            let b_blk = &b_data[k * m + jb..k * m + jb + JB];
+            for (c, &bv) in acc.iter_mut().zip(b_blk) {
+                *c += aik * bv;
+            }
+        }
+        c_row[jb..jb + JB].copy_from_slice(&acc);
+        jb += JB;
+    }
+    if jb < m {
+        let w = m - jb;
+        let mut acc = [0.0f32; JB];
+        acc[..w].copy_from_slice(&c_row[jb..]);
+        for (k, &aik) in a_row.iter().enumerate() {
+            if zero_skip && aik == 0.0 {
+                continue;
+            }
+            let b_blk = &b_data[k * m + jb..k * m + m];
+            for (c, &bv) in acc[..w].iter_mut().zip(b_blk) {
+                *c += aik * bv;
+            }
+        }
+        c_row[jb..].copy_from_slice(&acc[..w]);
+    }
+}
+
+/// Typed construction errors (shape arithmetic is checked so overflow
+/// behaves identically in debug and release, matching the hardened
+/// checkpoint-load path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// `rows * cols` overflows `usize`.
+    ShapeOverflow { rows: usize, cols: usize },
+    /// Provided buffer length does not match `rows * cols`.
+    DataLenMismatch {
+        rows: usize,
+        cols: usize,
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeOverflow { rows, cols } => {
+                write!(f, "tensor shape {rows}x{cols} overflows usize")
+            }
+            TensorError::DataLenMismatch { rows, cols, len } => {
+                write!(
+                    f,
+                    "tensor shape {rows}x{cols} expects {} values, got {len}",
+                    { rows.saturating_mul(*cols) }
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
 
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
@@ -11,17 +117,45 @@ pub struct Tensor {
 }
 
 impl Tensor {
-    pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor {
+    /// Checked constructor: rejects shapes whose element count overflows.
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, TensorError> {
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(TensorError::ShapeOverflow { rows, cols })?;
+        Ok(Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; n],
+        })
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        match Tensor::try_zeros(rows, cols) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
     }
 
+    /// Checked constructor from an existing buffer.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
+        let n = rows
+            .checked_mul(cols)
+            .ok_or(TensorError::ShapeOverflow { rows, cols })?;
+        if data.len() != n {
+            return Err(TensorError::DataLenMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Tensor { rows, cols, data })
+    }
+
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
-        Tensor { rows, cols, data }
+        match Tensor::try_from_vec(rows, cols, data) {
+            Ok(t) => t,
+            Err(e) => panic!("shape/data mismatch: {e}"),
+        }
     }
 
     pub fn row_vector(data: Vec<f32>) -> Self {
@@ -57,15 +191,39 @@ impl Tensor {
     }
 
     /// C = A * B (`[n,k] x [k,m] -> [n,m]`), accumulating into `out`.
+    /// Cache-blocked; the zero-skip is gated on `B` being finite (see the
+    /// module docs for why that is required for IEEE NaN propagation and
+    /// why it cannot change any bits).
     pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+        Tensor::matmul_into_gated(a, b, out, all_finite(&b.data));
+    }
+
+    /// Blocked kernel with the caller deciding whether the zero-skip is
+    /// sound (`zero_skip` must only be true when `B` is known finite; the
+    /// inference fast path hoists one finiteness scan over all weights).
+    pub fn matmul_into_gated(a: &Tensor, b: &Tensor, out: &mut Tensor, zero_skip: bool) {
         assert_eq!(a.cols, b.rows, "matmul inner dims");
         assert_eq!((out.rows, out.cols), (a.rows, b.cols));
-        // ikj loop order: streams through B and C rows, decent cache use.
+        let m = b.cols;
+        for i in 0..a.rows {
+            let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+            let c_row = &mut out.data[i * m..(i + 1) * m];
+            row_times_b(a_row, &b.data, m, c_row, zero_skip);
+        }
+    }
+
+    /// Retained scalar reference kernel (pre-blocking ikj loop). The
+    /// proptest suite asserts the blocked kernel matches this bit-for-bit;
+    /// the hotpath bench uses it as the "before" implementation.
+    pub fn matmul_into_reference(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+        assert_eq!(a.cols, b.rows, "matmul inner dims");
+        assert_eq!((out.rows, out.cols), (a.rows, b.cols));
+        let zero_skip = all_finite(&b.data);
         for i in 0..a.rows {
             let c_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
             for k in 0..a.cols {
                 let aik = a.data[i * a.cols + k];
-                if aik == 0.0 {
+                if zero_skip && aik == 0.0 {
                     continue;
                 }
                 let b_row = &b.data[k * b.cols..(k + 1) * b.cols];
@@ -73,6 +231,28 @@ impl Tensor {
                     *c += aik * bv;
                 }
             }
+        }
+    }
+
+    /// C = rows(A) * B where A is given as a slice of row buffers (each of
+    /// length `b.rows`). Identical arithmetic to [`Tensor::matmul_into_gated`]
+    /// on the stacked matrix, without materialising the stack — this is the
+    /// batching primitive that lets `predict_batch` consume per-hop feature
+    /// maps in place (no O(L·D) copy).
+    pub fn matmul_rows_into_gated(
+        a_rows: &[Vec<f32>],
+        b: &Tensor,
+        out: &mut Tensor,
+        zero_skip: bool,
+    ) {
+        for r in a_rows {
+            assert_eq!(r.len(), b.rows, "matmul inner dims");
+        }
+        assert_eq!((out.rows, out.cols), (a_rows.len(), b.cols));
+        let m = b.cols;
+        for (i, a_row) in a_rows.iter().enumerate() {
+            let c_row = &mut out.data[i * m..(i + 1) * m];
+            row_times_b(a_row, &b.data, m, c_row, zero_skip);
         }
     }
 
@@ -111,6 +291,13 @@ impl Tensor {
         )
     }
 
+    /// Borrow one row as a slice (no copy).
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// C = A * B^T (`[n,k] x [m,k]^T -> [n,m]`), accumulating into `out`.
     pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         assert_eq!(a.cols, b.cols, "matmul_nt inner dims");
@@ -126,14 +313,16 @@ impl Tensor {
     }
 
     /// C = A^T * B (`[k,n]^T x [k,m] -> [n,m]`), accumulating into `out`.
+    /// The zero-skip is finite-gated exactly like [`Tensor::matmul_into`].
     pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         assert_eq!(a.rows, b.rows, "matmul_tn inner dims");
         assert_eq!((out.rows, out.cols), (a.cols, b.cols));
+        let zero_skip = all_finite(&b.data);
         for k in 0..a.rows {
             let a_row = &a.data[k * a.cols..(k + 1) * a.cols];
             let b_row = &b.data[k * b.cols..(k + 1) * b.cols];
             for (i, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
+                if zero_skip && av == 0.0 {
                     continue;
                 }
                 let c_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
@@ -143,6 +332,18 @@ impl Tensor {
             }
         }
     }
+}
+
+/// Branchless finiteness scan: OR-reduces the "exponent is all ones" bit of
+/// every element, which the autovectorizer turns into a wide integer
+/// reduction (no FP compares, no short-circuit branches).
+#[inline]
+pub fn all_finite(xs: &[f32]) -> bool {
+    let mut acc = 0u32;
+    for v in xs {
+        acc |= ((v.to_bits() & 0x7f80_0000) == 0x7f80_0000) as u32;
+    }
+    acc == 0
 }
 
 #[cfg(test)]
@@ -204,5 +405,90 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         Tensor::matmul(&a, &b);
+    }
+
+    #[test]
+    fn try_zeros_rejects_overflowing_shape() {
+        let e = Tensor::try_zeros(usize::MAX, 2).unwrap_err();
+        assert_eq!(
+            e,
+            TensorError::ShapeOverflow {
+                rows: usize::MAX,
+                cols: 2
+            }
+        );
+        assert!(e.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn try_from_vec_rejects_overflow_and_len_mismatch() {
+        assert_eq!(
+            Tensor::try_from_vec(usize::MAX, 4, vec![0.0]).unwrap_err(),
+            TensorError::ShapeOverflow {
+                rows: usize::MAX,
+                cols: 4
+            }
+        );
+        assert_eq!(
+            Tensor::try_from_vec(2, 2, vec![0.0; 3]).unwrap_err(),
+            TensorError::DataLenMismatch {
+                rows: 2,
+                cols: 2,
+                len: 3
+            }
+        );
+        assert!(Tensor::try_from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn nan_in_weight_propagates_through_zero_activation() {
+        // 0 * NaN must be NaN: a zero activation row may not mask a
+        // poisoned weight (the pre-fix kernel skipped aik == 0.0
+        // unconditionally and emitted a clean-looking zero).
+        let a = Tensor::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = Tensor::from_vec(2, 2, vec![1.0, f32::NAN, 2.0, 3.0]);
+        let c = Tensor::matmul(&a, &b);
+        assert!(
+            c.data.iter().any(|v| v.is_nan()),
+            "NaN swallowed: {:?}",
+            c.data
+        );
+
+        // Same property for the transposed kernel: A^T has a zero column.
+        let bt = Tensor::from_vec(1, 2, vec![f32::NAN, 3.0]);
+        let mut out = Tensor::zeros(2, 2);
+        Tensor::matmul_tn_into(&a, &bt, &mut out);
+        assert!(out.data.iter().any(|v| v.is_nan()));
+
+        // Inf is equally non-skippable (0 * Inf = NaN).
+        let binf = Tensor::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        let cinf = Tensor::matmul(&a, &binf);
+        assert!(
+            cinf.data[0].is_nan(),
+            "0*Inf must be NaN, got {}",
+            cinf.data[0]
+        );
+    }
+
+    #[test]
+    fn finite_gated_skip_is_bit_identical_to_dense() {
+        // With a finite B, skipping zero activations changes no bits.
+        let a = Tensor::from_vec(2, 3, vec![0.0, -2.0, 0.0, 1.5, 0.0, -0.0]);
+        let b = Tensor::from_vec(3, 2, vec![0.3, -0.7, 1.1, 0.0, -2.2, 5.0]);
+        let skipped = Tensor::matmul(&a, &b);
+        let mut dense = Tensor::zeros(2, 2);
+        Tensor::matmul_into_gated(&a, &b, &mut dense, false);
+        let sb: Vec<u32> = skipped.data.iter().map(|v| v.to_bits()).collect();
+        let db: Vec<u32> = dense.data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, db);
+    }
+
+    #[test]
+    fn all_finite_flags_every_poison() {
+        assert!(all_finite(&[0.0, -1.5, 3.4e38]));
+        assert!(!all_finite(&[0.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+        assert!(!all_finite(&[f32::NEG_INFINITY, 1.0]));
+        assert!(all_finite(&[]));
     }
 }

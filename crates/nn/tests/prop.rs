@@ -13,6 +13,25 @@ fn tensor_from(vals: &[f32], rows: usize, cols: usize) -> Tensor {
     Tensor::from_vec(rows, cols, data)
 }
 
+/// Values with plenty of exact zeros so the sparsity skip actually fires.
+fn sparse_tensor_from(vals: &[f32], rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| {
+            let v = vals[i % vals.len()];
+            if (i / 3) % 2 == 0 {
+                0.0
+            } else {
+                v.clamp(-2.0, 2.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data.iter().map(|v| v.to_bits()).collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -155,6 +174,106 @@ proptest! {
         }
     }
 
+    /// The cache-blocked matmul kernel is bit-identical to the retained
+    /// scalar reference kernel across randomized shapes, for both dense and
+    /// zero-heavy operands (the latter exercises the sparsity skip), with
+    /// the skip both enabled and disabled.
+    #[test]
+    fn blocked_matmul_bit_identical_to_reference(
+        n in 1usize..20,
+        k in 1usize..34,
+        m in 1usize..18,
+        vals in prop::collection::vec(-3.0f32..3.0, 4..32),
+        sparse in prop::bool::ANY,
+    ) {
+        let a = if sparse {
+            sparse_tensor_from(&vals, n, k)
+        } else {
+            tensor_from(&vals, n, k)
+        };
+        let b = tensor_from(&vals[1..], k, m);
+        let mut reference = Tensor::zeros(n, m);
+        Tensor::matmul_into_reference(&a, &b, &mut reference);
+        let mut blocked = Tensor::zeros(n, m);
+        Tensor::matmul_into(&a, &b, &mut blocked);
+        prop_assert_eq!(bits(&reference), bits(&blocked));
+        // Disabling the sparsity skip must not change a single bit either
+        // (the +-0.0 accumulator argument in tensor.rs).
+        let mut dense = Tensor::zeros(n, m);
+        Tensor::matmul_into_gated(&a, &b, &mut dense, false);
+        prop_assert_eq!(bits(&blocked), bits(&dense));
+    }
+
+    /// The rows-slice kernel (batched context path, no stacking copy) is
+    /// bit-identical to stacking the rows into a tensor and multiplying.
+    #[test]
+    fn rows_kernel_matches_stacked_matmul(
+        n in 1usize..12,
+        k in 1usize..20,
+        m in 1usize..12,
+        vals in prop::collection::vec(-2.0f32..2.0, 4..24),
+        zero_skip in prop::bool::ANY,
+    ) {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        let v = vals[(i * k + j) % vals.len()];
+                        if (i + j) % 3 == 0 { 0.0 } else { v }
+                    })
+                    .collect()
+            })
+            .collect();
+        let stacked = Tensor::from_vec(n, k, rows.concat());
+        let b = tensor_from(&vals, k, m);
+        let mut expect = Tensor::zeros(n, m);
+        Tensor::matmul_into_gated(&stacked, &b, &mut expect, zero_skip);
+        let mut got = Tensor::zeros(n, m);
+        Tensor::matmul_rows_into_gated(&rows, &b, &mut got, zero_skip);
+        prop_assert_eq!(bits(&expect), bits(&got));
+    }
+
+    /// The no-tape arena fast path produces bit-identical outputs to the
+    /// retained tape-based reference forward pass, for any hop count and
+    /// context ablation flag.
+    #[test]
+    fn fast_predict_matches_tape_reference(
+        hops in 0usize..8,
+        fill in -2.0f32..2.0,
+        use_context in prop::bool::ANY,
+        seed in 0u64..40,
+    ) {
+        let cfg = ModelConfig {
+            feat_dim: 12,
+            spec_dim: 4,
+            out_dim: 6,
+            embed: 8,
+            heads: 2,
+            layers: 1,
+            block: 8,
+            ff_hidden: 8,
+            mlp_hidden: 8,
+        };
+        let net = M3Net::new(cfg.clone(), seed);
+        let sample = SampleInput {
+            fg: (0..cfg.feat_dim).map(|j| fill + j as f32 * 0.03).collect(),
+            bg: (0..hops)
+                .map(|h| {
+                    (0..cfg.feat_dim)
+                        .map(|j| if j % 4 == 0 { 0.0 } else { fill * 0.5 - h as f32 * 0.02 })
+                        .collect()
+                })
+                .collect(),
+            spec: vec![fill.abs().min(1.0); cfg.spec_dim],
+            use_context,
+        };
+        let fast = net.predict(&sample);
+        let reference = net.predict_reference(&sample);
+        let a: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
     /// Checkpoint roundtrips preserve every prediction bit-exactly.
     #[test]
     fn checkpoint_preserves_predictions(seed in 0u64..50, fill in -1.0f32..1.0) {
@@ -181,4 +300,66 @@ proptest! {
         };
         prop_assert_eq!(net.predict(&sample), loaded.predict(&sample));
     }
+}
+
+/// Explicit edge shapes the blocked kernel must handle: 1x1, 1xk, kx1,
+/// tall/skinny (rows far exceeding the 8-row tile), and a non-multiple of
+/// the tile height. Each must match the reference kernel bit for bit.
+#[test]
+fn blocked_matmul_edge_shapes_match_reference() {
+    let shapes = [
+        (1, 1, 1),
+        (1, 7, 1),
+        (1, 1, 9),
+        (1, 13, 5),
+        (33, 2, 1),
+        (40, 1, 3),
+        (9, 3, 2),
+        (8, 8, 8),
+        (17, 5, 4),
+    ];
+    for (n, k, m) in shapes {
+        let a = Tensor::from_vec(
+            n,
+            k,
+            (0..n * k)
+                .map(|i| if i % 3 == 0 { 0.0 } else { (i as f32).sin() })
+                .collect(),
+        );
+        let b = Tensor::from_vec(k, m, (0..k * m).map(|i| (i as f32 * 0.7).cos()).collect());
+        let mut reference = Tensor::zeros(n, m);
+        Tensor::matmul_into_reference(&a, &b, &mut reference);
+        let mut blocked = Tensor::zeros(n, m);
+        Tensor::matmul_into(&a, &b, &mut blocked);
+        let rb: Vec<u32> = reference.data.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = blocked.data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(rb, bb, "shape ({n},{k},{m}) diverged");
+    }
+}
+
+/// A NaN anywhere in the weight operand forces both kernels dense, and they
+/// agree bit for bit on the poisoned output — including which outputs went
+/// non-finite.
+#[test]
+fn blocked_and_reference_agree_under_nan_poison() {
+    let n = 11;
+    let k = 6;
+    let m = 5;
+    let a = Tensor::from_vec(
+        n,
+        k,
+        (0..n * k)
+            .map(|i| if i % 2 == 0 { 0.0 } else { i as f32 * 0.1 })
+            .collect(),
+    );
+    let mut b = Tensor::from_vec(k, m, vec![0.25; k * m]);
+    b.data[7] = f32::NAN;
+    let mut reference = Tensor::zeros(n, m);
+    Tensor::matmul_into_reference(&a, &b, &mut reference);
+    let mut blocked = Tensor::zeros(n, m);
+    Tensor::matmul_into(&a, &b, &mut blocked);
+    assert!(reference.data.iter().any(|v| v.is_nan()));
+    let rb: Vec<u32> = reference.data.iter().map(|v| v.to_bits()).collect();
+    let bb: Vec<u32> = blocked.data.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(rb, bb);
 }

@@ -54,6 +54,9 @@ echo "trace golden matches"
 echo "==> tracing overhead gate (<3% disabled-tracing overhead, writes BENCH_tracing_overhead.json)"
 cargo bench -p m3-bench --bench tracing_overhead
 
+echo "==> hot-path kernel gate (>=4x forward reference-vs-pooled, writes BENCH_hotpath.json)"
+cargo bench -p m3-bench --bench hotpath
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "==> telemetry overhead gate (<2%, writes BENCH_telemetry_overhead.json)"
   cargo bench -p m3-bench --bench telemetry_overhead

@@ -439,3 +439,56 @@ fn corrupted_checkpoint_fails_loading_with_typed_error_not_oom() {
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Regression: a NaN weight reachable only through a zero activation must
+/// still surface as a forward-stage fault.
+///
+/// The hidden unit feeding the poisoned `mlp.w2` row is pinned to exactly
+/// 0.0 by a huge negative `mlp.b1` bias (relu clamp), so every product with
+/// the NaN row is `0.0 * NaN`. The original matmul kernels skipped zero
+/// activations unconditionally, silently dropping the NaN and returning a
+/// finite — corrupt — estimate. The kernels now only skip when the weight
+/// operand is provably finite, so the NaN propagates IEEE-correctly and a
+/// FailFast run reports `Stage::Forward` / `FaultKind::NonFinite`.
+#[test]
+fn nan_weight_behind_zero_activation_faults_forward_stage() {
+    use m3::nn::prelude::ParamId;
+
+    let (ft, flows, cfg) = small_workload(7);
+    let mut est = untrained_estimator();
+    let (mut b1, mut w2) = (None, None);
+    for (i, p) in est.net.store.iter().enumerate() {
+        match p.name.as_str() {
+            "mlp.b1" => b1 = Some(ParamId(i)),
+            "mlp.w2" => w2 = Some(ParamId(i)),
+            _ => {}
+        }
+    }
+    let (b1, w2) = (b1.expect("mlp.b1 exists"), w2.expect("mlp.w2 exists"));
+    // Hidden unit 0 relu-clamps to exactly 0.0 for every input...
+    est.net.store.get_mut(b1).data[0] = -1e9;
+    // ...and the weight row it feeds is poisoned with NaN.
+    let cols = est.net.store.get(w2).cols;
+    for c in 0..cols {
+        est.net.store.get_mut(w2).data[c] = f32::NAN;
+    }
+
+    let opts = EstimateOptions {
+        policy: DegradationPolicy::FailFast,
+        ..EstimateOptions::default()
+    };
+    let err = est
+        .try_estimate(&ft.topo, &flows, &cfg, K_PATHS, SEED, &opts)
+        .expect_err("NaN parameters must fail a FailFast run");
+    assert!(
+        matches!(
+            err,
+            M3Error::StageFault {
+                stage: Stage::Forward,
+                fault: FaultKind::NonFinite,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
