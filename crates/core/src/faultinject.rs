@@ -36,6 +36,19 @@ pub enum InjectedFault {
     /// Panic in the service worker thread *outside* the pipeline's panic
     /// barriers (exercises supervisor detection, job recovery, respawn).
     WorkerPanic,
+    /// Kill a whole estimation shard mid-run (exercises the cluster
+    /// coordinator's failure detection, journal-replay recovery, and
+    /// rehash-and-reroute of the shard's in-flight work). The slot index
+    /// is the shard index.
+    ShardCrash,
+    /// Freeze a shard's supervisor heartbeat without stopping its workers
+    /// (exercises Suspect → Dead detection of a wedged-but-running node
+    /// and the at-most-once-per-terminal-state dedupe when the stalled
+    /// shard's results race the rerouted copies).
+    ShardStall,
+    /// Delay a restarted shard's readmission to the routing set (exercises
+    /// the Recovered state and slow-start warmup window).
+    ShardSlowStart,
 }
 
 impl InjectedFault {
@@ -47,16 +60,22 @@ impl InjectedFault {
             InjectedFault::ForwardPoison => 4,
             InjectedFault::CheckpointCorrupt => 5,
             InjectedFault::WorkerPanic => 6,
+            InjectedFault::ShardCrash => 7,
+            InjectedFault::ShardStall => 8,
+            InjectedFault::ShardSlowStart => 9,
         }
     }
 
-    pub const ALL: [InjectedFault; 6] = [
+    pub const ALL: [InjectedFault; 9] = [
         InjectedFault::FlowsimNan,
         InjectedFault::FlowsimBudget,
         InjectedFault::FlowsimPanic,
         InjectedFault::ForwardPoison,
         InjectedFault::CheckpointCorrupt,
         InjectedFault::WorkerPanic,
+        InjectedFault::ShardCrash,
+        InjectedFault::ShardStall,
+        InjectedFault::ShardSlowStart,
     ];
 }
 

@@ -69,6 +69,42 @@ impl Default for DegradationPolicy {
     }
 }
 
+/// A contiguous slice `[start, end)` of the k sampled paths to process —
+/// the unit of scatter when a cluster coordinator splits one large
+/// scenario's independent path sub-work across shards. Path sampling is a
+/// pure function of `(workload, k_paths, seed)` and each path's
+/// distribution is independent of which other paths share the batch
+/// (batched forward is bit-exact versus per-sample), so concatenating the
+/// per-slice aggregates and re-sorting reproduces the unsliced estimate
+/// bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSlice {
+    /// First sampled-path index (inclusive).
+    pub start: usize,
+    /// Last sampled-path index (exclusive). Clamped to the number of
+    /// sampled paths, so a chunking caller need not know the exact count.
+    pub end: usize,
+}
+
+impl PathSlice {
+    /// Split `total` paths into contiguous chunks of at most `chunk`.
+    pub fn chunks(total: usize, chunk: usize) -> Vec<PathSlice> {
+        if chunk == 0 || total == 0 {
+            return vec![PathSlice {
+                start: 0,
+                end: total,
+            }];
+        }
+        (0..total)
+            .step_by(chunk)
+            .map(|start| PathSlice {
+                start,
+                end: (start + chunk).min(total),
+            })
+            .collect()
+    }
+}
+
 /// Per-stage resource ceilings for one estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageBudget {
@@ -87,6 +123,12 @@ pub struct EstimateOptions {
     /// Deterministic fault injection for robustness tests and benches;
     /// `None` (the default) injects nothing and adds no overhead.
     pub fault_plan: Option<crate::faultinject::FaultPlan>,
+    /// Process only this contiguous slice of the k sampled paths. `None`
+    /// (the default) processes all of them. Sampling always covers the
+    /// full k so the slice indexes a stable sequence; only
+    /// materialization, flowSim, the forward pass, and the aggregate are
+    /// restricted to the slice.
+    pub path_slice: Option<PathSlice>,
     /// Long-lived telemetry registry to accumulate this call's metrics
     /// into (counters and stage timers under the `pipeline.`/`flowsim.`
     /// prefixes). The pipeline records into a private per-call registry
@@ -455,6 +497,26 @@ impl M3Estimator {
                 reason: "workload has no populated paths to sample".into(),
             });
         }
+        // Scatter support: restrict to the requested slice of the sampled
+        // sequence. The sample itself is always drawn over the full k, so
+        // slice indices mean the same thing on every shard.
+        let sampled = match options.path_slice {
+            None => sampled,
+            Some(sl) => {
+                if sl.start >= sl.end || sl.start >= sampled.len() {
+                    return Err(M3Error::InvalidSpec {
+                        stage: Stage::Decompose,
+                        reason: format!(
+                            "path slice [{}, {}) is empty or out of range (sampled {})",
+                            sl.start,
+                            sl.end,
+                            sampled.len()
+                        ),
+                    });
+                }
+                sampled[sl.start..sl.end.min(sampled.len())].to_vec()
+            }
+        };
         let datas: Vec<PathScenarioData> = sampled
             .par_iter()
             .map(|&g| PathScenarioData::from_group(topo, flows, &index, g, config))
@@ -787,8 +849,38 @@ pub fn flowsim_estimate(
     k_paths: usize,
     seed: u64,
 ) -> NetworkEstimate {
+    flowsim_estimate_sliced(topo, flows, config, k_paths, seed, None)
+}
+
+/// [`flowsim_estimate`] restricted to a [`PathSlice`] of the k sampled
+/// paths — the degraded-path twin of the sliced full pipeline, so a
+/// breaker-degraded scatter child still answers for exactly its slice.
+pub fn flowsim_estimate_sliced(
+    topo: &Topology,
+    flows: &[FlowSpec],
+    config: &SimConfig,
+    k_paths: usize,
+    seed: u64,
+    slice: Option<PathSlice>,
+) -> NetworkEstimate {
     let index = PathIndex::build(topo, flows);
     let sampled = index.sample_paths(k_paths, seed);
+    let sampled = match slice {
+        None => sampled,
+        Some(sl) => {
+            let end = sl.end.min(sampled.len());
+            let start = sl.start.min(end);
+            if start >= end {
+                // A degenerate slice has nothing to estimate over; answer
+                // for the full sample rather than panic in a worker (the
+                // full pipeline rejects such a slice with a typed error
+                // long before the degraded path is reached).
+                sampled
+            } else {
+                sampled[start..end].to_vec()
+            }
+        }
+    };
     let dists: Vec<PathDistribution> = sampled
         .par_iter()
         .map(|&g| {

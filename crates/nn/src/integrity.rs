@@ -124,6 +124,109 @@ pub fn scan_records(buf: &[u8], start: usize) -> ScanResult {
     }
 }
 
+/// One frame skipped by the lenient scan: its framing was intact (sane
+/// length, full payload present) but the payload failed its checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptFrame {
+    /// Byte offset of the frame's length field within the scanned buffer.
+    pub offset: usize,
+    /// The whole frame as found on disk (12-byte header + payload), so a
+    /// quarantine sidecar preserves the evidence byte for byte.
+    pub bytes: Vec<u8>,
+    /// Why the frame was rejected.
+    pub reason: String,
+}
+
+/// Result of a lenient scan: valid records, quarantined corrupt frames,
+/// and the torn-tail outcome for whatever ended the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LenientScanResult {
+    /// Payloads of every complete, checksum-valid record, in order.
+    pub records: Vec<Vec<u8>>,
+    /// Frames whose framing was intact but whose checksum failed, in
+    /// order. The scan resumed at the frame boundary after each.
+    pub corrupt: Vec<CorruptFrame>,
+    /// Byte offset just past the last complete frame (valid or
+    /// quarantined). A torn tail begins here.
+    pub valid_len: usize,
+    /// Why the scan stopped early, if it did: a *truncated* or
+    /// hostile-length tail (a checksum mismatch alone no longer stops a
+    /// lenient scan).
+    pub torn: Option<String>,
+}
+
+/// Scan `buf` from `start` like [`scan_records`], but *skip over* a
+/// checksum-mismatched record whose framing is otherwise intact instead of
+/// stopping: its length field is sane (≤ [`MAX_RECORD_BYTES`]) and its
+/// payload lies fully inside the buffer, so the next frame boundary is
+/// known and scanning resumes there. Such frames are returned for
+/// quarantine rather than silently dropped. Truncation and hostile length
+/// fields still end the scan — with no trustworthy length there is no next
+/// boundary to resume at.
+pub fn scan_records_lenient(buf: &[u8], start: usize) -> LenientScanResult {
+    let mut records = Vec::new();
+    let mut corrupt = Vec::new();
+    let mut off = start.min(buf.len());
+    loop {
+        let rest = &buf[off..];
+        if rest.is_empty() {
+            return LenientScanResult {
+                records,
+                corrupt,
+                valid_len: off,
+                torn: None,
+            };
+        }
+        if rest.len() < 12 {
+            return LenientScanResult {
+                records,
+                corrupt,
+                valid_len: off,
+                torn: Some(format!("truncated header ({} bytes)", rest.len())),
+            };
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_RECORD_BYTES {
+            return LenientScanResult {
+                records,
+                corrupt,
+                valid_len: off,
+                torn: Some(format!(
+                    "record length {len} exceeds the {MAX_RECORD_BYTES}-byte cap"
+                )),
+            };
+        }
+        let want = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        if rest.len() < 12 + len {
+            return LenientScanResult {
+                records,
+                corrupt,
+                valid_len: off,
+                torn: Some(format!(
+                    "truncated payload ({} of {len} bytes)",
+                    rest.len() - 12
+                )),
+            };
+        }
+        let payload = &rest[12..12 + len];
+        if checksum64(payload) != want {
+            corrupt.push(CorruptFrame {
+                offset: off,
+                bytes: rest[..12 + len].to_vec(),
+                reason: format!(
+                    "checksum mismatch (stored {want:#018x}, computed {:#018x})",
+                    checksum64(payload)
+                ),
+            });
+        } else {
+            records.push(payload.to_vec());
+        }
+        off += 12 + len;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +300,65 @@ mod tests {
         let scan = scan_records(&buf, start);
         assert_eq!(scan.records, vec![b"payload".to_vec()]);
         assert_eq!(scan.valid_len, buf.len());
+    }
+
+    #[test]
+    fn lenient_scan_skips_corrupt_record_and_continues() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"first").unwrap();
+        let second_at = buf.len();
+        write_record(&mut buf, b"second").unwrap();
+        let third_at = buf.len();
+        write_record(&mut buf, b"third").unwrap();
+        buf[second_at + 12] ^= 0xff; // flip a payload bit mid-file
+        let scan = scan_records_lenient(&buf, 0);
+        assert_eq!(scan.records, vec![b"first".to_vec(), b"third".to_vec()]);
+        assert_eq!(scan.corrupt.len(), 1);
+        assert_eq!(scan.corrupt[0].offset, second_at);
+        assert_eq!(scan.corrupt[0].bytes.len(), third_at - second_at);
+        assert!(scan.corrupt[0].reason.contains("checksum mismatch"));
+        assert_eq!(scan.valid_len, buf.len());
+        assert!(scan.torn.is_none());
+    }
+
+    #[test]
+    fn lenient_scan_still_stops_at_torn_tail() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"kept").unwrap();
+        let keep = buf.len();
+        write_record(&mut buf, b"torn-away").unwrap();
+        buf.truncate(buf.len() - 3);
+        let scan = scan_records_lenient(&buf, 0);
+        assert_eq!(scan.records, vec![b"kept".to_vec()]);
+        assert!(scan.corrupt.is_empty());
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.torn.unwrap().contains("truncated"));
+    }
+
+    #[test]
+    fn lenient_scan_rejects_hostile_length_without_resync() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, b"good").unwrap();
+        let keep = buf.len();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let scan = scan_records_lenient(&buf, 0);
+        assert_eq!(scan.records, vec![b"good".to_vec()]);
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.torn.unwrap().contains("cap"));
+    }
+
+    #[test]
+    fn lenient_scan_matches_strict_scan_on_clean_input() {
+        let mut buf = Vec::new();
+        for p in [b"one".as_slice(), b"two".as_slice(), b"three".as_slice()] {
+            write_record(&mut buf, p).unwrap();
+        }
+        let strict = scan_records(&buf, 0);
+        let lenient = scan_records_lenient(&buf, 0);
+        assert_eq!(strict.records, lenient.records);
+        assert_eq!(strict.valid_len, lenient.valid_len);
+        assert!(lenient.corrupt.is_empty());
+        assert!(lenient.torn.is_none());
     }
 }

@@ -44,7 +44,10 @@ pub mod prelude {
     pub use crate::arena::{ArenaPool, TensorArena};
     pub use crate::checkpoint::{load_file, save_file};
     pub use crate::infer::InferScratch;
-    pub use crate::integrity::{checksum64, encode_record, scan_records, ScanResult};
+    pub use crate::integrity::{
+        checksum64, encode_record, scan_records, scan_records_lenient, CorruptFrame,
+        LenientScanResult, ScanResult,
+    };
     pub use crate::model::{
         batch_gradients, batch_gradients_pooled, grad_l2_norm, M3Net, ModelConfig, SampleInput,
     };

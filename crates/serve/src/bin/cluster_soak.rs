@@ -1,0 +1,291 @@
+//! Soak driver for the sharded estimation cluster: run a seeded job mix
+//! through an N-shard cluster under a seeded kill/restart schedule, then
+//! assert the coordinator's core guarantees:
+//!
+//! 1. **Zero lost accepted jobs** — every submitted id reaches exactly
+//!    one terminal state, shard deaths notwithstanding.
+//! 2. **Lossless rerouting** — the faulted run's estimates are
+//!    bit-identical to a fault-free run of the same jobs (placement
+//!    never changes results, so failover cannot either).
+//! 3. **Deterministic merged telemetry** — two fault-free runs with the
+//!    same seed produce byte-identical merged deterministic metric
+//!    views.
+//!
+//! Usage: `cluster_soak [N_JOBS] [SEED] [JOURNAL_DIR]`
+//! Exit codes: 0 = invariants held, 1 = violation, 2 = usage/setup error.
+
+use m3_core::prelude::*;
+use m3_nn::prelude::{checksum64, M3Net, ModelConfig};
+use m3_serve::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn small_net() -> M3Net {
+    let cfg = ModelConfig {
+        embed: 16,
+        heads: 2,
+        layers: 1,
+        ff_hidden: 16,
+        mlp_hidden: 32,
+        ..ModelConfig::repro_default(SPEC_DIM)
+    };
+    M3Net::new(cfg, 3)
+}
+
+fn scenario(n_flows: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopoSpec::FatTreeSmall { oversub: 2 },
+        workload: WorkloadSpec {
+            n_flows,
+            matrix: "B".into(),
+            sizes: "WebServer".into(),
+            sigma: 1.0,
+            max_load: 0.4,
+        },
+        config: ConfigSpec::default(),
+    }
+}
+
+const SHARDS: usize = 4;
+
+/// The seeded job mix: mostly small requests, every sixth large enough to
+/// scatter into path-slice children.
+fn requests(n_jobs: u64, seed: u64) -> Vec<EstimateRequest> {
+    (0..n_jobs)
+        .map(|j| {
+            let paths = if j % 6 == 5 { 6 } else { 2 };
+            EstimateRequest::new(scenario(40 + (j as usize % 4) * 15), paths, seed ^ j)
+        })
+        .collect()
+}
+
+/// Find a kill schedule near `seed` that hits at least one shard (a soak
+/// without a kill exercises nothing); deterministic in `seed`.
+fn kill_plan(seed: u64) -> FaultPlan {
+    for s in seed.. {
+        let plan = FaultPlan::new(s)
+            .with(InjectedFault::ShardCrash, 0.3)
+            .with(InjectedFault::ShardStall, 0.15)
+            .with(InjectedFault::ShardSlowStart, 0.25);
+        let crashed = plan.slots_hit(InjectedFault::ShardCrash, SHARDS);
+        let stalled = plan.slots_hit(InjectedFault::ShardStall, SHARDS);
+        // At least one fault, at least one survivor to reroute onto.
+        if !(crashed.is_empty() && stalled.is_empty()) && crashed.len() < SHARDS {
+            return plan;
+        }
+    }
+    unreachable!("the search space is dense enough to always hit");
+}
+
+fn cluster_config(seed: u64, journal_dir: &Path, plan: Option<FaultPlan>) -> ClusterConfig {
+    ClusterConfig {
+        shards: SHARDS,
+        shard: ServiceConfig {
+            workers: 1,
+            queue_capacity: 256,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_delay_ms: 1,
+                max_delay_ms: 8,
+                seed,
+            },
+            cache_capacity: 64,
+            simulated_io: Duration::from_millis(10),
+            ..ServiceConfig::default()
+        },
+        journal_dir: Some(journal_dir.to_path_buf()),
+        heartbeat_every: Duration::from_millis(3),
+        // Loose enough that a busy-but-alive shard on a loaded one-core
+        // machine rarely false-positives; a genuinely frozen heartbeat
+        // (crash or stall) is still declared dead within ~60 ms. Spurious
+        // deaths remain *correct* (failover is lossless), just churny.
+        suspect_misses: if plan.is_some() { 5 } else { 500 },
+        dead_misses: if plan.is_some() { 20 } else { 1000 },
+        reroute_retry: RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 2,
+            max_delay_ms: 20,
+            seed,
+        },
+        scatter_threshold: 4,
+        scatter_chunk: 2,
+        fault_after_dispatches: if plan.is_some() { 5 } else { 0 },
+        fault_plan: plan,
+        restart_dead_shards: true,
+        ..ClusterConfig::default()
+    }
+}
+
+struct RunResult {
+    /// FNV digest over every caller-visible estimate's raw bits, in
+    /// submission order.
+    estimate_digest: u64,
+    /// Merged deterministic metric view, serialized.
+    metrics_json: String,
+    stats: ClusterStats,
+    violations: u32,
+}
+
+fn run_once(
+    label: &str,
+    jobs: &[EstimateRequest],
+    config: ClusterConfig,
+) -> Result<RunResult, String> {
+    let cluster = Cluster::start(small_net(), config)
+        .map_err(|e| format!("{label}: cannot start cluster: {e}"))?;
+    let ids: Vec<u64> = jobs
+        .iter()
+        .map(|r| cluster.submit(r.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{label}: submit failed: {e}"))?;
+    if !cluster.wait_idle(Duration::from_secs(300)) {
+        return Err(format!("{label}: cluster did not settle within 300 s"));
+    }
+    let mut violations = 0;
+    let mut digest_buf: Vec<u8> = Vec::new();
+    for &id in &ids {
+        match cluster.outcome(id) {
+            None => {
+                eprintln!("{label}: job {id} accepted but has no terminal outcome");
+                violations += 1;
+            }
+            Some(outcome) => match outcome.estimate() {
+                Some(est) => {
+                    for bucket in &est.bucket_samples {
+                        for v in bucket {
+                            digest_buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                        }
+                    }
+                    for c in est.bucket_counts {
+                        digest_buf.extend_from_slice(&(c as u64).to_le_bytes());
+                    }
+                }
+                None => {
+                    eprintln!("{label}: job {id} did not complete: {outcome:?}");
+                    violations += 1;
+                }
+            },
+        }
+    }
+    let stats = cluster.stats();
+    if stats.settled != stats.submitted {
+        eprintln!(
+            "{label}: settled {} != submitted {}",
+            stats.settled, stats.submitted
+        );
+        violations += 1;
+    }
+    let metrics_json = cluster.merged_metrics().deterministic_view().to_json();
+    cluster.shutdown();
+    Ok(RunResult {
+        estimate_digest: checksum64(&digest_buf),
+        metrics_json,
+        stats,
+        violations,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = || eprintln!("usage: cluster_soak [N_JOBS] [SEED] [JOURNAL_DIR]");
+    let n_jobs: u64 = match args.get(1).map(|s| s.parse()).unwrap_or(Ok(24)) {
+        Ok(n) => n,
+        Err(_) => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let seed: u64 = match args.get(2).map(|s| s.parse()).unwrap_or(Ok(1)) {
+        Ok(s) => s,
+        Err(_) => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let journal_dir = args.get(3).map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("m3-cluster-soak-{}", std::process::id()))
+    });
+    if let Err(e) = std::fs::create_dir_all(&journal_dir) {
+        eprintln!("cluster_soak: cannot create journal dir: {e}");
+        return ExitCode::from(2);
+    }
+
+    let jobs = requests(n_jobs, seed);
+    let plan = kill_plan(seed);
+    let crashed = plan.slots_hit(InjectedFault::ShardCrash, SHARDS);
+    let stalled = plan.slots_hit(InjectedFault::ShardStall, SHARDS);
+    println!(
+        "cluster_soak: {n_jobs} jobs, seed {seed}, {SHARDS} shards; kill schedule: crash {crashed:?}, stall {stalled:?}"
+    );
+
+    // Faulted run: shards die and restart mid-stream.
+    let faulted = match run_once(
+        "faulted",
+        &jobs,
+        cluster_config(seed, &journal_dir, Some(plan)),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster_soak: {e}");
+            std::fs::remove_dir_all(&journal_dir).ok();
+            return ExitCode::from(2);
+        }
+    };
+    let mut violations = faulted.violations;
+    if faulted.stats.shard_deaths == 0 {
+        eprintln!("cluster_soak: kill schedule injected but no shard death detected");
+        violations += 1;
+    }
+
+    // Two fault-free runs: reference results + merged-metrics determinism.
+    let clean_a = match run_once("clean-a", &jobs, cluster_config(seed, &journal_dir, None)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster_soak: {e}");
+            std::fs::remove_dir_all(&journal_dir).ok();
+            return ExitCode::from(2);
+        }
+    };
+    let clean_b = match run_once("clean-b", &jobs, cluster_config(seed, &journal_dir, None)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster_soak: {e}");
+            std::fs::remove_dir_all(&journal_dir).ok();
+            return ExitCode::from(2);
+        }
+    };
+    violations += clean_a.violations + clean_b.violations;
+
+    if faulted.estimate_digest != clean_a.estimate_digest {
+        eprintln!(
+            "cluster_soak: LOSSY REROUTING — faulted digest {:#018x} != clean {:#018x}",
+            faulted.estimate_digest, clean_a.estimate_digest
+        );
+        violations += 1;
+    }
+    if clean_a.estimate_digest != clean_b.estimate_digest {
+        eprintln!("cluster_soak: fault-free runs disagree (nondeterministic estimates)");
+        violations += 1;
+    }
+    if clean_a.metrics_json != clean_b.metrics_json {
+        eprintln!("cluster_soak: merged deterministic metric views differ between clean runs");
+        violations += 1;
+    }
+
+    std::fs::remove_dir_all(&journal_dir).ok();
+    if violations > 0 {
+        eprintln!("cluster_soak: FAILED with {violations} violation(s)");
+        ExitCode::from(1)
+    } else {
+        println!(
+            "cluster_soak: OK — {} jobs x3 runs; faulted run: {} deaths, {} recoveries, {} rerouted, {} dup terminals dropped; estimates bit-identical across all runs",
+            n_jobs,
+            faulted.stats.shard_deaths,
+            faulted.stats.shard_recoveries,
+            faulted.stats.rerouted,
+            faulted.stats.duplicate_terminals_dropped
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -16,7 +16,7 @@
 
 use crate::request::EstimateRequest;
 use m3_core::prelude::{M3Error, NetworkEstimate};
-use m3_nn::prelude::{encode_record, scan_records};
+use m3_nn::prelude::{encode_record, scan_records_lenient};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -88,6 +88,26 @@ pub enum JournalRecord {
     },
 }
 
+/// Typed account of mid-file journal corruption found during recovery.
+/// Corrupt records are quarantined to a `.corrupt` sidecar and replay
+/// continues past them; this summary is surfaced on
+/// [`ServiceStats`](crate::service::ServiceStats) so operators see the
+/// damage instead of a silently shortened replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalCorruption {
+    /// Checksum-mismatched records skipped (and quarantined) mid-file.
+    pub records_quarantined: usize,
+    /// Total frame bytes (headers included) moved to the sidecar.
+    pub bytes_quarantined: usize,
+    /// Byte offset of the first corrupt frame within the journal file.
+    pub first_offset: usize,
+    /// Path of the sidecar file the corrupt frames were written to, when
+    /// the write succeeded (quarantine is best-effort: recovery proceeds
+    /// even if the sidecar cannot be written). Stored as a display string
+    /// so the summary serializes into stats snapshots.
+    pub sidecar: Option<String>,
+}
+
 /// The journal as reconstructed at startup.
 #[derive(Debug, Default)]
 pub struct Replay {
@@ -100,6 +120,11 @@ pub struct Replay {
     pub terminal: BTreeMap<u64, JobOutcome>,
     /// True if a torn tail was truncated during recovery.
     pub truncated_tail: bool,
+    /// Mid-file corruption quarantined during recovery (`None` on a clean
+    /// replay). Unlike a torn tail, the corrupt bytes stay in the journal
+    /// file — every reopen re-reports them — but the sidecar plus this
+    /// summary make the damage visible and auditable.
+    pub corruption: Option<JournalCorruption>,
 }
 
 impl Replay {
@@ -126,6 +151,38 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Write quarantined frames to the `.corrupt` sidecar as JSON lines
+/// (`{"offset":N,"reason":"...","frame_hex":"..."}`), preserving the raw
+/// bytes for postmortem analysis. The sidecar is rewritten on every open
+/// that finds corruption — the journal file itself is not modified
+/// mid-file, so reopening re-derives the same set.
+fn write_quarantine(path: &Path, frames: &[m3_nn::integrity::CorruptFrame]) -> io::Result<()> {
+    // Owned fields: the vendored serde derive does not support borrowed
+    // (lifetime-parameterized) structs.
+    #[derive(Serialize)]
+    struct QuarantineLine {
+        offset: usize,
+        reason: String,
+        frame_hex: String,
+    }
+    let mut out = String::new();
+    for f in frames {
+        let mut hex = String::with_capacity(f.bytes.len() * 2);
+        for b in &f.bytes {
+            use std::fmt::Write as _;
+            let _ = write!(hex, "{b:02x}");
+        }
+        let line = QuarantineLine {
+            offset: f.offset,
+            reason: f.reason.clone(),
+            frame_hex: hex,
+        };
+        out.push_str(&serde_json::to_string(&line).map_err(|e| bad_data(e.to_string()))?);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
 /// Append-only, checksummed, fsync'd job journal.
 pub struct Journal {
     file: File,
@@ -149,9 +206,12 @@ impl Journal {
     }
 
     /// Open an existing journal, replaying its records. A torn final
-    /// record (from a crash mid-append) is truncated away; any deeper
-    /// corruption is an error. Returns the journal positioned for
-    /// appending plus the replay state.
+    /// record (from a crash mid-append) is truncated away. A
+    /// checksum-mismatched record *mid-file* (bit rot, hostile edit) no
+    /// longer aborts the rest of the replay: the bad frame is quarantined
+    /// to a `<path>.corrupt` sidecar, scanning resumes at the next frame
+    /// boundary, and the damage is summarized in [`Replay::corruption`].
+    /// Returns the journal positioned for appending plus the replay state.
     pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Replay)> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
@@ -170,9 +230,28 @@ impl Journal {
             )));
         }
 
-        let scan = scan_records(&buf, HEADER_LEN);
+        let scan = scan_records_lenient(&buf, HEADER_LEN);
+        let corruption = if scan.corrupt.is_empty() {
+            None
+        } else {
+            let sidecar_path = {
+                let mut s = path.as_os_str().to_os_string();
+                s.push(".corrupt");
+                PathBuf::from(s)
+            };
+            let sidecar = write_quarantine(&sidecar_path, &scan.corrupt)
+                .ok()
+                .map(|()| sidecar_path.display().to_string());
+            Some(JournalCorruption {
+                records_quarantined: scan.corrupt.len(),
+                bytes_quarantined: scan.corrupt.iter().map(|f| f.bytes.len()).sum(),
+                first_offset: scan.corrupt.first().map(|f| f.offset).unwrap_or(0),
+                sidecar,
+            })
+        };
         let mut replay = Replay {
             truncated_tail: scan.torn.is_some(),
+            corruption,
             ..Replay::default()
         };
         for payload in &scan.records {
@@ -338,6 +417,69 @@ mod tests {
             }
             other => panic!("unexpected record: {other:?}"),
         }
+    }
+
+    #[test]
+    fn bit_flipped_record_is_quarantined_and_replay_continues() {
+        let path = tmpfile("bitflip");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&JournalRecord::Accepted {
+            id: 0,
+            request: Box::new(req(1)),
+            trace: None,
+        })
+        .unwrap();
+        let second_at = std::fs::metadata(&path).unwrap().len() as usize;
+        j.append(&JournalRecord::Accepted {
+            id: 1,
+            request: Box::new(req(2)),
+            trace: None,
+        })
+        .unwrap();
+        let third_at = std::fs::metadata(&path).unwrap().len() as usize;
+        j.append(&JournalRecord::Terminal {
+            id: 0,
+            outcome: Box::new(JobOutcome::Shed {
+                reason: "after the damage".into(),
+            }),
+        })
+        .unwrap();
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        drop(j);
+
+        // Flip one bit inside the second record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[second_at + 12 + 5] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_j, replay) = Journal::open(&path).unwrap();
+        // The record *after* the corrupt one was still replayed.
+        assert_eq!(replay.accepted.len(), 1, "corrupt acceptance dropped");
+        assert!(replay.accepted.contains_key(&0));
+        assert_eq!(replay.terminal.len(), 1);
+        assert!(replay.pending().is_empty());
+        assert!(!replay.truncated_tail, "mid-file damage is not a torn tail");
+        let c = replay.corruption.expect("corruption surfaced");
+        assert_eq!(c.records_quarantined, 1);
+        assert_eq!(c.first_offset, second_at);
+        assert_eq!(c.bytes_quarantined, third_at - second_at);
+        // The journal file is not truncated; the sidecar holds the frame.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), full_len);
+        let sidecar = c.sidecar.expect("sidecar written");
+        let side = std::fs::read_to_string(&sidecar).unwrap();
+        assert!(side.contains("checksum mismatch"), "{side}");
+        assert_eq!(side.lines().count(), 1);
+
+        // Reopening re-reports the same corruption (documented behavior).
+        let (_j, replay2) = Journal::open(&path).unwrap();
+        assert_eq!(
+            replay2
+                .corruption
+                .map(|c| (c.records_quarantined, c.first_offset)),
+            Some((1, second_at))
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
     }
 
     #[test]

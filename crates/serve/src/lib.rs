@@ -42,15 +42,21 @@
 
 pub mod backoff;
 pub mod breaker;
+pub mod cluster;
 pub mod journal;
 pub mod request;
+pub mod routing;
 pub mod service;
 
 pub mod prelude {
     pub use crate::backoff::RetryPolicy;
     pub use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-    pub use crate::journal::{JobOutcome, Journal, JournalRecord, Replay};
+    pub use crate::cluster::{
+        merge_estimates, Cluster, ClusterConfig, ClusterStats, ShardHealth, ShardStatus,
+    };
+    pub use crate::journal::{JobOutcome, Journal, JournalCorruption, JournalRecord, Replay};
     pub use crate::request::{ConfigSpec, EstimateRequest, ScenarioSpec, TopoSpec, WorkloadSpec};
+    pub use crate::routing::{rank, route, routing_key};
     pub use crate::service::{
         trace_id_for, ServeMetrics, Service, ServiceConfig, ServiceStats, SubmitError,
     };

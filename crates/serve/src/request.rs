@@ -7,7 +7,7 @@
 //! the same topology, flows, and config, which is what makes journal replay
 //! bit-identical.
 
-use m3_core::prelude::{DegradationPolicy, FaultPlan, M3Error, Stage};
+use m3_core::prelude::{DegradationPolicy, FaultPlan, M3Error, PathSlice, Stage};
 use m3_netsim::prelude::{
     CcProtocol, FatTree, FatTreeSpec, FlowSpec, Routing, SimConfig, Topology,
 };
@@ -147,6 +147,12 @@ pub struct EstimateRequest {
     /// Deterministic fault injection (robustness tests and soak runs).
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
+    /// Process only this contiguous slice of the k sampled paths — the
+    /// scatter unit a cluster coordinator uses to split one large scenario
+    /// across shards. `None` (and absent in journals written before
+    /// clustering existed) processes all k paths.
+    #[serde(default)]
+    pub path_slice: Option<PathSlice>,
 }
 
 impl EstimateRequest {
@@ -159,6 +165,7 @@ impl EstimateRequest {
             policy: None,
             deadline_ms: None,
             fault_plan: None,
+            path_slice: None,
         }
     }
 }

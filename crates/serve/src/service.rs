@@ -27,10 +27,10 @@
 
 use crate::backoff::RetryPolicy;
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-use crate::journal::{JobOutcome, Journal, JournalRecord, Replay};
+use crate::journal::{JobOutcome, Journal, JournalCorruption, JournalRecord, Replay};
 use crate::request::EstimateRequest;
 use m3_core::prelude::{
-    flowsim_estimate, CacheStats, EstimateOptions, InjectedFault, M3Error, M3Estimator,
+    flowsim_estimate_sliced, CacheStats, EstimateOptions, InjectedFault, M3Error, M3Estimator,
     NetworkEstimate, SharedScenarioCache, Stage, StageBudget,
 };
 use m3_flowsim::prelude::FluidBudget;
@@ -40,6 +40,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -73,6 +74,17 @@ pub struct ServiceConfig {
     /// Virtual-time stride (ns) for simulator counter probes in traced
     /// jobs; 0 means the telemetry default.
     pub trace_stride_ns: u64,
+    /// How stale the supervisor's liveness tick may grow before
+    /// [`ServiceStats::healthy`] reports the service unhealthy. The
+    /// supervisor ticks every few milliseconds, so the default (2 s) only
+    /// trips on a genuinely wedged supervisor thread.
+    pub liveness_timeout: Duration,
+    /// Synthetic per-attempt service latency, slept by the worker before
+    /// each pipeline attempt. `ZERO` (the default) adds nothing. Models
+    /// the blocking I/O / RPC component of a remote estimation shard so
+    /// cluster fan-out benchmarks measure coordinator concurrency honestly
+    /// on any core count (shards overlap sleeps even on one core).
+    pub simulated_io: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +99,8 @@ impl Default for ServiceConfig {
             metrics_dump_every: Duration::from_secs(1),
             trace: TraceRecorder::noop(),
             trace_stride_ns: 0,
+            liveness_timeout: Duration::from_secs(2),
+            simulated_io: Duration::ZERO,
         }
     }
 }
@@ -142,6 +156,24 @@ pub struct ServiceStats {
     pub forward_breaker: BreakerState,
     pub breaker_trips: u64,
     pub cache: CacheStats,
+    /// Worker threads the service was configured with.
+    #[serde(default)]
+    pub workers: usize,
+    /// Milliseconds since the supervisor's last liveness tick. A wedged
+    /// supervisor (stalled thread, stuck reap loop) shows up here even
+    /// while the queue looks merely idle.
+    #[serde(default)]
+    pub supervisor_stale_ms: u64,
+    /// The configured ceiling on
+    /// [`supervisor_stale_ms`](ServiceStats::supervisor_stale_ms)
+    /// (`ServiceConfig::liveness_timeout`), echoed so `healthy()` is
+    /// self-contained on a deserialized snapshot.
+    #[serde(default)]
+    pub liveness_timeout_ms: u64,
+    /// Mid-file journal corruption quarantined during the resume that
+    /// started this service, if any.
+    #[serde(default)]
+    pub journal_corruption: Option<JournalCorruption>,
 }
 
 impl ServiceStats {
@@ -150,9 +182,18 @@ impl ServiceStats {
         self.completed + self.degraded + self.failed + self.shed
     }
 
-    /// Healthy = accepting work and not routing around a tripped stage.
+    /// Healthy = accepting work, not routing around a tripped stage, and
+    /// actually able to make progress: the supervisor has ticked within
+    /// its liveness timeout, and pending work implies someone to do it. A
+    /// stalled service with jobs queued and zero workers is *unhealthy*,
+    /// not idle — the old breaker-only check could not tell those apart.
     pub fn healthy(&self) -> bool {
-        self.flowsim_breaker == BreakerState::Closed && self.forward_breaker == BreakerState::Closed
+        let breakers_closed = self.flowsim_breaker == BreakerState::Closed
+            && self.forward_breaker == BreakerState::Closed;
+        let supervisor_live = self.supervisor_stale_ms <= self.liveness_timeout_ms;
+        let pending = self.accepted > self.settled();
+        let can_progress = !pending || self.workers > 0;
+        breakers_closed && supervisor_live && can_progress
     }
 }
 
@@ -240,6 +281,8 @@ struct State {
     journal: Option<Journal>,
     next_id: u64,
     shutdown: bool,
+    /// Mid-file corruption found when this service resumed its journal.
+    journal_corruption: Option<JournalCorruption>,
 }
 
 struct Inner {
@@ -253,6 +296,18 @@ struct Inner {
     /// per-job pipeline metrics.
     registry: MetricsRegistry,
     metrics: ServeMetrics,
+    /// When the service started; liveness timestamps are ms since this.
+    started: Instant,
+    /// Supervisor liveness: tick counter and timestamp (ms since
+    /// `started`) of the last supervisor loop iteration. Heartbeat-based
+    /// failure detectors (the cluster coordinator) watch the counter; the
+    /// stats snapshot derives staleness from the timestamp.
+    beat: AtomicU64,
+    last_beat_ms: AtomicU64,
+    /// Test/fault hook: freeze the supervisor loop (heartbeat stops, dead
+    /// workers go unreaped) without stopping the workers — the wedged-node
+    /// failure mode ShardStall injects.
+    stall_supervisor: AtomicBool,
 }
 
 impl Inner {
@@ -260,6 +315,16 @@ impl Inner {
         // A panicking worker can poison the state mutex; the state is a
         // queue of plain data and remains valid, so recover the guard.
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn note_beat(&self) {
+        self.beat.fetch_add(1, Ordering::Relaxed);
+        self.last_beat_ms
+            .store(elapsed_ms(self.started), Ordering::Relaxed);
+    }
+
+    fn supervisor_stale_ms(&self) -> u64 {
+        elapsed_ms(self.started).saturating_sub(self.last_beat_ms.load(Ordering::Relaxed))
     }
 }
 
@@ -312,6 +377,7 @@ impl Service {
         {
             let mut st = svc.inner.lock();
             st.next_id = replay.next_id();
+            st.journal_corruption = replay.corruption.clone();
             // `build` already counted the re-enqueued pending jobs.
             let settled = (replay.accepted.len() - replay.pending().len()) as u64;
             st.accepted = replay.accepted.len() as u64;
@@ -347,6 +413,7 @@ impl Service {
                 journal,
                 next_id: 0,
                 shutdown: false,
+                journal_corruption: None,
             }),
             cond: Condvar::new(),
             estimator: Arc::new(estimator),
@@ -354,6 +421,10 @@ impl Service {
             config,
             registry,
             metrics,
+            started: Instant::now(),
+            beat: AtomicU64::new(0),
+            last_beat_ms: AtomicU64::new(0),
+            stall_supervisor: AtomicBool::new(false),
         });
         let supervisor = {
             let inner = Arc::clone(&inner);
@@ -461,7 +532,37 @@ impl Service {
             forward_breaker: st.forward_breaker.state(),
             breaker_trips: st.flowsim_breaker.trips() + st.forward_breaker.trips(),
             cache: self.inner.cache.stats(),
+            workers: self.inner.config.workers,
+            supervisor_stale_ms: self.inner.supervisor_stale_ms(),
+            liveness_timeout_ms: self.inner.config.liveness_timeout.as_millis() as u64,
+            journal_corruption: st.journal_corruption.clone(),
         }
+    }
+
+    /// Supervisor liveness tick counter. Monotonically increasing while
+    /// the supervisor loop is running; a failure detector that sees the
+    /// same value across several polls should suspect the node. The
+    /// counter starts at 0 and first advances within a few milliseconds of
+    /// startup.
+    pub fn heartbeat(&self) -> u64 {
+        self.inner.beat.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the supervisor's last liveness tick.
+    pub fn supervisor_stale_ms(&self) -> u64 {
+        self.inner.supervisor_stale_ms()
+    }
+
+    /// Freeze (or thaw) the supervisor loop: while stalled it stops
+    /// ticking its heartbeat and reaping workers, exactly like a wedged
+    /// supervisor thread. Workers keep processing. Used by liveness tests
+    /// and by the cluster's `ShardStall` fault injection; hidden because
+    /// it exists to *create* the failure mode, not to manage a service.
+    #[doc(hidden)]
+    pub fn stall_supervisor(&self, stalled: bool) {
+        self.inner
+            .stall_supervisor
+            .store(stalled, Ordering::Relaxed);
     }
 
     /// The service's live telemetry registry. The same registry backs
@@ -546,6 +647,17 @@ fn supervise(inner: Arc<Inner>) {
     let mut last_dump = Instant::now();
 
     loop {
+        // Injected wedge: stop ticking (and reaping) but keep the thread,
+        // exactly like a supervisor stuck on a slow syscall. Shutdown
+        // thaws it so teardown never hangs on an injected fault.
+        if inner.stall_supervisor.load(Ordering::Relaxed) {
+            let wedged = !inner.lock().shutdown;
+            if wedged {
+                thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+        }
+        inner.note_beat();
         if inner.config.metrics_out.is_some()
             && last_dump.elapsed() >= inner.config.metrics_dump_every
         {
@@ -720,6 +832,10 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
     let retry = inner.config.retry;
     let mut attempt = job.attempt;
     loop {
+        // Synthetic remote-shard latency (see `ServiceConfig::simulated_io`).
+        if !inner.config.simulated_io.is_zero() {
+            thread::sleep(inner.config.simulated_io);
+        }
         // Injected worker crash: panic *outside* the pipeline's own panic
         // isolation so the supervisor path is genuinely exercised. The
         // attempt stamp lets `with_first_attempts` plans converge.
@@ -773,7 +889,14 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
                      serving flowSim-only path"
                 ),
             );
-            let estimate = flowsim_estimate(&topo, &flows, &config, req.paths, req.seed);
+            let estimate = flowsim_estimate_sliced(
+                &topo,
+                &flows,
+                &config,
+                req.paths,
+                req.seed,
+                req.path_slice,
+            );
             return JobOutcome::Degraded {
                 estimate,
                 attempts: attempt + 1,
@@ -792,6 +915,7 @@ fn process(inner: &Arc<Inner>, job: &Job) -> JobOutcome {
             policy: req.policy.unwrap_or_default(),
             budget,
             fault_plan: req.fault_plan.as_ref().map(|p| p.at_attempt(attempt)),
+            path_slice: req.path_slice,
             metrics: Some(inner.registry.clone()),
             trace: tctx.clone(),
         };
@@ -885,4 +1009,98 @@ fn record_failure_for_breakers(inner: &Arc<Inner>, e: &M3Error) {
     }
     let tripped = st.flowsim_breaker.trips() + st.forward_breaker.trips() - trips_before;
     inner.metrics.breaker_trips.add(tripped);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ConfigSpec, ScenarioSpec, TopoSpec, WorkloadSpec};
+    use m3_core::prelude::SPEC_DIM;
+    use m3_nn::prelude::{M3Net, ModelConfig};
+
+    fn tiny_estimator() -> M3Estimator {
+        let cfg = ModelConfig {
+            embed: 16,
+            heads: 2,
+            layers: 1,
+            ff_hidden: 16,
+            mlp_hidden: 32,
+            ..ModelConfig::repro_default(SPEC_DIM)
+        };
+        M3Estimator::new(M3Net::new(cfg, 3))
+    }
+
+    fn tiny_request(seed: u64) -> EstimateRequest {
+        EstimateRequest::new(
+            ScenarioSpec {
+                topology: TopoSpec::FatTreeSmall { oversub: 2 },
+                workload: WorkloadSpec {
+                    n_flows: 50,
+                    matrix: "B".into(),
+                    sizes: "WebServer".into(),
+                    sigma: 1.0,
+                    max_load: 0.3,
+                },
+                config: ConfigSpec::default(),
+            },
+            2,
+            seed,
+        )
+    }
+
+    /// Satellite regression: a wedged supervisor (and a pending queue with
+    /// nobody to drain it) must read as unhealthy, not idle. Before the
+    /// liveness timestamp existed, `healthy()` only looked at the breakers
+    /// and reported this exact state as healthy.
+    #[test]
+    fn wedged_supervisor_and_stalled_queue_report_unhealthy() {
+        let config = ServiceConfig {
+            workers: 0,
+            liveness_timeout: Duration::from_millis(60),
+            ..ServiceConfig::default()
+        };
+        let svc = Service::start(tiny_estimator(), config);
+
+        // Wait for the first supervisor tick, then confirm baseline health.
+        let t0 = Instant::now();
+        while svc.heartbeat() == 0 && t0.elapsed() < Duration::from_secs(5) {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(svc.heartbeat() > 0, "supervisor never ticked");
+        assert!(svc.stats().healthy(), "fresh idle service must be healthy");
+
+        // A queued job with zero workers is a stalled queue, not idleness.
+        svc.submit(tiny_request(1)).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.queue_depth, 1);
+        assert_eq!(stats.workers, 0);
+        assert!(
+            !stats.healthy(),
+            "pending work with no workers must be unhealthy"
+        );
+
+        // Wedge the supervisor: the heartbeat freezes and staleness grows
+        // past the liveness timeout.
+        svc.stall_supervisor(true);
+        let frozen = svc.heartbeat();
+        thread::sleep(Duration::from_millis(150));
+        let stats = svc.stats();
+        assert_eq!(svc.heartbeat(), frozen, "stalled supervisor still ticked");
+        assert!(
+            stats.supervisor_stale_ms > stats.liveness_timeout_ms,
+            "staleness {} must exceed timeout {}",
+            stats.supervisor_stale_ms,
+            stats.liveness_timeout_ms
+        );
+        assert!(!stats.healthy());
+
+        // Thawing restores liveness (the queue is still stalled, though).
+        svc.stall_supervisor(false);
+        let t1 = Instant::now();
+        while svc.heartbeat() == frozen && t1.elapsed() < Duration::from_secs(5) {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(svc.heartbeat() > frozen, "supervisor never thawed");
+        svc.shutdown();
+    }
 }

@@ -69,3 +69,89 @@ proptest! {
         prop_assert_eq!(p.delay_ms(job_id, a), 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Rendezvous routing: the invariants the cluster's failover correctness
+// rests on. Placement must be a pure function of (key, live set) — no
+// order sensitivity — and removing a shard may move only the keys that
+// lived on it (~1/N of the keyspace), never reshuffle the survivors'.
+// ---------------------------------------------------------------------------
+
+mod routing_props {
+    use m3_serve::prelude::{rank, route};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Removing one shard moves exactly the keys that were routed to
+        /// it: every other key keeps its shard, and the moved fraction is
+        /// in the ballpark of 1/N (loose bounds — it is a hash, not a
+        /// quota).
+        #[test]
+        fn removal_is_minimal_disruption(
+            n in 2usize..10,
+            dead_pick in 0usize..10,
+            key0 in 0u64..u64::MAX,
+        ) {
+            let live: Vec<usize> = (0..n).collect();
+            let dead = dead_pick % n;
+            let survivors: Vec<usize> =
+                live.iter().copied().filter(|&s| s != dead).collect();
+            let total = 512u64;
+            let mut moved = 0u64;
+            for i in 0..total {
+                let key = key0.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let before = route(key, &live).expect("live non-empty");
+                let after = route(key, &survivors).expect("survivors non-empty");
+                if before == dead {
+                    moved += 1;
+                    prop_assert!(after != dead, "key {} still routed to dead shard", key);
+                } else {
+                    prop_assert!(
+                        before == after,
+                        "key {} moved off surviving shard {}", key, before
+                    );
+                }
+            }
+            // Expected moved ≈ total/n. Allow a wide band (hash variance),
+            // but catch both "nothing moves" (stale ring state) and
+            // "everything moves" (mod-N hashing) failure modes.
+            let expect = total / n as u64;
+            prop_assert!(
+                moved >= expect / 4 && moved <= expect * 4,
+                "moved {} of {} with {} shards (expected ~{})",
+                moved, total, n, expect
+            );
+        }
+
+        /// Placement is a pure function of (key, live *set*): the order
+        /// the live shards are listed in must not matter, for both the
+        /// owner and the whole failover rank order.
+        #[test]
+        fn placement_is_order_free(
+            key in 0u64..u64::MAX,
+            n in 1usize..12,
+            rot in 0usize..12,
+        ) {
+            let live: Vec<usize> = (0..n).collect();
+            let mut shuffled = live.clone();
+            shuffled.rotate_left(rot % n.max(1));
+            shuffled.reverse();
+            prop_assert_eq!(route(key, &live), route(key, &shuffled));
+            prop_assert_eq!(rank(key, &live), rank(key, &shuffled));
+        }
+
+        /// The owner is always the head of the rank order, and the rank
+        /// order is a permutation of the live set.
+        #[test]
+        fn rank_head_is_route(key in 0u64..u64::MAX, n in 1usize..12) {
+            let live: Vec<usize> = (0..n).collect();
+            let order = rank(key, &live);
+            prop_assert_eq!(route(key, &live), order.first().copied());
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, live);
+        }
+    }
+}

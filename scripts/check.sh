@@ -35,6 +35,9 @@ cargo test -q --test service_integration
 echo "==> tracing suite (span tree, determinism, journal correlation)"
 cargo test -q --test tracing
 
+echo "==> cluster suite (sharded fan-out, kill-a-shard lossless failover)"
+cargo test -q --test cluster_integration
+
 echo "==> trace golden-file check (deterministic export must be byte-stable)"
 cargo build --release -q
 TRACE_TMP="$(mktemp /tmp/m3-trace-golden.XXXXXX.json)"
@@ -56,6 +59,12 @@ cargo bench -p m3-bench --bench tracing_overhead
 
 echo "==> hot-path kernel gate (>=4x forward reference-vs-pooled, writes BENCH_hotpath.json)"
 cargo bench -p m3-bench --bench hotpath
+
+echo "==> cluster scaling gate (>=6x aggregate throughput at 8 shards, writes BENCH_cluster_scaling.json)"
+cargo bench -p m3-bench --bench cluster_scaling
+
+echo "==> cluster soak (seeded kill/restart schedule, lossless rerouting)"
+scripts/soak.sh --cluster 1 18
 
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "==> telemetry overhead gate (<2%, writes BENCH_telemetry_overhead.json)"

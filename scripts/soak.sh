@@ -1,24 +1,46 @@
 #!/usr/bin/env bash
-# Soak the estimation service under randomized (seeded) fault plans and
-# assert its core guarantee: no accepted job is ever lost — every id
+# Soak the estimation stack under randomized (seeded) fault plans and
+# assert the core guarantee: no accepted job is ever lost — every id
 # reaches exactly one terminal state and the stats books balance.
 #
-# Usage: scripts/soak.sh [ROUNDS] [JOBS_PER_ROUND]
-# Each round uses a different seed, so the transient/persistent fault mix,
-# worker panics, deadlines, and overload pattern vary while remaining
+# Modes:
+#   scripts/soak.sh [ROUNDS] [JOBS_PER_ROUND]            single-service soak
+#   scripts/soak.sh --cluster [ROUNDS] [JOBS_PER_ROUND]  sharded-cluster soak
+#
+# The cluster mode runs each round under a seeded kill/restart schedule
+# (shard crashes, supervisor stalls, slow-start recoveries) and
+# additionally asserts that the faulted run's estimates are bit-identical
+# to a fault-free run (lossless rerouting) and that merged deterministic
+# metrics are byte-stable across identical runs.
+#
+# Each round uses a different seed, so the fault mix varies while staying
 # reproducible: a failing round can be replayed exactly with
 #   cargo run --release -p m3-serve --bin soak -- <jobs> <seed>
+#   cargo run --release -p m3-serve --bin cluster_soak -- <jobs> <seed>
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE=service
+if [[ "${1:-}" == "--cluster" ]]; then
+  MODE=cluster
+  shift
+fi
 
 ROUNDS="${1:-5}"
 JOBS="${2:-24}"
 
-cargo build --release -p m3-serve --bin soak
-
-for seed in $(seq 1 "$ROUNDS"); do
-    echo "==> soak round $seed/$ROUNDS ($JOBS jobs, seed $seed)"
-    ./target/release/soak "$JOBS" "$seed"
-done
-
-echo "Soak passed: $ROUNDS rounds x $JOBS jobs, no job lost."
+if [[ "$MODE" == "cluster" ]]; then
+  cargo build --release -p m3-serve --bin cluster_soak
+  for seed in $(seq 1 "$ROUNDS"); do
+      echo "==> cluster soak round $seed/$ROUNDS ($JOBS jobs, seed $seed)"
+      ./target/release/cluster_soak "$JOBS" "$seed"
+  done
+  echo "Cluster soak passed: $ROUNDS rounds x $JOBS jobs, no job lost, rerouting lossless."
+else
+  cargo build --release -p m3-serve --bin soak
+  for seed in $(seq 1 "$ROUNDS"); do
+      echo "==> soak round $seed/$ROUNDS ($JOBS jobs, seed $seed)"
+      ./target/release/soak "$JOBS" "$seed"
+  done
+  echo "Soak passed: $ROUNDS rounds x $JOBS jobs, no job lost."
+fi

@@ -6,6 +6,8 @@
 //! m3 sweep <spec.json> <knob> <v1,v2,...>   # counterfactual knob sweep
 //! m3 example-service-spec        # print a service spec template (JSON)
 //! m3 serve <service.json>       # run a batch through the supervised service
+//! m3 example-cluster-spec        # print a cluster spec template (JSON)
+//! m3 cluster <cluster.json>     # fan a batch out across sharded services
 //! m3 example-train-spec          # print a training spec template (JSON)
 //! m3 train <train.json>         # train a model and save a checkpoint
 //! m3 stats <snapshot.json>      # pretty-print a metrics snapshot
@@ -34,6 +36,14 @@
 //! killed can be re-run with `"resume": true` to replay the journal and
 //! finish exactly the jobs that had not settled.
 //!
+//! `m3 cluster` runs the same kind of batch through the fault-tolerant
+//! sharded coordinator (`m3_serve::cluster`): requests are spread across
+//! `shards` independent service instances by rendezvous hashing, each with
+//! its own journal under `journal_dir`, and a dead or stalled shard's
+//! unfinished work is rerouted losslessly to the survivors. With
+//! `--metrics-out <path>` the deterministic merge of every shard's
+//! telemetry (plus the coordinator's own counters) is written at exit.
+//!
 //! Exit codes distinguish failure families:
 //! * 2 — usage errors (bad arguments, unreadable/unparsable files)
 //! * 3 — spec validation errors (unknown method/knob/matrix/protocol, ...)
@@ -45,8 +55,8 @@ use m3::parsimon::{
     parsimon_estimate, parsimon_estimate_clustered, slowdown_samples, ClusteringConfig,
 };
 use m3::serve::prelude::{
-    ConfigSpec, EstimateRequest, JobOutcome, RetryPolicy, ScenarioSpec, Service, ServiceConfig,
-    SubmitError, TopoSpec, WorkloadSpec,
+    Cluster, ClusterConfig, ConfigSpec, EstimateRequest, JobOutcome, RetryPolicy, ScenarioSpec,
+    Service, ServiceConfig, SubmitError, TopoSpec, WorkloadSpec,
 };
 use m3::telemetry::{
     render_snapshot, render_trace_summary, summarize_chrome_json, MetricsRegistry, MetricsSnapshot,
@@ -120,6 +130,47 @@ fn default_workers() -> usize {
 
 fn default_queue_capacity() -> usize {
     64
+}
+
+/// Input to `m3 cluster`: coordinator knobs plus a batch of requests that
+/// is fanned out across `shards` independent service instances.
+#[derive(Debug, Serialize, Deserialize)]
+struct ClusterSpec {
+    #[serde(default = "default_shards")]
+    shards: usize,
+    /// Workers *per shard*.
+    #[serde(default = "default_shard_workers")]
+    workers: usize,
+    #[serde(default = "default_queue_capacity")]
+    queue_capacity: usize,
+    /// Directory for per-shard journals (`shard-<i>.jrn`); omit to run
+    /// without crash recovery.
+    #[serde(default)]
+    journal_dir: Option<String>,
+    #[serde(default)]
+    model: Option<String>,
+    /// Per-shard (within-service) retry policy.
+    #[serde(default)]
+    retry: Option<RetryPolicy>,
+    /// Requests with at least this many paths are scattered into
+    /// path-slice children that run on multiple shards; omit to disable.
+    #[serde(default)]
+    scatter_threshold: Option<usize>,
+    #[serde(default = "default_scatter_chunk")]
+    scatter_chunk: usize,
+    requests: Vec<EstimateRequest>,
+}
+
+fn default_shards() -> usize {
+    4
+}
+
+fn default_shard_workers() -> usize {
+    1
+}
+
+fn default_scatter_chunk() -> usize {
+    8
 }
 
 fn die(code: i32, msg: &str) -> ! {
@@ -268,6 +319,24 @@ fn example_service_spec() -> ServiceSpec {
         model: Some("assets/m3-model.ckpt".into()),
         retry: Some(RetryPolicy::default()),
         requests: vec![EstimateRequest::new(scenario, 100, 1), second],
+    }
+}
+
+fn example_cluster_spec() -> ClusterSpec {
+    let scenario = example_spec().scenario();
+    ClusterSpec {
+        shards: 4,
+        workers: 1,
+        queue_capacity: 64,
+        journal_dir: Some("m3-cluster-journal".into()),
+        model: Some("assets/m3-model.ckpt".into()),
+        retry: Some(RetryPolicy::default()),
+        scatter_threshold: Some(64),
+        scatter_chunk: 32,
+        requests: vec![
+            EstimateRequest::new(scenario.clone(), 100, 1),
+            EstimateRequest::new(scenario, 100, 2),
+        ],
     }
 }
 
@@ -611,6 +680,94 @@ fn run_serve(spec: &ServiceSpec, metrics_out: Option<&str>, trace: Option<&Trace
     }
 }
 
+fn run_cluster(spec: &ClusterSpec, metrics_out: Option<&str>) {
+    if spec.shards == 0 {
+        die(EXIT_USAGE, "\"shards\" must be at least 1");
+    }
+    for (i, req) in spec.requests.iter().enumerate() {
+        if let Err(e) = req.scenario.materialize(req.seed) {
+            eprintln!("error: request {i} is invalid");
+            die_m3(&e);
+        }
+    }
+
+    let config = ClusterConfig {
+        shards: spec.shards,
+        shard: ServiceConfig {
+            workers: spec.workers,
+            queue_capacity: spec.queue_capacity,
+            retry: spec.retry.unwrap_or_default(),
+            ..ServiceConfig::default()
+        },
+        journal_dir: spec.journal_dir.as_ref().map(Into::into),
+        scatter_threshold: spec.scatter_threshold.unwrap_or(usize::MAX),
+        scatter_chunk: spec.scatter_chunk.max(1),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(load_model(spec.model.as_deref()), config)
+        .unwrap_or_else(|e| die(EXIT_USAGE, &format!("start cluster: {e}")));
+
+    let mut ids = Vec::new();
+    for (i, req) in spec.requests.iter().enumerate() {
+        match cluster.submit(req.clone()) {
+            Ok(id) => ids.push(id),
+            Err(SubmitError::QueueFull { capacity }) => {
+                eprintln!("request {i}: shed at submit (queue full, {capacity} slots)");
+            }
+            Err(e) => die(EXIT_FAULT, &format!("request {i}: {e}")),
+        }
+    }
+
+    if !cluster.wait_idle(Duration::from_secs(3600)) {
+        die(EXIT_FAULT, "cluster did not settle all jobs within 1 h");
+    }
+
+    let mut failed = 0u64;
+    for &id in &ids {
+        match cluster.outcome(id) {
+            Some(JobOutcome::Completed { estimate, attempts }) => {
+                let took = Duration::from_secs_f64(estimate.timings.total_s());
+                report(&format!("job {id} ({attempts} att)"), &estimate, took);
+            }
+            Some(JobOutcome::Degraded {
+                estimate, attempts, ..
+            }) => {
+                let took = Duration::from_secs_f64(estimate.timings.total_s());
+                report(&format!("job {id} ({attempts} att)"), &estimate, took);
+                println!("{:>18}  degraded", "");
+            }
+            Some(JobOutcome::Failed { error, attempts }) => {
+                eprintln!("job {id}: FAILED after {attempts} attempt(s): {error}");
+                failed += 1;
+            }
+            Some(JobOutcome::Shed { reason }) => {
+                eprintln!("job {id}: shed ({reason})");
+            }
+            None => {
+                eprintln!("job {id}: no terminal outcome (cluster bug)");
+                failed += 1;
+            }
+        }
+    }
+
+    let stats = cluster.stats();
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(path, cluster.merged_metrics().to_json()) {
+            eprintln!("warning: cannot write merged metrics {path}: {e}");
+        } else {
+            println!("merged cluster metrics written to {path}");
+        }
+    }
+    cluster.shutdown();
+    match serde_json::to_string_pretty(&stats) {
+        Ok(s) => println!("{s}"),
+        Err(e) => eprintln!("stats serialization failed: {e}"),
+    }
+    if failed > 0 {
+        die(EXIT_FAULT, &format!("{failed} job(s) failed"));
+    }
+}
+
 /// Input to `m3 train`: training hyper-parameters plus where to save the
 /// checkpoint.
 #[derive(Debug, Serialize, Deserialize)]
@@ -709,6 +866,11 @@ fn main() {
             Ok(s) => println!("{s}"),
             Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
         },
+        Some("example-cluster-spec") => match serde_json::to_string_pretty(&example_cluster_spec())
+        {
+            Ok(s) => println!("{s}"),
+            Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
+        },
         Some("example-train-spec") => match serde_json::to_string_pretty(&example_train_spec()) {
             Ok(s) => println!("{s}"),
             Err(e) => die(EXIT_FAULT, &format!("serialize example spec: {e}")),
@@ -740,6 +902,12 @@ fn main() {
                 trace_opts.as_ref(),
             );
         }
+        Some("cluster") => {
+            let path = args
+                .get(2)
+                .unwrap_or_else(|| die(EXIT_USAGE, "usage: m3 cluster <cluster-spec.json>"));
+            run_cluster(&read_spec::<ClusterSpec>(path), metrics_out.as_deref());
+        }
         Some("train") => {
             let path = args
                 .get(2)
@@ -760,7 +928,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json> | example-train-spec | train <train-spec.json> | stats <snapshot.json> | trace <trace.json>> [--metrics-out <path>] [--trace-out <path> [--trace-stride-ns <ns>] [--trace-deterministic]]"
+                "usage: m3 <example-spec | estimate <spec.json> | sweep <spec.json> <knob> <values> | example-service-spec | serve <service-spec.json> | example-cluster-spec | cluster <cluster-spec.json> | example-train-spec | train <train-spec.json> | stats <snapshot.json> | trace <trace.json>> [--metrics-out <path>] [--trace-out <path> [--trace-stride-ns <ns>] [--trace-deterministic]]"
             );
             std::process::exit(EXIT_USAGE);
         }

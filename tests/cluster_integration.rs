@@ -1,0 +1,318 @@
+//! Integration suite for the sharded estimation cluster: fault-free
+//! bit-identity with a single-node service, scatter/gather of one large
+//! scenario, and the kill-a-shard-mid-run guarantee — every accepted job
+//! reaches exactly one terminal state and no result is lost or changed by
+//! the failover. Fault injection is deterministic (seeded [`FaultPlan`]),
+//! so failures replay bit-identically.
+
+use m3::core::prelude::*;
+use m3::nn::prelude::{M3Net, ModelConfig};
+use m3::serve::prelude::*;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const IDLE: Duration = Duration::from_secs(180);
+
+fn tiny_net() -> M3Net {
+    let cfg = ModelConfig {
+        embed: 16,
+        heads: 2,
+        layers: 1,
+        ff_hidden: 16,
+        mlp_hidden: 32,
+        ..ModelConfig::repro_default(SPEC_DIM)
+    };
+    M3Net::new(cfg, 3)
+}
+
+fn scenario(n_flows: usize) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopoSpec::FatTreeSmall { oversub: 2 },
+        workload: WorkloadSpec {
+            n_flows,
+            matrix: "B".into(),
+            sizes: "WebServer".into(),
+            sigma: 1.0,
+            max_load: 0.4,
+        },
+        config: ConfigSpec::default(),
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("m3-cluster-itest-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("create cluster journal dir");
+    d
+}
+
+fn shard_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 256,
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 1,
+            max_delay_ms: 4,
+            seed: 9,
+        },
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    }
+}
+
+fn assert_bit_identical(a: &NetworkEstimate, b: &NetworkEstimate, what: &str) {
+    assert_eq!(a.bucket_counts, b.bucket_counts, "{what}: bucket counts");
+    for bucket in 0..NUM_OUTPUT_BUCKETS {
+        let (sa, sb) = (&a.bucket_samples[bucket], &b.bucket_samples[bucket]);
+        assert_eq!(sa.len(), sb.len(), "{what}: bucket {bucket} sample count");
+        for (i, (x, y)) in sa.iter().zip(sb).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: bucket {bucket} sample {i} diverged ({x} vs {y})"
+            );
+        }
+    }
+}
+
+fn completed_estimate(o: JobOutcome, what: &str) -> NetworkEstimate {
+    match o {
+        JobOutcome::Completed { estimate, .. } => estimate,
+        other => panic!("{what}: expected Completed, got {other:?}"),
+    }
+}
+
+/// Tentpole acceptance 1: a fault-free cluster — including a scattered
+/// large scenario — produces estimates bit-identical to a single
+/// unsharded [`Service`] run of the same requests.
+#[test]
+fn fault_free_cluster_matches_single_node_bit_for_bit() {
+    let dir = tmpdir("bitident");
+    let config = ClusterConfig {
+        shards: 4,
+        shard: shard_config(1),
+        journal_dir: Some(dir.clone()),
+        heartbeat_every: Duration::from_millis(3),
+        // Generous thresholds: this test must never false-positive a
+        // busy shard into failover on a loaded machine (failover would
+        // still be *correct*, but we want deaths == 0 asserted below).
+        suspect_misses: 500,
+        dead_misses: 1000,
+        scatter_threshold: 4,
+        scatter_chunk: 2,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(tiny_net(), config).expect("start cluster");
+    // Five plain requests plus one large (6 paths >= threshold 4) that
+    // scatters into three 2-path children.
+    let requests: Vec<EstimateRequest> = (0..5u64)
+        .map(|s| EstimateRequest::new(scenario(50 + 10 * s as usize), 2, s))
+        .chain(std::iter::once(EstimateRequest::new(scenario(80), 6, 99)))
+        .collect();
+    let ids: Vec<u64> = requests
+        .iter()
+        .map(|r| cluster.submit(r.clone()).expect("cluster accepts"))
+        .collect();
+    assert!(cluster.wait_idle(IDLE), "cluster drained");
+    let stats = cluster.stats();
+    assert_eq!(stats.shard_deaths, 0, "no shard may die fault-free");
+    assert_eq!(stats.rerouted, 0);
+    assert!(stats.drained(), "{stats:?}");
+    // 6 caller jobs + 3 scatter children.
+    assert_eq!(stats.submitted, 9);
+    let clustered: Vec<NetworkEstimate> = ids
+        .iter()
+        .map(|&id| {
+            completed_estimate(
+                cluster.outcome(id).expect("settled"),
+                &format!("cluster job {id}"),
+            )
+        })
+        .collect();
+    let merged_metrics = cluster.merged_metrics();
+    cluster.shutdown();
+
+    // Reference: one unsharded service, same requests.
+    let svc = Service::start(M3Estimator::new(tiny_net()), shard_config(2));
+    for (i, req) in requests.iter().enumerate() {
+        let rid = svc.submit(req.clone()).expect("service accepts");
+        assert!(svc.wait_idle(IDLE));
+        let reference = completed_estimate(
+            svc.outcome(rid).expect("settled"),
+            &format!("reference job {i}"),
+        );
+        assert_bit_identical(&clustered[i], &reference, &format!("request {i}"));
+    }
+    svc.shutdown();
+
+    // The merged telemetry view accounts for every job exactly once
+    // across the coordinator and all shards.
+    assert_eq!(merged_metrics.counter("cluster.submitted"), Some(9));
+    assert_eq!(merged_metrics.counter("cluster.scattered"), Some(1));
+    assert_eq!(merged_metrics.counter("cluster.scatter_children"), Some(3));
+    // 8 leaf jobs were dispatched to shards; the shards' own serve.*
+    // counters sum to the same total in the merged view.
+    assert_eq!(merged_metrics.counter("cluster.dispatched"), Some(8));
+    assert_eq!(merged_metrics.counter("serve.accepted"), Some(8));
+    assert_eq!(merged_metrics.counter("serve.completed"), Some(8));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tentpole acceptance 2: kill one shard mid-run. Every accepted request
+/// still reaches exactly one terminal state, nothing is shed or failed,
+/// and — because routing-independent determinism means a rerouted job
+/// recomputes the same bits — every estimate is still bit-identical to
+/// the single-node reference.
+#[test]
+fn killed_shard_mid_run_loses_nothing() {
+    const SHARDS: usize = 4;
+    const JOBS: u64 = 16;
+    // Pick a deterministic plan seed whose ShardCrash rule hits exactly
+    // one of the shard slots.
+    let (plan, victim) = (0..1000u64)
+        .find_map(|seed| {
+            let plan = FaultPlan::new(seed).with(InjectedFault::ShardCrash, 0.25);
+            let hit = plan.slots_hit(InjectedFault::ShardCrash, SHARDS);
+            (hit.len() == 1).then(|| (plan, hit[0]))
+        })
+        .expect("some seed kills exactly one shard");
+
+    let dir = tmpdir("killshard");
+    let config = ClusterConfig {
+        shards: SHARDS,
+        shard: ServiceConfig {
+            // Slow each attempt down so the victim still has queued and
+            // in-flight work when it dies.
+            simulated_io: Duration::from_millis(30),
+            ..shard_config(1)
+        },
+        journal_dir: Some(dir.clone()),
+        heartbeat_every: Duration::from_millis(3),
+        suspect_misses: 2,
+        dead_misses: 5,
+        reroute_retry: RetryPolicy {
+            max_attempts: 10,
+            base_delay_ms: 2,
+            max_delay_ms: 20,
+            seed: 7,
+        },
+        fault_plan: Some(plan),
+        fault_after_dispatches: 4,
+        restart_dead_shards: true,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(tiny_net(), config).expect("start cluster");
+    let requests: Vec<EstimateRequest> = (0..JOBS)
+        .map(|s| EstimateRequest::new(scenario(40 + (s as usize % 4) * 10), 2, s))
+        .collect();
+    let ids: Vec<u64> = requests
+        .iter()
+        .map(|r| cluster.submit(r.clone()).expect("cluster accepts"))
+        .collect();
+    assert!(cluster.wait_idle(IDLE), "cluster drained after shard death");
+    let stats = cluster.stats();
+    assert!(stats.drained(), "{stats:?}");
+    assert_eq!(stats.submitted, JOBS);
+    assert_eq!(
+        stats.settled, JOBS,
+        "every accepted job settled exactly once (dedupe guards dup terminals)"
+    );
+    assert!(
+        stats.shard_deaths >= 1,
+        "the injected crash must be detected: {stats:?}"
+    );
+    assert!(
+        stats.shard_recoveries >= 1,
+        "the dead shard must restart: {stats:?}"
+    );
+    // The victim restarted (recoveries >= 1 above). Its health at
+    // snapshot time is usually Recovered, but a busy one-core machine can
+    // spuriously re-suspect any shard right at the end, and every such
+    // failover is still lossless — so `victim` is only used for the
+    // routability sanity check here, not pinned to a final health state.
+    assert!(victim < SHARDS);
+    let clustered: Vec<NetworkEstimate> = ids
+        .iter()
+        .map(|&id| {
+            completed_estimate(
+                cluster.outcome(id).expect("settled"),
+                &format!("cluster job {id}"),
+            )
+        })
+        .collect();
+    cluster.shutdown();
+
+    // Lossless: rerouted/adopted results match the single-node reference
+    // bit for bit.
+    let svc = Service::start(M3Estimator::new(tiny_net()), shard_config(2));
+    for (i, req) in requests.iter().enumerate() {
+        let rid = svc.submit(req.clone()).expect("service accepts");
+        assert!(svc.wait_idle(IDLE));
+        let reference = completed_estimate(
+            svc.outcome(rid).expect("settled"),
+            &format!("reference job {i}"),
+        );
+        assert_bit_identical(&clustered[i], &reference, &format!("request {i}"));
+    }
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A stalled shard (frozen supervisor heartbeat, workers still running —
+/// the wedged-but-alive failure mode) is detected as Suspect, declared
+/// Dead, and failed over; its settled work is adopted from the journal
+/// rather than recomputed, and nothing settles twice.
+#[test]
+fn stalled_shard_is_failed_over_without_losing_or_duplicating_work() {
+    const SHARDS: usize = 3;
+    const JOBS: u64 = 12;
+    let (plan, victim) = (0..1000u64)
+        .find_map(|seed| {
+            let plan = FaultPlan::new(seed).with(InjectedFault::ShardStall, 0.34);
+            let hit = plan.slots_hit(InjectedFault::ShardStall, SHARDS);
+            (hit.len() == 1).then(|| (plan, hit[0]))
+        })
+        .expect("some seed stalls exactly one shard");
+    let dir = tmpdir("stallshard");
+    let config = ClusterConfig {
+        shards: SHARDS,
+        shard: ServiceConfig {
+            simulated_io: Duration::from_millis(20),
+            ..shard_config(1)
+        },
+        journal_dir: Some(dir.clone()),
+        heartbeat_every: Duration::from_millis(3),
+        suspect_misses: 2,
+        dead_misses: 5,
+        fault_plan: Some(plan),
+        fault_after_dispatches: 3,
+        restart_dead_shards: true,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(tiny_net(), config).expect("start cluster");
+    let ids: Vec<u64> = (0..JOBS)
+        .map(|s| {
+            cluster
+                .submit(EstimateRequest::new(scenario(40), 2, s))
+                .expect("cluster accepts")
+        })
+        .collect();
+    assert!(cluster.wait_idle(IDLE), "cluster drained after stall");
+    let stats = cluster.stats();
+    assert!(stats.drained(), "{stats:?}");
+    assert_eq!(stats.settled, JOBS, "exactly one terminal per job");
+    assert!(stats.shard_deaths >= 1, "stall must escalate to Dead");
+    assert!(
+        stats.shard_recoveries >= 1,
+        "the stalled shard (index {victim}) must be restarted: {stats:?}"
+    );
+    for id in ids {
+        let o = cluster.outcome(id).expect("settled");
+        assert!(
+            matches!(o, JobOutcome::Completed { .. }),
+            "job {id} must complete despite the stall: {o:?}"
+        );
+    }
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
